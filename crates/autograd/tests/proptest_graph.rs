@@ -1,0 +1,121 @@
+//! Property tests: randomly composed graphs still backpropagate exactly
+//! (finite-difference certified), and gradients obey linearity.
+
+use gmlfm_autograd::{gradient_check, Graph, ParamSet, Var};
+use gmlfm_tensor::init::normal;
+use gmlfm_tensor::seeded_rng;
+use proptest::prelude::*;
+
+/// A random sequence of unary/binary smooth ops applied to two parameter
+/// leaves, ending in a scalar reduction.
+fn build_random(ops: &[u8]) -> impl Fn(&mut Graph, &ParamSet) -> Var + '_ {
+    move |g, p| {
+        let ids: Vec<_> = p.iter().map(|(id, _)| id).collect();
+        let mut cur = g.param(p, ids[0]);
+        let other = g.param(p, ids[1]);
+        for &op in ops {
+            cur = match op % 7 {
+                0 => g.add(cur, other),
+                1 => g.mul(cur, other),
+                2 => g.tanh(cur),
+                3 => g.sigmoid(cur),
+                4 => g.square(cur),
+                5 => g.scale(cur, 0.7),
+                _ => {
+                    let t = g.transpose(cur);
+                    g.transpose(t)
+                }
+            };
+        }
+        g.mean_all(cur)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+    #[test]
+    fn random_smooth_graphs_pass_gradient_check(
+        ops in proptest::collection::vec(0u8..7, 1..8),
+        seed in 0u64..500,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let mut params = ParamSet::new();
+        params.add("a", normal(&mut rng, 3, 3, 0.0, 0.5));
+        params.add("b", normal(&mut rng, 3, 3, 0.0, 0.5));
+        let report = gradient_check(&mut params, 1e-6, build_random(&ops));
+        prop_assert!(report.passes(1e-6), "{report:?} for ops {ops:?}");
+    }
+
+    #[test]
+    fn gradient_of_scaled_loss_scales(seed in 0u64..200, alpha in 0.1f64..5.0) {
+        let mut rng = seeded_rng(seed);
+        let mut params = ParamSet::new();
+        let a = params.add("a", normal(&mut rng, 2, 3, 0.0, 1.0));
+
+        let grad_for = |scale: f64, params: &ParamSet| {
+            let mut g = Graph::new();
+            let av = g.param(params, a);
+            let sq = g.square(av);
+            let s = g.sum_all(sq);
+            let loss = g.scale(s, scale);
+            g.backward(loss).get(a).unwrap().clone()
+        };
+        let g1 = grad_for(1.0, &params);
+        let ga = grad_for(alpha, &params);
+        for (x, y) in g1.as_slice().iter().zip(ga.as_slice()) {
+            prop_assert!((x * alpha - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gradient_of_sum_is_sum_of_gradients(seed in 0u64..200) {
+        // d(f+g)/dp == df/dp + dg/dp with f = sum(a^2), g = sum(tanh(a)).
+        let mut rng = seeded_rng(seed);
+        let mut params = ParamSet::new();
+        let a = params.add("a", normal(&mut rng, 2, 2, 0.0, 1.0));
+
+        let grad_f = {
+            let mut g = Graph::new();
+            let av = g.param(&params, a);
+            let sq = g.square(av);
+            let loss = g.sum_all(sq);
+            g.backward(loss).get(a).unwrap().clone()
+        };
+        let grad_g = {
+            let mut g = Graph::new();
+            let av = g.param(&params, a);
+            let t = g.tanh(av);
+            let loss = g.sum_all(t);
+            g.backward(loss).get(a).unwrap().clone()
+        };
+        let grad_sum = {
+            let mut g = Graph::new();
+            let av = g.param(&params, a);
+            let sq = g.square(av);
+            let f = g.sum_all(sq);
+            let t = g.tanh(av);
+            let gg = g.sum_all(t);
+            let loss = g.add(f, gg);
+            g.backward(loss).get(a).unwrap().clone()
+        };
+        for ((f, gg), s) in grad_f.as_slice().iter().zip(grad_g.as_slice()).zip(grad_sum.as_slice()) {
+            prop_assert!((f + gg - s).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constants_receive_no_gradients(seed in 0u64..100) {
+        let mut rng = seeded_rng(seed);
+        let mut params = ParamSet::new();
+        let a = params.add("a", normal(&mut rng, 2, 2, 0.0, 1.0));
+        let mut g = Graph::new();
+        let av = g.param(&params, a);
+        let c = g.constant(normal(&mut rng, 2, 2, 0.0, 1.0));
+        let prod = g.mul(av, c);
+        let loss = g.sum_all(prod);
+        let grads = g.backward(loss);
+        // Exactly one parameter entry, no spurious ones.
+        prop_assert_eq!(grads.iter().count(), 1);
+        prop_assert!(grads.get(a).is_some());
+    }
+}

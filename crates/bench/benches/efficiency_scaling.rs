@@ -1,0 +1,55 @@
+//! **Section 3.3 reproduction**: the naive `O(k²n²)` pairwise evaluation
+//! of the GML-FM second-order term versus the paper's simplified `O(k²n)`
+//! form, for both the Mahalanobis (Eq. 10) and DNN (Eq. 11) distances.
+//!
+//! Expected shape: naive timings grow ~4x per doubling of `n`, efficient
+//! ~2x, so their ratio widens linearly in `n` — exactly the claim the
+//! paper makes for its simplification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmlfm_core::{DenseGmlFm, DenseTransform, DnnTransform};
+use gmlfm_tensor::init::normal;
+use gmlfm_tensor::seeded_rng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn model(n: usize, k: usize, dnn: bool) -> DenseGmlFm {
+    let mut rng = seeded_rng(n as u64);
+    let transform = if dnn {
+        DenseTransform::Dnn(DnnTransform {
+            weights: vec![normal(&mut rng, k, k, 0.0, 0.4)],
+            biases: vec![normal(&mut rng, 1, k, 0.0, 0.1)],
+        })
+    } else {
+        let l = normal(&mut rng, k, k, 0.0, 0.3);
+        DenseTransform::Mahalanobis(l.matmul_tn(&l))
+    };
+    DenseGmlFm {
+        v: normal(&mut rng, n, k, 0.0, 0.3),
+        h: normal(&mut rng, 1, k, 0.0, 0.3).into_vec(),
+        transform,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let k = 16;
+    for (label, dnn) in [("mahalanobis_eq10", false), ("dnn_eq11", true)] {
+        let mut group = c.benchmark_group(format!("efficiency_scaling/{label}"));
+        group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+        for n in [64usize, 128, 256, 512] {
+            let m = model(n, k, dnn);
+            let mut rng = seeded_rng(7);
+            let x: Vec<f64> = normal(&mut rng, 1, n, 0.0, 1.0).into_vec();
+            group.bench_with_input(BenchmarkId::new("naive_k2n2", n), &n, |b, _| {
+                b.iter(|| black_box(m.second_order_naive(black_box(&x))))
+            });
+            group.bench_with_input(BenchmarkId::new("efficient_k2n", n), &n, |b, _| {
+                b.iter(|| black_box(m.second_order_efficient(black_box(&x))))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! **Figure 3 regeneration bench**: how the GML-FM training-epoch cost
+//! scales with the embedding size `k` (the figure sweeps k from 4 to 512;
+//! the bench pins the cost curve's shape on a smaller range).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gmlfm_bench::fixture;
+use gmlfm_core::{GmlFm, GmlFmConfig};
+use gmlfm_data::DatasetSpec;
+use gmlfm_train::{fit_regression, TrainConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let f = fixture(DatasetSpec::AmazonOffice);
+    let n = f.dataset.schema.total_dim();
+    let tc = TrainConfig { epochs: 1, patience: 0, ..TrainConfig::default() };
+
+    let mut group = c.benchmark_group("fig3_embedding_size");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    for k in [4usize, 16, 64, 128] {
+        group.throughput(Throughput::Elements(f.rating.train.len() as u64));
+        group.bench_with_input(BenchmarkId::new("gmlfm_dnn_epoch", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut m = GmlFm::new(n, &GmlFmConfig::dnn(k, 1));
+                black_box(fit_regression(&mut m, &f.rating.train, None, &tc))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! **Figure 4 regeneration bench**: the cost of MAMO-lite's per-user
+//! local adaptation and of GML-FM cold-user scoring — the two sides of
+//! the cold-start comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gmlfm_bench::fixture;
+use gmlfm_core::{GmlFm, GmlFmConfig};
+use gmlfm_data::{DatasetSpec, Instance};
+use gmlfm_models::mamo::{MamoConfig, MamoTask};
+use gmlfm_models::MamoLite;
+use gmlfm_train::{fit_regression, Scorer, TrainConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let f = fixture(DatasetSpec::MovieLens);
+    let d = &f.dataset;
+
+    // Meta-train MAMO-lite once on user tasks from the loo training data.
+    let profile_cards: Vec<usize> =
+        d.user_attr_fields.iter().map(|&fi| d.schema.fields()[fi].cardinality).collect();
+    let tasks: Vec<MamoTask> = f
+        .loo
+        .train_user_items
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.is_empty())
+        .map(|(u, items)| MamoTask {
+            profile: d.user_attrs[u].clone(),
+            support: items.iter().map(|&i| (i as usize, 1.0)).collect(),
+        })
+        .collect();
+    let mut mamo = MamoLite::new(d.n_items, &profile_cards, MamoConfig { epochs: 2, ..MamoConfig::default() });
+    mamo.fit(&tasks);
+
+    // Train GML-FM once.
+    let mut gml = GmlFm::new(d.schema.total_dim(), &GmlFmConfig::dnn(16, 1));
+    fit_regression(&mut gml, &f.loo.train, None, &TrainConfig { epochs: 2, patience: 0, ..TrainConfig::default() });
+
+    let case = &f.loo.test[0];
+    let user = case.user as usize;
+    let support: Vec<(usize, f64)> =
+        f.loo.train_user_items[user].iter().map(|&i| (i as usize, 1.0)).collect();
+    let query_items: Vec<usize> = case.negatives.iter().map(|&i| i as usize).collect();
+    let instances: Vec<Instance> = case
+        .negatives
+        .iter()
+        .map(|&i| d.instance_masked(case.user, i, 0.0, &f.mask))
+        .collect();
+    let refs: Vec<&Instance> = instances.iter().collect();
+
+    let mut group = c.benchmark_group("fig4_coldstart");
+    group.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    group.bench_function("mamo_adapt_and_score", |b| {
+        b.iter(|| black_box(mamo.predict(&d.user_attrs[user], &support, &query_items)))
+    });
+    group.bench_function("gmlfm_score", |b| {
+        b.iter(|| black_box(gml.scores(&refs)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

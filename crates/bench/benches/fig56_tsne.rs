@@ -1,0 +1,26 @@
+//! **Figures 5/6 regeneration bench**: exact t-SNE on case-study-sized
+//! point sets (the per-user positive/negative item embeddings).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmlfm_tensor::init::normal;
+use gmlfm_tensor::seeded_rng;
+use gmlfm_tsne::{tsne, TsneConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig56_tsne");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(2));
+    for n in [30usize, 60, 120] {
+        let mut rng = seeded_rng(n as u64);
+        let data = normal(&mut rng, n, 16, 0.0, 1.0);
+        let cfg = TsneConfig { iterations: 150, ..TsneConfig::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(tsne(&data, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Substrate ablations called out in DESIGN.md: the autograd engine's
+//! per-batch overhead vs the hand-derived FM path, and the core matmul /
+//! gather kernels everything is built from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gmlfm_autograd::{Graph, ParamSet};
+use gmlfm_bench::fixture;
+use gmlfm_data::{DatasetSpec, Instance};
+use gmlfm_models::{fm::FmConfig, FactorizationMachine};
+use gmlfm_tensor::init::normal;
+use gmlfm_tensor::seeded_rng;
+use gmlfm_train::Scorer;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/kernels");
+    group.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    let mut rng = seeded_rng(1);
+    for k in [16usize, 64] {
+        let a = normal(&mut rng, 256, k, 0.0, 1.0);
+        let w = normal(&mut rng, k, k, 0.0, 1.0);
+        group.throughput(Throughput::Elements((256 * k * k) as u64));
+        group.bench_with_input(BenchmarkId::new("matmul_256xk_kxk", k), &k, |b, _| {
+            b.iter(|| black_box(a.matmul(&w)))
+        });
+        let table = normal(&mut rng, 5000, k, 0.0, 1.0);
+        let idx: Vec<usize> = (0..256).map(|i| (i * 19) % 5000).collect();
+        group.bench_with_input(BenchmarkId::new("gather_256_rows", k), &k, |b, _| {
+            b.iter(|| black_box(table.gather_rows(&idx)))
+        });
+    }
+    group.finish();
+}
+
+/// Autograd tape overhead: forward+backward of a 2-layer MLP batch vs the
+/// raw forward math.
+fn bench_autograd_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/autograd");
+    group.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    let k = 16;
+    let mut rng = seeded_rng(2);
+    let mut params = ParamSet::new();
+    let w1 = params.add("w1", normal(&mut rng, k, k, 0.0, 0.3));
+    let b1 = params.add("b1", normal(&mut rng, 1, k, 0.0, 0.1));
+    let w2 = params.add("w2", normal(&mut rng, k, 1, 0.0, 0.3));
+    let x = normal(&mut rng, 256, k, 0.0, 1.0);
+    let t = normal(&mut rng, 256, 1, 0.0, 1.0);
+
+    group.bench_function("mlp_forward_backward_b256", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let xv = g.constant(x.clone());
+            let tv = g.constant(t.clone());
+            let w1v = g.param(&params, w1);
+            let b1v = g.param(&params, b1);
+            let w2v = g.param(&params, w2);
+            let h = g.matmul(xv, w1v);
+            let h = g.add_row_broadcast(h, b1v);
+            let h = g.tanh(h);
+            let pred = g.matmul(h, w2v);
+            let loss = g.mse(pred, tv);
+            black_box(g.backward(loss))
+        })
+    });
+    group.bench_function("mlp_forward_only_raw", |b| {
+        b.iter(|| {
+            let mut h = x.matmul(params.get(w1));
+            for r in 0..h.rows() {
+                for (hv, bv) in h.row_mut(r).iter_mut().zip(params.get(b1).row(0)) {
+                    *hv = (*hv + bv).tanh();
+                }
+            }
+            black_box(h.matmul(params.get(w2)))
+        })
+    });
+    group.finish();
+}
+
+/// Hand-derived FM SGD epoch vs autograd-based scoring on the same data:
+/// the ablation justifying the dual implementation strategy.
+fn bench_fm_paths(c: &mut Criterion) {
+    let f = fixture(DatasetSpec::AmazonAuto);
+    let n = f.dataset.schema.total_dim();
+    let mut group = c.benchmark_group("substrate/fm_paths");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    group.bench_function("fm_sgd_epoch_hand_derived", |b| {
+        b.iter(|| {
+            let mut m = FactorizationMachine::new(n, FmConfig { epochs: 1, ..FmConfig::default() });
+            black_box(m.fit(&f.rating.train))
+        })
+    });
+    let m = {
+        let mut m = FactorizationMachine::new(n, FmConfig { epochs: 1, ..FmConfig::default() });
+        m.fit(&f.rating.train);
+        m
+    };
+    let refs: Vec<&Instance> = f.rating.test.iter().collect();
+    group.bench_function("fm_predict_test_set", |b| {
+        b.iter(|| black_box(m.scores(&refs)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_autograd_overhead, bench_fm_paths);
+criterion_main!(benches);

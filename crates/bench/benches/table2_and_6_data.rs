@@ -1,0 +1,47 @@
+//! **Table 2 and Table 6 regeneration benches**: cost of generating each
+//! calibrated dataset (Table 2) and of building attribute-masked
+//! instances for the subset study (Table 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmlfm_bench::BENCH_SCALE;
+use gmlfm_data::{generate, DatasetSpec, FieldKind, FieldMask};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_datagen");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    for spec in DatasetSpec::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(spec.name()), &spec, |b, spec| {
+            b.iter(|| black_box(generate(&spec.config(2023).scaled(BENCH_SCALE))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_masked_instances(c: &mut Criterion) {
+    let dataset = generate(&DatasetSpec::MercariTicket.config(2023).scaled(BENCH_SCALE));
+    let base = FieldMask::base(&dataset.schema);
+    let masks = [
+        ("base", base.clone()),
+        ("base+cty", base.with_kind(&dataset.schema, FieldKind::Category)),
+        ("base+all", FieldMask::all(&dataset.schema)),
+    ];
+    let mut group = c.benchmark_group("table6_attributes");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    for (name, mask) in masks {
+        group.bench_with_input(BenchmarkId::new("build_instances", name), &mask, |b, mask| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for it in &dataset.interactions {
+                    acc += black_box(dataset.instance_masked(it.user, it.item, 1.0, mask)).n_fields();
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_masked_instances);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! **Table 4 regeneration bench**: train + leave-one-out ranking cost of
+//! the top-n model families (BPR-MF pairwise SGD, NGCF propagation, NCF,
+//! GML-FM) on the Amazon-Auto fixture.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gmlfm_bench::fixture;
+use gmlfm_core::{GmlFm, GmlFmConfig};
+use gmlfm_data::DatasetSpec;
+use gmlfm_eval::evaluate_topn;
+use gmlfm_models::{mf::MfConfig, ncf::NcfConfig, BprMf, Ncf, Ngcf, PairCodec};
+use gmlfm_train::{fit_regression, TrainConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let f = fixture(DatasetSpec::AmazonAuto);
+    let n = f.dataset.schema.total_dim();
+    let codec = PairCodec::from_schema(&f.dataset.schema);
+    let tc = TrainConfig { epochs: 2, patience: 0, ..TrainConfig::default() };
+
+    let mut group = c.benchmark_group("table4_topn");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(2));
+
+    group.bench_function("bpr_mf", |b| {
+        b.iter(|| {
+            let mut m = BprMf::new(codec, MfConfig { epochs: 4, ..MfConfig::default() });
+            m.fit(&f.loo.train_pairs, &f.loo.train_user_items);
+            black_box(evaluate_topn(&m, &f.dataset, &f.mask, &f.loo.test, 10))
+        })
+    });
+    group.bench_function("ngcf", |b| {
+        b.iter(|| {
+            let mut m = Ngcf::new(codec, MfConfig { epochs: 4, ..MfConfig::default() });
+            m.fit(&f.loo.train_pairs, &f.loo.train_user_items);
+            black_box(evaluate_topn(&m, &f.dataset, &f.mask, &f.loo.test, 10))
+        })
+    });
+    group.bench_function("ncf", |b| {
+        b.iter(|| {
+            let mut m = Ncf::new(codec, &NcfConfig::default());
+            fit_regression(&mut m, &f.loo.train, None, &tc);
+            black_box(evaluate_topn(&m, &f.dataset, &f.mask, &f.loo.test, 10))
+        })
+    });
+    group.bench_function("gmlfm_dnn", |b| {
+        b.iter(|| {
+            let mut m = GmlFm::new(n, &GmlFmConfig::dnn(16, 1));
+            fit_regression(&mut m, &f.loo.train, None, &tc);
+            black_box(evaluate_topn(&m, &f.dataset, &f.mask, &f.loo.test, 10))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! **Table 5 regeneration bench**: per-variant training-epoch cost of the
+//! GML-FM ablations — transform family, DNN depth (0–3) and distance
+//! function — pinning the overheads the ablation table trades off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmlfm_bench::fixture;
+use gmlfm_core::{Distance, GmlFm, GmlFmConfig};
+use gmlfm_data::DatasetSpec;
+use gmlfm_train::{fit_regression, TrainConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let f = fixture(DatasetSpec::MercariTicket);
+    let n = f.dataset.schema.total_dim();
+    let tc = TrainConfig { epochs: 1, patience: 0, ..TrainConfig::default() };
+
+    let mut group = c.benchmark_group("table5_ablation");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+
+    let variants: Vec<(&str, GmlFmConfig)> = vec![
+        ("euclidean_plain", GmlFmConfig::euclidean_plain(16)),
+        ("mahalanobis", GmlFmConfig::mahalanobis(16)),
+        ("dnn_layers_1", GmlFmConfig::dnn(16, 1)),
+        ("dnn_layers_2", GmlFmConfig::dnn(16, 2)),
+        ("dnn_layers_3", GmlFmConfig::dnn(16, 3)),
+        ("manhattan", GmlFmConfig::dnn(16, 1).with_distance(Distance::Manhattan)),
+        ("chebyshev", GmlFmConfig::dnn(16, 1).with_distance(Distance::Chebyshev)),
+        ("cosine", GmlFmConfig::dnn(16, 1).with_distance(Distance::Cosine)),
+    ];
+    for (name, cfg) in variants {
+        group.bench_with_input(BenchmarkId::new("train_epoch", name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut m = GmlFm::new(n, cfg);
+                black_box(fit_regression(&mut m, &f.rating.train, None, &tc))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Shared fixtures for the Criterion benches: tiny, seeded datasets and
+//! pre-built splits so each bench measures model work, not setup.
+
+use gmlfm_data::{generate, loo_split, rating_split, Dataset, DatasetSpec, FieldMask, LooSplit, RatingSplit};
+
+/// Scale used by all benches: big enough to exercise real code paths,
+/// small enough that `cargo bench --workspace` stays in minutes.
+pub const BENCH_SCALE: f64 = 0.15;
+
+/// A dataset plus both protocol splits, ready for training benches.
+pub struct Fixture {
+    /// The generated dataset.
+    pub dataset: Dataset,
+    /// All-fields mask.
+    pub mask: FieldMask,
+    /// Rating-prediction split.
+    pub rating: RatingSplit,
+    /// Leave-one-out split (20 candidates to keep eval fast).
+    pub loo: LooSplit,
+}
+
+/// Builds the standard bench fixture for a dataset spec.
+pub fn fixture(spec: DatasetSpec) -> Fixture {
+    let dataset = generate(&spec.config(2023).scaled(BENCH_SCALE));
+    let mask = FieldMask::all(&dataset.schema);
+    let rating = rating_split(&dataset, &mask, 2, 7);
+    let loo = loo_split(&dataset, &mask, 2, 20, 8);
+    Fixture { dataset, mask, rating, loo }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_small_but_nonempty() {
+        let f = fixture(DatasetSpec::AmazonAuto);
+        assert!(!f.rating.train.is_empty());
+        assert!(!f.loo.test.is_empty());
+        assert!(f.rating.train.len() < 2500, "bench fixture should stay small");
+    }
+}

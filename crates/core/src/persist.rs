@@ -1,0 +1,321 @@
+//! Saving and loading trained GML-FM models.
+//!
+//! A snapshot records the model configuration plus every parameter matrix
+//! in registration order. Loading re-runs [`GmlFm::new`] with the stored
+//! configuration (which recreates the identical parameter layout) and
+//! then overwrites the freshly initialised values — so a loaded model is
+//! bit-identical to the saved one, and layout mismatches are detected
+//! rather than silently mis-assigned.
+
+use crate::distance::Distance;
+use crate::model::{GmlFm, GmlFmConfig, TransformKind};
+use gmlfm_tensor::Matrix;
+use gmlfm_train::GraphModel;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Errors from snapshot loading.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed JSON.
+    Json(serde_json::Error),
+    /// The snapshot's parameters do not match the configuration's layout.
+    LayoutMismatch(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            PersistError::Json(e) => write!(f, "snapshot parse error: {e}"),
+            PersistError::LayoutMismatch(msg) => write!(f, "snapshot layout mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Json(e)
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct MatrixRepr {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct ConfigRepr {
+    k: usize,
+    transform: String,
+    dnn_layers: usize,
+    distance: String,
+    use_weight: bool,
+    dropout: f64,
+    init_std: f64,
+    seed: u64,
+}
+
+/// A serialisable snapshot of a (possibly trained) GML-FM model.
+#[derive(Serialize, Deserialize)]
+pub struct GmlFmSnapshot {
+    /// Snapshot format version, for forward compatibility.
+    pub version: u32,
+    n_features: usize,
+    config: ConfigRepr,
+    params: Vec<(String, MatrixRepr)>,
+}
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+fn encode_config(cfg: &GmlFmConfig) -> ConfigRepr {
+    let (transform, dnn_layers) = match cfg.transform {
+        TransformKind::Identity => ("identity".to_string(), 0),
+        TransformKind::Mahalanobis => ("mahalanobis".to_string(), 0),
+        TransformKind::Dnn(l) => ("dnn".to_string(), l),
+    };
+    ConfigRepr {
+        k: cfg.k,
+        transform,
+        dnn_layers,
+        distance: cfg.distance.name().to_string(),
+        use_weight: cfg.use_weight,
+        dropout: cfg.dropout,
+        init_std: cfg.init_std,
+        seed: cfg.seed,
+    }
+}
+
+fn decode_config(repr: &ConfigRepr) -> Result<GmlFmConfig, PersistError> {
+    let transform = match repr.transform.as_str() {
+        "identity" => TransformKind::Identity,
+        "mahalanobis" => TransformKind::Mahalanobis,
+        "dnn" => TransformKind::Dnn(repr.dnn_layers),
+        other => return Err(PersistError::LayoutMismatch(format!("unknown transform '{other}'"))),
+    };
+    let distance = match repr.distance.as_str() {
+        "Euclidean" => Distance::SquaredEuclidean,
+        "Manhattan" => Distance::Manhattan,
+        "Chebyshev" => Distance::Chebyshev,
+        "Cosine" => Distance::Cosine,
+        other => return Err(PersistError::LayoutMismatch(format!("unknown distance '{other}'"))),
+    };
+    Ok(GmlFmConfig {
+        k: repr.k,
+        transform,
+        distance,
+        use_weight: repr.use_weight,
+        dropout: repr.dropout,
+        init_std: repr.init_std,
+        seed: repr.seed,
+    })
+}
+
+impl GmlFm {
+    /// Captures the model (configuration + all parameters) into a
+    /// serialisable snapshot.
+    pub fn snapshot(&self) -> GmlFmSnapshot {
+        let params = self
+            .params()
+            .iter()
+            .map(|(id, m)| {
+                (
+                    self.params().name(id).to_string(),
+                    MatrixRepr { rows: m.rows(), cols: m.cols(), data: m.as_slice().to_vec() },
+                )
+            })
+            .collect();
+        GmlFmSnapshot {
+            version: SNAPSHOT_VERSION,
+            n_features: self.n_features(),
+            config: encode_config(self.config()),
+            params,
+        }
+    }
+
+    /// Reconstructs a model from a snapshot. The parameter layout is
+    /// validated entry by entry.
+    pub fn from_snapshot(snapshot: &GmlFmSnapshot) -> Result<Self, PersistError> {
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(PersistError::LayoutMismatch(format!(
+                "snapshot version {} (supported: {SNAPSHOT_VERSION})",
+                snapshot.version
+            )));
+        }
+        let cfg = decode_config(&snapshot.config)?;
+        let mut model = GmlFm::new(snapshot.n_features, &cfg);
+        let expected = model.params().len();
+        if snapshot.params.len() != expected {
+            return Err(PersistError::LayoutMismatch(format!(
+                "{} stored parameters but the configuration defines {expected}",
+                snapshot.params.len()
+            )));
+        }
+        let ids: Vec<_> = model.params().iter().map(|(id, _)| id).collect();
+        for (id, (name, repr)) in ids.into_iter().zip(&snapshot.params) {
+            let current = model.params().get(id);
+            if model.params().name(id) != name
+                || current.rows() != repr.rows
+                || current.cols() != repr.cols
+                || repr.data.len() != repr.rows * repr.cols
+            {
+                return Err(PersistError::LayoutMismatch(format!(
+                    "parameter '{name}' ({}x{}) does not fit slot '{}' ({}x{})",
+                    repr.rows,
+                    repr.cols,
+                    model.params().name(id),
+                    current.rows(),
+                    current.cols()
+                )));
+            }
+            *model.params_mut().get_mut(id) = Matrix::from_vec(repr.rows, repr.cols, repr.data.clone());
+        }
+        Ok(model)
+    }
+
+    /// Saves the model as JSON.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let json = serde_json::to_string(&self.snapshot())?;
+        if let Some(parent) = path.as_ref().parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Loads a model saved by [`GmlFm::save_json`].
+    pub fn load_json(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let json = fs::read_to_string(path)?;
+        let snapshot: GmlFmSnapshot = serde_json::from_str(&json)?;
+        Self::from_snapshot(&snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmlfm_data::Instance;
+    use gmlfm_train::Scorer;
+
+    fn trained_like_model() -> GmlFm {
+        let mut model = GmlFm::new(30, &GmlFmConfig::dnn(8, 2).with_seed(5));
+        // Perturb parameters so the snapshot is not just the init.
+        let ids: Vec<_> = model.params().iter().map(|(id, _)| id).collect();
+        for (i, id) in ids.into_iter().enumerate() {
+            model
+                .params_mut()
+                .get_mut(id)
+                .map_inplace(|x| x + 0.01 * (i as f64 + 1.0));
+        }
+        model
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_predictions() {
+        let model = trained_like_model();
+        let restored = GmlFm::from_snapshot(&model.snapshot()).expect("round trip");
+        let inst = Instance::new(vec![2, 11, 27], 1.0);
+        assert_eq!(
+            model.scores(&[&inst])[0].to_bits(),
+            restored.scores(&[&inst])[0].to_bits(),
+            "loaded model must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn json_round_trip_on_disk() {
+        let model = trained_like_model();
+        let dir = std::env::temp_dir().join("gmlfm_persist_test");
+        let path = dir.join("model.json");
+        model.save_json(&path).expect("save");
+        let restored = GmlFm::load_json(&path).expect("load");
+        let inst = Instance::new(vec![0, 15, 29], 1.0);
+        assert_eq!(model.scores(&[&inst])[0].to_bits(), restored.scores(&[&inst])[0].to_bits());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn every_config_variant_round_trips() {
+        let variants = [
+            GmlFmConfig::euclidean_plain(4),
+            GmlFmConfig::mahalanobis(4),
+            GmlFmConfig::dnn(4, 0),
+            GmlFmConfig::dnn(4, 3),
+            GmlFmConfig::dnn(4, 1).with_distance(Distance::Manhattan),
+            GmlFmConfig::dnn(4, 1).with_distance(Distance::Chebyshev),
+            GmlFmConfig::dnn(4, 1).with_distance(Distance::Cosine),
+            GmlFmConfig::mahalanobis(4).without_weight(),
+        ];
+        for cfg in variants {
+            let model = GmlFm::new(12, &cfg);
+            let restored = GmlFm::from_snapshot(&model.snapshot()).expect("round trip");
+            let inst = Instance::new(vec![1, 7], 1.0);
+            assert_eq!(model.scores(&[&inst])[0].to_bits(), restored.scores(&[&inst])[0].to_bits());
+        }
+    }
+
+    #[test]
+    fn trained_model_round_trips_bit_exactly_through_json() {
+        // Regression test: serde_json's default float parser loses the
+        // last ULP (fixed via the `float_roundtrip` feature), which only
+        // shows up on genuinely trained weights.
+        use gmlfm_data::{generate, rating_split, DatasetSpec, FieldMask};
+        use gmlfm_train::{fit_regression, TrainConfig};
+        let dataset = generate(&DatasetSpec::AmazonAuto.config(3).scaled(0.15));
+        let mask = FieldMask::all(&dataset.schema);
+        let split = rating_split(&dataset, &mask, 2, 4);
+        let mut model = GmlFm::new(dataset.schema.total_dim(), &GmlFmConfig::dnn(8, 1));
+        fit_regression(&mut model, &split.train, None, &TrainConfig { epochs: 2, ..TrainConfig::default() });
+
+        let json = serde_json::to_string(&model.snapshot()).unwrap();
+        let snap: GmlFmSnapshot = serde_json::from_str(&json).unwrap();
+        let restored = GmlFm::from_snapshot(&snap).unwrap();
+        for ((id, a), (_, b)) in model.params().iter().zip(restored.params().iter()) {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "parameter '{}' drifted through JSON",
+                    model.params().name(id)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_layout_is_rejected() {
+        let model = trained_like_model();
+        let mut snap = model.snapshot();
+        snap.params.pop();
+        assert!(matches!(GmlFm::from_snapshot(&snap), Err(PersistError::LayoutMismatch(_))));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let model = trained_like_model();
+        let mut snap = model.snapshot();
+        snap.version = 99;
+        assert!(matches!(GmlFm::from_snapshot(&snap), Err(PersistError::LayoutMismatch(_))));
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = GmlFm::load_json("/nonexistent/path/model.json").unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+}

@@ -1,0 +1,145 @@
+//! Popularity and negative sampling.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Samples item indices from a Zipf distribution, matching the long-tailed
+/// item popularity of the paper's e-commerce datasets (most Mercari items
+/// are purchased once).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` items with exponent `s` (`s ≈ 1` is the
+    /// classic Zipf law; larger `s` concentrates more mass on the head).
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "ZipfSampler: need at least one item");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(s);
+            cdf.push(acc);
+        }
+        let z = acc;
+        for v in &mut cdf {
+            *v /= z;
+        }
+        Self { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the sampler covers no items (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank in `0..n` (0 = most popular).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability of rank `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+/// Uniform negative sampler over the items a user has *not* interacted
+/// with — the paper pairs each positive with 2 sampled negatives for
+/// training and 99 for top-n evaluation.
+#[derive(Debug)]
+pub struct NegativeSampler {
+    n_items: usize,
+}
+
+impl NegativeSampler {
+    /// Creates a sampler over `n_items` items.
+    pub fn new(n_items: usize) -> Self {
+        assert!(n_items > 1, "NegativeSampler: need at least two items");
+        Self { n_items }
+    }
+
+    /// Draws `count` distinct items not present in `interacted`.
+    ///
+    /// # Panics
+    /// Panics when fewer than `count` non-interacted items exist.
+    pub fn sample(&self, rng: &mut StdRng, interacted: &HashSet<u32>, count: usize) -> Vec<u32> {
+        let available = self.n_items - interacted.len();
+        assert!(
+            available >= count,
+            "NegativeSampler: requested {count} negatives but only {available} items are free"
+        );
+        let mut out = Vec::with_capacity(count);
+        let mut seen: HashSet<u32> = HashSet::with_capacity(count);
+        while out.len() < count {
+            let cand = rng.gen_range(0..self.n_items) as u32;
+            if !interacted.contains(&cand) && seen.insert(cand) {
+                out.push(cand);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmlfm_tensor::seeded_rng;
+
+    #[test]
+    fn zipf_is_monotone_decreasing_in_rank() {
+        let z = ZipfSampler::new(100, 1.1);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(50));
+        let total: f64 = (0..100).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_samples_follow_head_heavy_distribution() {
+        let z = ZipfSampler::new(50, 1.2);
+        let mut rng = seeded_rng(5);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[49] * 5);
+    }
+
+    #[test]
+    fn negative_sampler_avoids_interacted_items() {
+        let ns = NegativeSampler::new(100);
+        let mut rng = seeded_rng(6);
+        let interacted: HashSet<u32> = (0..50).collect();
+        let negs = ns.sample(&mut rng, &interacted, 30);
+        assert_eq!(negs.len(), 30);
+        let distinct: HashSet<_> = negs.iter().collect();
+        assert_eq!(distinct.len(), 30);
+        assert!(negs.iter().all(|n| !interacted.contains(n)));
+    }
+
+    #[test]
+    #[should_panic(expected = "NegativeSampler")]
+    fn negative_sampler_rejects_impossible_requests() {
+        let ns = NegativeSampler::new(10);
+        let mut rng = seeded_rng(7);
+        let interacted: HashSet<u32> = (0..9).collect();
+        let _ = ns.sample(&mut rng, &interacted, 5);
+    }
+}

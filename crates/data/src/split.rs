@@ -1,0 +1,203 @@
+//! Train/validation/test protocols from Section 4.3 of the paper.
+
+use crate::dataset::Dataset;
+use crate::instance::Instance;
+use crate::sampling::NegativeSampler;
+use crate::schema::FieldMask;
+use gmlfm_tensor::seeded_rng;
+use rand::seq::SliceRandom;
+use std::collections::HashSet;
+
+/// Rating-prediction split (Section 4.3.1): positives labelled `+1`, two
+/// sampled negatives per positive labelled `-1`, shuffled and split
+/// 70% / 20% / 10%.
+#[derive(Debug, Clone)]
+pub struct RatingSplit {
+    /// 70% training instances.
+    pub train: Vec<Instance>,
+    /// 20% validation instances (hyper-parameter tuning).
+    pub val: Vec<Instance>,
+    /// 10% test instances (reported numbers).
+    pub test: Vec<Instance>,
+}
+
+/// Builds the rating-prediction split.
+///
+/// `neg_per_pos` is 2 in the paper. The split is deterministic in `seed`
+/// and independent of the model under evaluation, mirroring the paper's
+/// "same positive and negative instances for all models".
+pub fn rating_split(dataset: &Dataset, mask: &FieldMask, neg_per_pos: usize, seed: u64) -> RatingSplit {
+    let mut rng = seeded_rng(seed);
+    let user_items = dataset.user_item_sets();
+    let sampler = NegativeSampler::new(dataset.n_items);
+
+    let mut instances = Vec::with_capacity(dataset.interactions.len() * (1 + neg_per_pos));
+    for it in &dataset.interactions {
+        instances.push(dataset.instance_masked(it.user, it.item, 1.0, mask));
+        for neg in sampler.sample(&mut rng, &user_items[it.user as usize], neg_per_pos) {
+            instances.push(dataset.instance_masked(it.user, neg, -1.0, mask));
+        }
+    }
+    instances.shuffle(&mut rng);
+
+    let n = instances.len();
+    let train_end = (n as f64 * 0.7).round() as usize;
+    let val_end = (n as f64 * 0.9).round() as usize;
+    let mut iter = instances.into_iter();
+    let train: Vec<_> = iter.by_ref().take(train_end).collect();
+    let val: Vec<_> = iter.by_ref().take(val_end - train_end).collect();
+    let test: Vec<_> = iter.collect();
+    RatingSplit { train, val, test }
+}
+
+/// One leave-one-out test case: rank the held-out positive item against 99
+/// sampled negatives and truncate at 10 (Section 4.3.2).
+#[derive(Debug, Clone)]
+pub struct LooTestCase {
+    /// The evaluated user.
+    pub user: u32,
+    /// The user's latest (held-out) interaction.
+    pub pos_item: u32,
+    /// Sampled non-interacted candidate items.
+    pub negatives: Vec<u32>,
+}
+
+/// Leave-one-out split for top-n recommendation.
+#[derive(Debug, Clone)]
+pub struct LooSplit {
+    /// Training instances: remaining positives plus `neg_per_pos` sampled
+    /// negatives each (for FM-family point-wise models).
+    pub train: Vec<Instance>,
+    /// The positive `(user, item)` pairs in the training portion (for
+    /// MF-family models that sample their own negatives, e.g. BPR).
+    pub train_pairs: Vec<(u32, u32)>,
+    /// Items each user interacts with in the *training* portion.
+    pub train_user_items: Vec<HashSet<u32>>,
+    /// One ranking case per user with at least two interactions.
+    pub test: Vec<LooTestCase>,
+}
+
+/// Builds the leave-one-out split: each user's latest interaction is held
+/// out for testing; `n_candidates` (99 in the paper) negatives are drawn
+/// per test case; training positives are paired with `neg_per_pos`
+/// negatives.
+pub fn loo_split(
+    dataset: &Dataset,
+    mask: &FieldMask,
+    neg_per_pos: usize,
+    n_candidates: usize,
+    seed: u64,
+) -> LooSplit {
+    let mut rng = seeded_rng(seed);
+    let all_user_items = dataset.user_item_sets();
+    let sampler = NegativeSampler::new(dataset.n_items);
+
+    // Latest interaction per user.
+    let mut latest: Vec<Option<(u32, u32)>> = vec![None; dataset.n_users]; // (ts, item)
+    let mut counts = vec![0usize; dataset.n_users];
+    for it in &dataset.interactions {
+        counts[it.user as usize] += 1;
+        let slot = &mut latest[it.user as usize];
+        if slot.is_none_or(|(ts, _)| it.ts > ts) {
+            *slot = Some((it.ts, it.item));
+        }
+    }
+
+    let mut train = Vec::new();
+    let mut train_pairs = Vec::new();
+    let mut train_user_items = vec![HashSet::new(); dataset.n_users];
+    for it in &dataset.interactions {
+        let u = it.user as usize;
+        let is_test = counts[u] >= 2 && latest[u].is_some_and(|(ts, item)| ts == it.ts && item == it.item);
+        if is_test {
+            continue;
+        }
+        train.push(dataset.instance_masked(it.user, it.item, 1.0, mask));
+        train_pairs.push((it.user, it.item));
+        train_user_items[u].insert(it.item);
+        for neg in sampler.sample(&mut rng, &all_user_items[u], neg_per_pos) {
+            train.push(dataset.instance_masked(it.user, neg, -1.0, mask));
+        }
+    }
+    train.shuffle(&mut rng);
+
+    let mut test = Vec::new();
+    for user in 0..dataset.n_users {
+        if counts[user] < 2 {
+            continue;
+        }
+        let (_, pos_item) = latest[user].expect("user with >=2 interactions has a latest");
+        // Small-scale datasets may not have `n_candidates` free items for
+        // heavy users; clamp to what exists (the paper's full-size datasets
+        // always have enough).
+        let available = dataset.n_items - all_user_items[user].len();
+        let negatives = sampler.sample(&mut rng, &all_user_items[user], n_candidates.min(available));
+        test.push(LooTestCase { user: user as u32, pos_item, negatives });
+    }
+
+    LooSplit { train, train_pairs, train_user_items, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, DatasetSpec};
+
+    fn dataset() -> Dataset {
+        generate(&DatasetSpec::AmazonAuto.config(11).scaled(0.3))
+    }
+
+    #[test]
+    fn rating_split_proportions_and_labels() {
+        let d = dataset();
+        let mask = FieldMask::all(&d.schema);
+        let s = rating_split(&d, &mask, 2, 1);
+        let total = s.train.len() + s.val.len() + s.test.len();
+        assert_eq!(total, d.interactions.len() * 3);
+        let frac_train = s.train.len() as f64 / total as f64;
+        assert!((frac_train - 0.7).abs() < 0.01, "train fraction {frac_train}");
+        let pos = s.train.iter().filter(|i| i.label > 0.0).count();
+        let neg = s.train.iter().filter(|i| i.label < 0.0).count();
+        // Ratio of negatives to positives should be close to 2:1.
+        let ratio = neg as f64 / pos as f64;
+        assert!((ratio - 2.0).abs() < 0.3, "neg/pos ratio {ratio}");
+    }
+
+    #[test]
+    fn rating_split_is_deterministic() {
+        let d = dataset();
+        let mask = FieldMask::all(&d.schema);
+        let a = rating_split(&d, &mask, 2, 9);
+        let b = rating_split(&d, &mask, 2, 9);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn loo_holds_out_exactly_one_positive_per_eligible_user() {
+        let d = dataset();
+        let mask = FieldMask::all(&d.schema);
+        let s = loo_split(&d, &mask, 2, 99, 2);
+        let eligible = d.user_counts().iter().filter(|&&c| c >= 2).count();
+        assert_eq!(s.test.len(), eligible);
+        for case in &s.test {
+            assert_eq!(case.negatives.len(), 99);
+            // Held-out item is not in the user's training set.
+            assert!(!s.train_user_items[case.user as usize].contains(&case.pos_item));
+            // Negatives were never interacted with by this user at all.
+            for n in &case.negatives {
+                assert!(!s.train_user_items[case.user as usize].contains(n));
+                assert_ne!(*n, case.pos_item);
+            }
+        }
+    }
+
+    #[test]
+    fn loo_train_contains_all_but_held_out_positives() {
+        let d = dataset();
+        let mask = FieldMask::all(&d.schema);
+        let s = loo_split(&d, &mask, 2, 50, 3);
+        let held_out = s.test.len();
+        assert_eq!(s.train_pairs.len(), d.interactions.len() - held_out);
+    }
+}

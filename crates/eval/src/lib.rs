@@ -1,0 +1,22 @@
+//! # gmlfm-eval
+//!
+//! Evaluation protocols and metrics from Section 4.3 of the paper:
+//!
+//! * **Rating prediction** — RMSE (and MAE) over the held-out 10% test
+//!   instances ([`evaluate_rating`]).
+//! * **Top-n recommendation** — leave-one-out HR@10 and NDCG@10 over 99
+//!   sampled negatives per user ([`evaluate_topn`]).
+//! * **Significance** — Welch's two-sided t-test ([`stats::welch_t_test`]),
+//!   used for the †/∗ markers in Tables 3 and 4.
+//! * **Reporting** — markdown/CSV table builders shared by the `repro`
+//!   binary and EXPERIMENTS.md ([`table`]).
+
+pub mod metrics;
+pub mod protocol;
+pub mod stats;
+pub mod table;
+
+pub use metrics::{auc, hit_ratio_at, mae, ndcg_at, reciprocal_rank, rmse};
+pub use protocol::{evaluate_rating, evaluate_topn, RatingMetrics, TopnMetrics};
+pub use stats::{welch_t_test, TTestResult};
+pub use table::Table;

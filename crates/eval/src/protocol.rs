@@ -1,0 +1,171 @@
+//! End-to-end evaluation protocols over a trained [`Scorer`].
+
+use crate::metrics::{hit_ratio_at, mae, ndcg_at, rmse};
+use gmlfm_data::{Dataset, FieldMask, Instance, LooTestCase};
+use gmlfm_train::Scorer;
+
+/// Rating-prediction results (Table 3 reports RMSE).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatingMetrics {
+    /// Root mean squared error.
+    pub rmse: f64,
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Per-instance squared errors are not retained; this is the count.
+    pub n: usize,
+}
+
+/// Evaluates a scorer on held-out rating instances.
+pub fn evaluate_rating<S: Scorer + ?Sized>(scorer: &S, test: &[Instance]) -> RatingMetrics {
+    assert!(!test.is_empty(), "evaluate_rating: empty test set");
+    let refs: Vec<&Instance> = test.iter().collect();
+    let preds = scorer.scores(&refs);
+    let targets: Vec<f64> = test.iter().map(|i| i.label).collect();
+    RatingMetrics { rmse: rmse(&preds, &targets), mae: mae(&preds, &targets), n: test.len() }
+}
+
+/// Top-n results (Table 4 reports HR@10 and NDCG@10).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopnMetrics {
+    /// Mean Hit Ratio@k across users.
+    pub hr: f64,
+    /// Mean NDCG@k across users.
+    pub ndcg: f64,
+    /// Per-user HR values (for significance tests).
+    pub per_user_hr: Vec<f64>,
+    /// Per-user NDCG values (for significance tests).
+    pub per_user_ndcg: Vec<f64>,
+}
+
+/// Leave-one-out evaluation: for each test case, scores the positive item
+/// against its sampled negatives and truncates the ranking at `k`
+/// (k = 10 in the paper).
+pub fn evaluate_topn<S: Scorer + ?Sized>(
+    scorer: &S,
+    dataset: &Dataset,
+    mask: &FieldMask,
+    cases: &[LooTestCase],
+    k: usize,
+) -> TopnMetrics {
+    assert!(!cases.is_empty(), "evaluate_topn: no test cases");
+    let mut per_user_hr = Vec::with_capacity(cases.len());
+    let mut per_user_ndcg = Vec::with_capacity(cases.len());
+    let mut candidates: Vec<Instance> = Vec::new();
+    for case in cases {
+        candidates.clear();
+        candidates.push(dataset.instance_masked(case.user, case.pos_item, 1.0, mask));
+        for &neg in &case.negatives {
+            candidates.push(dataset.instance_masked(case.user, neg, 0.0, mask));
+        }
+        let refs: Vec<&Instance> = candidates.iter().collect();
+        let scores = scorer.scores(&refs);
+        per_user_hr.push(hit_ratio_at(&scores, k));
+        per_user_ndcg.push(ndcg_at(&scores, k));
+    }
+    let hr = per_user_hr.iter().sum::<f64>() / per_user_hr.len() as f64;
+    let ndcg = per_user_ndcg.iter().sum::<f64>() / per_user_ndcg.len() as f64;
+    TopnMetrics { hr, ndcg, per_user_hr, per_user_ndcg }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmlfm_data::{generate, loo_split, DatasetSpec};
+
+    /// A scorer that knows the ground truth: scores the held-out positive
+    /// item of each user highest.
+    struct Oracle {
+        item_offset: usize,
+        favourite: Vec<u32>,
+    }
+
+    impl Scorer for Oracle {
+        fn scores(&self, instances: &[&Instance]) -> Vec<f64> {
+            instances
+                .iter()
+                .map(|inst| {
+                    let user = inst.feats[0] as usize;
+                    let item = inst.feats[1] as usize - self.item_offset;
+                    if self.favourite[user] == item as u32 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        }
+    }
+
+    struct Antioracle(Oracle);
+    impl Scorer for Antioracle {
+        fn scores(&self, instances: &[&Instance]) -> Vec<f64> {
+            self.0.scores(instances).into_iter().map(|s| -s).collect()
+        }
+    }
+
+    #[test]
+    fn oracle_achieves_perfect_topn_and_antioracle_zero() {
+        let d = generate(&DatasetSpec::AmazonAuto.config(131).scaled(0.2));
+        let mask = FieldMask::all(&d.schema);
+        let split = loo_split(&d, &mask, 2, 30, 3);
+        let mut favourite = vec![u32::MAX; d.n_users];
+        for case in &split.test {
+            favourite[case.user as usize] = case.pos_item;
+        }
+        let oracle = Oracle { item_offset: d.schema.offset(1), favourite };
+        let m = evaluate_topn(&oracle, &d, &mask, &split.test, 10);
+        assert_eq!(m.hr, 1.0);
+        assert_eq!(m.ndcg, 1.0);
+
+        let anti = Antioracle(oracle);
+        let m = evaluate_topn(&anti, &d, &mask, &split.test, 10);
+        assert_eq!(m.hr, 0.0);
+        assert_eq!(m.ndcg, 0.0);
+    }
+
+    #[test]
+    fn rating_metrics_for_constant_scorer() {
+        struct Zero;
+        impl Scorer for Zero {
+            fn scores(&self, instances: &[&Instance]) -> Vec<f64> {
+                vec![0.0; instances.len()]
+            }
+        }
+        let test = vec![Instance::new(vec![0, 1], 1.0), Instance::new(vec![0, 2], -1.0)];
+        let m = evaluate_rating(&Zero, &test);
+        assert!((m.rmse - 1.0).abs() < 1e-12);
+        assert!((m.mae - 1.0).abs() < 1e-12);
+        assert_eq!(m.n, 2);
+    }
+
+    #[test]
+    fn per_user_vectors_align_with_cases() {
+        let d = generate(&DatasetSpec::AmazonAuto.config(133).scaled(0.2));
+        let mask = FieldMask::all(&d.schema);
+        let split = loo_split(&d, &mask, 2, 20, 5);
+        struct Rand;
+        impl Scorer for Rand {
+            fn scores(&self, instances: &[&Instance]) -> Vec<f64> {
+                instances
+                    .iter()
+                    .map(|i| {
+                        // Hash-mix user and item so the score is independent
+                        // of item popularity (head items are more often the
+                        // positives).
+                        let mix = (i.feats[0] as u64)
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            .wrapping_add((i.feats[1] as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+                        (mix >> 11) as f64 / (1u64 << 53) as f64
+                    })
+                    .collect()
+            }
+        }
+        let m = evaluate_topn(&Rand, &d, &mask, &split.test, 10);
+        assert_eq!(m.per_user_hr.len(), split.test.len());
+        assert_eq!(m.per_user_ndcg.len(), split.test.len());
+        // Random scorer ranking 1 positive among 20 negatives at k = 10:
+        // HR@10 ≈ 10/21 in expectation; allow wide slack.
+        assert!(m.hr > 0.2 && m.hr < 0.8, "random HR {0}", m.hr);
+        assert!(m.ndcg < m.hr, "NDCG discounts position, so it must not exceed HR");
+    }
+}

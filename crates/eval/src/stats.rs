@@ -1,0 +1,198 @@
+//! Welch's two-sided t-test, used for the significance markers of
+//! Tables 3 and 4 († for p < 0.01, ∗ for p < 0.05).
+
+use gmlfm_tensor::stats::{mean, variance};
+
+/// Result of a Welch t-test.
+#[derive(Debug, Clone, Copy)]
+pub struct TTestResult {
+    /// The t statistic.
+    pub t: f64,
+    /// Welch-Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+impl TTestResult {
+    /// Significance marker in the paper's notation: `"†"` for p < 0.01,
+    /// `"*"` for p < 0.05, empty otherwise.
+    pub fn marker(&self) -> &'static str {
+        if self.p_value < 0.01 {
+            "†"
+        } else if self.p_value < 0.05 {
+            "*"
+        } else {
+            ""
+        }
+    }
+}
+
+/// Welch's unequal-variance t-test between two samples.
+///
+/// Returns `None` when either sample has fewer than two observations or
+/// both variances are zero.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
+    if a.len() < 2 || b.len() < 2 {
+        return None;
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (variance(a), variance(b));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let se_sq = va / na + vb / nb;
+    if se_sq <= 0.0 {
+        return None;
+    }
+    let t = (ma - mb) / se_sq.sqrt();
+    let df = se_sq * se_sq / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
+    let p_value = 2.0 * student_t_sf(t.abs(), df);
+    Some(TTestResult { t, df, p_value })
+}
+
+/// Survival function `P(T > t)` of Student's t distribution with `df`
+/// degrees of freedom, via the regularised incomplete beta function.
+fn student_t_sf(t: f64, df: f64) -> f64 {
+    let x = df / (df + t * t);
+    0.5 * incomplete_beta(0.5 * df, 0.5, x)
+}
+
+/// Regularised incomplete beta `I_x(a, b)` (Numerical Recipes §6.4,
+/// continued-fraction evaluation).
+fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 200;
+    const EPS: f64 = 3e-14;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Lanczos approximation of `ln Γ(x)`.
+fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_9e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for c in COEFFS {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(5) = 24.
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-9);
+        // Γ(0.5) = sqrt(pi).
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_sf_matches_reference_values() {
+        // Reference: P(T > 2.0) with df=10 ≈ 0.036694.
+        assert!((student_t_sf(2.0, 10.0) - 0.036694).abs() < 1e-4);
+        // df=1 (Cauchy): P(T > 1) = 0.25.
+        assert!((student_t_sf(1.0, 1.0) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identical_samples_are_not_significant() {
+        let a = [0.5, 0.6, 0.4, 0.55, 0.45, 0.52];
+        let r = welch_t_test(&a, &a).expect("valid test");
+        assert!(r.p_value > 0.95, "p = {}", r.p_value);
+        assert_eq!(r.marker(), "");
+    }
+
+    #[test]
+    fn clearly_different_samples_are_significant() {
+        let a: Vec<f64> = (0..30).map(|i| 1.0 + 0.01 * i as f64).collect();
+        let b: Vec<f64> = (0..30).map(|i| 0.0 + 0.01 * i as f64).collect();
+        let r = welch_t_test(&a, &b).expect("valid test");
+        assert!(r.p_value < 0.01, "p = {}", r.p_value);
+        assert_eq!(r.marker(), "†");
+        assert!(r.t > 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(welch_t_test(&[1.0], &[1.0, 2.0]).is_none());
+        assert!(welch_t_test(&[1.0, 1.0], &[2.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn p_value_is_symmetric_in_sample_order() {
+        let a = [0.9, 0.85, 0.92, 0.88, 0.91];
+        let b = [0.70, 0.72, 0.69, 0.75, 0.71];
+        let r1 = welch_t_test(&a, &b).unwrap();
+        let r2 = welch_t_test(&b, &a).unwrap();
+        assert!((r1.p_value - r2.p_value).abs() < 1e-12);
+        assert!((r1.t + r2.t).abs() < 1e-12);
+    }
+}

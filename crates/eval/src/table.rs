@@ -1,0 +1,158 @@
+//! Result-table formatting: markdown for the terminal, CSV for
+//! artifacts under `results/`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple row-oriented table with a header.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column names.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "Table: row width {} != header width {}", row.len(), self.header.len());
+        self.rows.push(row);
+    }
+
+    /// Convenience: appends a row of displayable values.
+    pub fn push<T: std::fmt::Display>(&mut self, cells: &[T]) {
+        self.push_row(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders GitHub-flavoured markdown with aligned columns.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            out.push('|');
+            for (cell, w) in cells.iter().zip(&widths) {
+                let pad = w - cell.chars().count();
+                let _ = write!(out, " {}{} |", cell, " ".repeat(pad));
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        out.push('|');
+        for w in &widths {
+            let _ = write!(out, "{}|", "-".repeat(w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            let encoded: Vec<String> = cells
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') || c.contains('\n') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            out.push_str(&encoded.join(","));
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to a file, creating parent directories.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+/// Formats a metric to the paper's 4-decimal convention.
+pub fn fmt4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_has_header_separator_and_rows() {
+        let mut t = Table::new(&["model", "rmse"]);
+        t.push(&["FM", "0.9369"]);
+        t.push(&["GML-FM", "0.8822"]);
+        let md = t.to_markdown();
+        assert!(md.contains("| model"));
+        assert!(md.lines().nth(1).unwrap().starts_with("|--"));
+        assert_eq!(md.lines().count(), 4);
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new(&["a", "b"]);
+        t.push_row(vec!["x,y".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_are_rejected() {
+        let mut t = Table::new(&["a", "b"]);
+        t.push(&["only-one"]);
+    }
+
+    #[test]
+    fn fmt4_rounds() {
+        assert_eq!(fmt4(0.88216), "0.8822");
+        assert_eq!(fmt4(1.0), "1.0000");
+    }
+
+    #[test]
+    fn csv_round_trips_to_disk() {
+        let mut t = Table::new(&["x"]);
+        t.push(&["1"]);
+        let dir = std::env::temp_dir().join("gmlfm_table_test");
+        let path = dir.join("t.csv");
+        t.write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "x\n1\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

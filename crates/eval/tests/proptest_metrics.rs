@@ -1,0 +1,94 @@
+//! Property tests on the evaluation metrics: bounds, monotonicity and
+//! invariances the protocols rely on.
+
+use gmlfm_eval::{auc, hit_ratio_at, mae, ndcg_at, reciprocal_rank, rmse, welch_t_test};
+use proptest::prelude::*;
+
+fn scores() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-10.0f64..10.0, 2..40)
+}
+
+proptest! {
+    #[test]
+    fn hr_and_ndcg_are_bounded(s in scores(), k in 1usize..20) {
+        let hr = hit_ratio_at(&s, k);
+        let ndcg = ndcg_at(&s, k);
+        prop_assert!(hr == 0.0 || hr == 1.0);
+        prop_assert!((0.0..=1.0).contains(&ndcg));
+        // NDCG can only be positive when the item is a hit.
+        prop_assert!((ndcg > 0.0) == (hr == 1.0));
+    }
+
+    #[test]
+    fn improving_the_positive_score_never_hurts(s in scores(), k in 1usize..20, boost in 0.1f64..5.0) {
+        let before_hr = hit_ratio_at(&s, k);
+        let before_ndcg = ndcg_at(&s, k);
+        let mut boosted = s.clone();
+        boosted[0] += boost;
+        prop_assert!(hit_ratio_at(&boosted, k) >= before_hr);
+        prop_assert!(ndcg_at(&boosted, k) >= before_ndcg - 1e-12);
+    }
+
+    #[test]
+    fn hr_is_monotone_in_k(s in scores()) {
+        let mut prev = 0.0;
+        for k in 1..=s.len() {
+            let hr = hit_ratio_at(&s, k);
+            prop_assert!(hr >= prev);
+            prev = hr;
+        }
+        // At k = number of candidates the positive is always within range.
+        prop_assert_eq!(hit_ratio_at(&s, s.len()), 1.0);
+    }
+
+    #[test]
+    fn mrr_and_auc_are_bounded_and_consistent(s in scores()) {
+        let rr = reciprocal_rank(&s);
+        prop_assert!((0.0..=1.0).contains(&rr));
+        let a = auc(&s);
+        prop_assert!((0.0..=1.0).contains(&a));
+        // Perfect rank iff both metrics maxed.
+        prop_assert!((rr == 1.0) == (a == 1.0) || s[1..].iter().any(|&x| x == s[0]));
+        // MRR of 1 implies a hit at every cut-off.
+        if rr == 1.0 {
+            prop_assert_eq!(hit_ratio_at(&s, 1), 1.0);
+        }
+    }
+
+    #[test]
+    fn rmse_dominates_mae(pairs in proptest::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 1..50)) {
+        let (preds, targets): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        prop_assert!(rmse(&preds, &targets) + 1e-12 >= mae(&preds, &targets));
+    }
+
+    #[test]
+    fn rmse_is_translation_invariant_in_error(
+        pairs in proptest::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 2..30),
+        shift in -3.0f64..3.0,
+    ) {
+        let (preds, targets): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let shifted_preds: Vec<f64> = preds.iter().map(|p| p + shift).collect();
+        let shifted_targets: Vec<f64> = targets.iter().map(|t| t + shift).collect();
+        prop_assert!((rmse(&shifted_preds, &shifted_targets) - rmse(&preds, &targets)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welch_p_values_are_probabilities(
+        a in proptest::collection::vec(-5.0f64..5.0, 3..30),
+        b in proptest::collection::vec(-5.0f64..5.0, 3..30),
+    ) {
+        if let Some(r) = welch_t_test(&a, &b) {
+            prop_assert!((0.0..=1.0).contains(&r.p_value), "p = {}", r.p_value);
+            prop_assert!(r.df > 0.0);
+        }
+    }
+
+    #[test]
+    fn shifting_one_sample_far_enough_becomes_significant(
+        a in proptest::collection::vec(0.0f64..1.0, 10..30),
+    ) {
+        let b: Vec<f64> = a.iter().map(|x| x + 100.0).collect();
+        let r = welch_t_test(&a, &b).expect("valid");
+        prop_assert!(r.p_value < 0.01);
+    }
+}

@@ -1,0 +1,19 @@
+//! Shared dataset construction for the experiment modules.
+
+use crate::runner::ExpConfig;
+use gmlfm_data::{generate, Dataset, DatasetSpec};
+
+/// Table 3/4 dataset column order mapped to generator specs.
+pub const COLUMN_SPECS: [DatasetSpec; 6] = [
+    DatasetSpec::MovieLens,
+    DatasetSpec::AmazonOffice,
+    DatasetSpec::AmazonClothing,
+    DatasetSpec::AmazonAuto,
+    DatasetSpec::MercariTicket,
+    DatasetSpec::MercariBooks,
+];
+
+/// Generates a dataset at the experiment scale.
+pub fn make(spec: DatasetSpec, cfg: &ExpConfig) -> Dataset {
+    generate(&spec.config(cfg.seed).scaled(cfg.scale))
+}

@@ -1,0 +1,161 @@
+//! Figures 5 & 6: t-SNE case study of item-ID embeddings for two users
+//! under FM, NFM, TransFM and GML-FM.
+//!
+//! For each of the two most active users, the items they interacted with
+//! in training (positives, red in the paper) and an equal number of
+//! sampled negatives (blue) are projected to 2-D with t-SNE, per model.
+//! The paper's qualitative claim — metric-learning models cluster the
+//! positives while inner-product models scatter them — is made
+//! quantitative here with [`gmlfm_tsne::separation_score`] (inter/intra
+//! distance ratio, > 1 means the groups separate), and the 2-D layouts
+//! are printed as ASCII scatter plots and written to CSV.
+
+use crate::datasets::make;
+use crate::runner::{default_dnn_cfg, ExpConfig};
+use gmlfm_core::GmlFm;
+use gmlfm_data::{loo_split, DatasetSpec, FieldMask, NegativeSampler};
+use gmlfm_eval::Table;
+use gmlfm_models::{fm::FmConfig, nfm::NfmConfig, transfm::TransFmConfig, FactorizationMachine, Nfm, TransFm};
+use gmlfm_tensor::{seeded_rng, Matrix};
+use gmlfm_tsne::{separation_score, tsne, TsneConfig};
+use gmlfm_train::{fit_regression, TrainConfig};
+
+/// Runs the case study for the `rank`-th most active user (0 for Fig. 5,
+/// 1 for Fig. 6) and writes `fig{5,6}_<model>.csv`.
+pub fn run(cfg: &ExpConfig, rank: usize) {
+    let fig = 5 + rank;
+    println!("\n== Figure {fig}: t-SNE of item embeddings (user #{rank} by activity) ==\n");
+    let dataset = make(DatasetSpec::MovieLens, cfg);
+    let mask = FieldMask::all(&dataset.schema);
+    let split = loo_split(&dataset, &mask, 2, 99, cfg.seed ^ 0x9999);
+
+    // Pick the rank-th most active user.
+    let mut users: Vec<(usize, usize)> = split
+        .train_user_items
+        .iter()
+        .enumerate()
+        .map(|(u, s)| (s.len(), u))
+        .collect();
+    users.sort_unstable_by(|a, b| b.cmp(a));
+    let (n_pos, user) = users[rank];
+    println!("user id {user} with {n_pos} training positives\n");
+
+    let positives: Vec<u32> = {
+        let mut v: Vec<u32> = split.train_user_items[user].iter().copied().collect();
+        v.sort_unstable();
+        v
+    };
+    let mut rng = seeded_rng(cfg.seed ^ 0x9a);
+    let sampler = NegativeSampler::new(dataset.n_items);
+    let negatives = sampler.sample(&mut rng, &dataset.user_item_sets()[user], positives.len());
+    let item_offset = dataset.schema.offset(1);
+
+    let tc = TrainConfig { lr: 0.01, epochs: cfg.epochs, batch_size: 256, weight_decay: 1e-5, patience: 0, seed: cfg.seed ^ 0x9b };
+    let n = dataset.schema.total_dim();
+
+    // Train the four case-study models and extract item-ID factor rows.
+    let mut summary = Table::new(&["model", "separation (inter/intra)"]);
+    let mut scores: Vec<(String, f64)> = Vec::new();
+    for model_name in ["FM", "NFM", "TransFM", "GML-FM"] {
+        let factors: Matrix = match model_name {
+            "FM" => {
+                let mut m = FactorizationMachine::new(
+                    n,
+                    FmConfig { k: cfg.k, lr: 0.01, reg: 0.01, epochs: cfg.epochs * 2, seed: cfg.seed ^ 0x9c },
+                );
+                m.fit(&split.train);
+                m.factors().clone()
+            }
+            "NFM" => {
+                let mut m = Nfm::new(n, &NfmConfig { k: cfg.k, layers: 1, dropout: 0.2, seed: cfg.seed ^ 0x9d });
+                fit_regression(&mut m, &split.train, None, &tc);
+                m.factors().clone()
+            }
+            "TransFM" => {
+                let mut m = TransFm::new(n, &TransFmConfig { k: cfg.k, seed: cfg.seed ^ 0x9e });
+                fit_regression(&mut m, &split.train, None, &tc);
+                m.factors().clone()
+            }
+            _ => {
+                let mut m = GmlFm::new(n, &default_dnn_cfg(cfg.k, cfg.seed ^ 0x9f));
+                fit_regression(&mut m, &split.train, None, &tc);
+                m.factors().clone()
+            }
+        };
+
+        // Gather item-ID embedding rows: positives then negatives.
+        let mut rows = Vec::with_capacity(positives.len() * 2);
+        let mut labels = Vec::with_capacity(positives.len() * 2);
+        for &item in positives.iter().chain(&negatives) {
+            rows.push(item_offset + item as usize);
+            labels.push(false);
+        }
+        for l in labels.iter_mut().take(positives.len()) {
+            *l = true;
+        }
+        let data = factors.gather_rows(&rows);
+        let layout = tsne(&data, &TsneConfig { seed: cfg.seed ^ 0xa0, ..TsneConfig::default() });
+        let score = separation_score(&layout, &labels);
+        summary.push_row(vec![model_name.to_string(), format!("{score:.3}")]);
+        scores.push((model_name.to_string(), score));
+
+        println!("--- {model_name} (separation {score:.3}; + = positive, . = negative) ---");
+        println!("{}", ascii_scatter(&layout, &labels, 56, 18));
+
+        let mut csv = Table::new(&["x", "y", "positive"]);
+        for i in 0..layout.rows() {
+            csv.push_row(vec![
+                format!("{:.4}", layout[(i, 0)]),
+                format!("{:.4}", layout[(i, 1)]),
+                (labels[i] as u8).to_string(),
+            ]);
+        }
+        let file = format!("fig{fig}_{}.csv", model_name.to_lowercase().replace('-', ""));
+        csv.write_csv(cfg.out_dir.join(file)).expect("write fig5/6 csv");
+    }
+
+    println!("{}", summary.to_markdown());
+    let metric_best = scores
+        .iter()
+        .filter(|(n, _)| n == "TransFM" || n == "GML-FM")
+        .map(|(_, s)| *s)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let inner_best = scores
+        .iter()
+        .filter(|(n, _)| n == "FM" || n == "NFM")
+        .map(|(_, s)| *s)
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "Shape check: best metric-learning separation {metric_best:.3} vs best inner-product {inner_best:.3} \
+         (paper: metric-learning methods cluster positives, inner-product ones do not)."
+    );
+}
+
+/// Renders a 2-D layout as an ASCII scatter plot.
+fn ascii_scatter(y: &Matrix, labels: &[bool], width: usize, height: usize) -> String {
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for i in 0..y.rows() {
+        min_x = min_x.min(y[(i, 0)]);
+        max_x = max_x.max(y[(i, 0)]);
+        min_y = min_y.min(y[(i, 1)]);
+        max_y = max_y.max(y[(i, 1)]);
+    }
+    let (dx, dy) = ((max_x - min_x).max(1e-9), (max_y - min_y).max(1e-9));
+    let mut grid = vec![vec![' '; width]; height];
+    for i in 0..y.rows() {
+        let col = (((y[(i, 0)] - min_x) / dx) * (width - 1) as f64).round() as usize;
+        let row = (((y[(i, 1)] - min_y) / dy) * (height - 1) as f64).round() as usize;
+        let ch = if labels[i] { '+' } else { '.' };
+        // Positives overwrite negatives so clusters stay visible.
+        if grid[row][col] == ' ' || ch == '+' {
+            grid[row][col] = ch;
+        }
+    }
+    let mut out = String::with_capacity((width + 1) * height);
+    for row in grid {
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,423 @@
+//! The model zoo: constructs, trains and evaluates every model on either
+//! task with one call, so each table/figure module stays declarative.
+
+use gmlfm_core::{GmlFm, GmlFmConfig};
+use gmlfm_data::{Dataset, FieldMask, LooSplit, RatingSplit};
+use gmlfm_eval::{evaluate_rating, evaluate_topn, RatingMetrics, TopnMetrics};
+use gmlfm_models::{
+    afm::AfmConfig, deepfm::DeepFmConfig, mf::MfConfig, ncf::NcfConfig, nfm::NfmConfig,
+    transfm::TransFmConfig, xdeepfm::XDeepFmConfig, Afm, BprMf, DeepFm, FactorizationMachine, Ncf,
+    Nfm, Ngcf, PairCodec, Pmf, TransFm, XDeepFm,
+};
+use gmlfm_models::{fm::FmConfig, MatrixFactorization};
+use gmlfm_train::{fit_regression, Scorer, TrainConfig};
+
+/// Global experiment knobs, shared by every table/figure.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// Dataset scale factor (1.0 = the DESIGN.md sizes).
+    pub scale: f64,
+    /// Embedding size.
+    pub k: usize,
+    /// Training epochs for every model.
+    pub epochs: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Output directory for CSV artifacts.
+    pub out_dir: std::path::PathBuf,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        Self { scale: 1.0, k: 16, epochs: 12, seed: 2023, out_dir: "results".into() }
+    }
+}
+
+/// Every model that appears in the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Biased matrix factorization (rating only).
+    Mf,
+    /// Probabilistic MF (rating only).
+    Pmf,
+    /// NCF / NeuMF (top-n only in the paper).
+    Ncf,
+    /// BPR-MF (top-n only).
+    BprMf,
+    /// NGCF, simplified propagation (top-n only).
+    Ngcf,
+    /// LibFM-style vanilla FM.
+    LibFm,
+    /// Neural FM.
+    Nfm,
+    /// Attentional FM.
+    Afm,
+    /// Translation-based FM.
+    TransFm,
+    /// DeepFM.
+    DeepFm,
+    /// xDeepFM.
+    XDeepFm,
+    /// GML-FM with Mahalanobis distance.
+    GmlFmMd,
+    /// GML-FM with the DNN distance (1 layer by default).
+    GmlFmDnn,
+}
+
+impl ModelKind {
+    /// Paper's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Mf => "MF",
+            ModelKind::Pmf => "PMF",
+            ModelKind::Ncf => "NCF",
+            ModelKind::BprMf => "BPR-MF",
+            ModelKind::Ngcf => "NGCF",
+            ModelKind::LibFm => "LibFM",
+            ModelKind::Nfm => "NFM",
+            ModelKind::Afm => "AFM",
+            ModelKind::TransFm => "TransFM",
+            ModelKind::DeepFm => "DeepFM",
+            ModelKind::XDeepFm => "xDeepFM",
+            ModelKind::GmlFmMd => "GML-FM_md",
+            ModelKind::GmlFmDnn => "GML-FM_dnn",
+        }
+    }
+
+    /// Models in Table 3 (rating prediction), paper row order.
+    pub const RATING: [ModelKind; 10] = [
+        ModelKind::Mf,
+        ModelKind::Pmf,
+        ModelKind::LibFm,
+        ModelKind::Nfm,
+        ModelKind::Afm,
+        ModelKind::TransFm,
+        ModelKind::DeepFm,
+        ModelKind::XDeepFm,
+        ModelKind::GmlFmMd,
+        ModelKind::GmlFmDnn,
+    ];
+
+    /// Models in Table 4 (top-n), paper row order.
+    pub const TOPN: [ModelKind; 11] = [
+        ModelKind::Ncf,
+        ModelKind::BprMf,
+        ModelKind::Ngcf,
+        ModelKind::LibFm,
+        ModelKind::Nfm,
+        ModelKind::Afm,
+        ModelKind::TransFm,
+        ModelKind::DeepFm,
+        ModelKind::XDeepFm,
+        ModelKind::GmlFmMd,
+        ModelKind::GmlFmDnn,
+    ];
+}
+
+fn train_cfg(cfg: &ExpConfig) -> TrainConfig {
+    TrainConfig {
+        lr: 0.01,
+        epochs: cfg.epochs,
+        batch_size: 256,
+        weight_decay: 1e-5,
+        patience: 3,
+        seed: cfg.seed ^ 0x5f5f,
+    }
+}
+
+fn mf_cfg(cfg: &ExpConfig) -> MfConfig {
+    MfConfig { k: cfg.k, lr: 0.02, reg: 0.02, epochs: cfg.epochs * 2, seed: cfg.seed ^ 0xa1 }
+}
+
+/// Trains `kind` on a rating split and returns the test metrics, plus the
+/// per-instance absolute errors' source (predictions) for significance
+/// testing.
+pub fn run_rating(
+    kind: ModelKind,
+    dataset: &Dataset,
+    mask: &FieldMask,
+    split: &RatingSplit,
+    cfg: &ExpConfig,
+) -> (RatingMetrics, Vec<f64>) {
+    let scorer = fit_rating_model(kind, dataset, mask, split, cfg);
+    let metrics = evaluate_rating(scorer.as_ref(), &split.test);
+    let refs: Vec<&gmlfm_data::Instance> = split.test.iter().collect();
+    let preds = scorer.scores(&refs);
+    let sq_errors: Vec<f64> = preds
+        .iter()
+        .zip(&split.test)
+        .map(|(p, t)| (p - t.label) * (p - t.label))
+        .collect();
+    (metrics, sq_errors)
+}
+
+/// Trains `kind` for top-n and evaluates leave-one-out HR/NDCG at 10.
+pub fn run_topn(
+    kind: ModelKind,
+    dataset: &Dataset,
+    mask: &FieldMask,
+    split: &LooSplit,
+    cfg: &ExpConfig,
+) -> TopnMetrics {
+    let scorer = fit_topn_model(kind, dataset, mask, split, cfg);
+    evaluate_topn(scorer.as_ref(), dataset, mask, &split.test, 10)
+}
+
+/// GML-FM with a custom configuration (ablations, sweeps).
+pub fn run_topn_gmlfm(
+    gml_cfg: &GmlFmConfig,
+    dataset: &Dataset,
+    mask: &FieldMask,
+    split: &LooSplit,
+    cfg: &ExpConfig,
+) -> TopnMetrics {
+    let mut model = GmlFm::new(dataset.schema.total_dim(), gml_cfg);
+    fit_regression(&mut model, &split.train, None, &train_cfg(cfg));
+    evaluate_topn(&model, dataset, mask, &split.test, 10)
+}
+
+/// GML-FM with a custom configuration on the rating task.
+pub fn run_rating_gmlfm(
+    gml_cfg: &GmlFmConfig,
+    dataset: &Dataset,
+    split: &RatingSplit,
+    cfg: &ExpConfig,
+) -> RatingMetrics {
+    let mut model = GmlFm::new(dataset.schema.total_dim(), gml_cfg);
+    fit_regression(&mut model, &split.train, Some(&split.val), &train_cfg(cfg));
+    evaluate_rating(&model, &split.test)
+}
+
+/// The default GML-FM_dnn configuration used across experiments.
+pub fn default_dnn_cfg(k: usize, seed: u64) -> GmlFmConfig {
+    GmlFmConfig::dnn(k, 1).with_seed(seed)
+}
+
+/// The default GML-FM_md configuration.
+pub fn default_md_cfg(k: usize, seed: u64) -> GmlFmConfig {
+    GmlFmConfig::mahalanobis(k).with_seed(seed)
+}
+
+fn fit_rating_model(
+    kind: ModelKind,
+    dataset: &Dataset,
+    mask: &FieldMask,
+    split: &RatingSplit,
+    cfg: &ExpConfig,
+) -> Box<dyn Scorer> {
+    let n = dataset.schema.total_dim();
+    let m = mask.n_active();
+    let codec = PairCodec::from_schema(&dataset.schema);
+    let tc = train_cfg(cfg);
+    match kind {
+        ModelKind::Mf => {
+            let mut model = MatrixFactorization::new(codec, mf_cfg(cfg));
+            model.fit(&split.train);
+            Box::new(model)
+        }
+        ModelKind::Pmf => {
+            let mut model = Pmf::new(codec, mf_cfg(cfg));
+            model.fit(&split.train);
+            Box::new(model)
+        }
+        ModelKind::LibFm => {
+            let mut model = FactorizationMachine::new(
+                n,
+                FmConfig { k: cfg.k, lr: 0.01, reg: 0.01, epochs: cfg.epochs * 2, seed: cfg.seed ^ 0xb2 },
+            );
+            model.fit(&split.train);
+            Box::new(model)
+        }
+        ModelKind::Nfm => {
+            let mut model = Nfm::new(n, &NfmConfig { k: cfg.k, layers: 1, dropout: 0.2, seed: cfg.seed ^ 0xc3 });
+            fit_regression(&mut model, &split.train, Some(&split.val), &tc);
+            Box::new(model)
+        }
+        ModelKind::Afm => {
+            let mut model = Afm::new(
+                n,
+                &AfmConfig { k: cfg.k, attention_size: cfg.k, dropout: 0.2, seed: cfg.seed ^ 0xd4 },
+            );
+            fit_regression(&mut model, &split.train, Some(&split.val), &tc);
+            Box::new(model)
+        }
+        ModelKind::TransFm => {
+            let mut model = TransFm::new(n, &TransFmConfig { k: cfg.k, seed: cfg.seed ^ 0xe5 });
+            fit_regression(&mut model, &split.train, Some(&split.val), &tc);
+            Box::new(model)
+        }
+        ModelKind::DeepFm => {
+            let mut model =
+                DeepFm::new(n, m, &DeepFmConfig { k: cfg.k, layers: 2, dropout: 0.2, seed: cfg.seed ^ 0xf6 });
+            fit_regression(&mut model, &split.train, Some(&split.val), &tc);
+            Box::new(model)
+        }
+        ModelKind::XDeepFm => {
+            let mut model = XDeepFm::new(
+                n,
+                m,
+                &XDeepFmConfig {
+                    k: cfg.k,
+                    cin_maps: 4,
+                    cin_depth: 2,
+                    layers: 2,
+                    dropout: 0.2,
+                    seed: cfg.seed ^ 0x17,
+                },
+            );
+            fit_regression(&mut model, &split.train, Some(&split.val), &tc);
+            Box::new(model)
+        }
+        ModelKind::GmlFmMd => {
+            let mut model = GmlFm::new(n, &default_md_cfg(cfg.k, cfg.seed ^ 0x28));
+            fit_regression(&mut model, &split.train, Some(&split.val), &tc);
+            Box::new(model)
+        }
+        ModelKind::GmlFmDnn => {
+            let mut model = GmlFm::new(n, &default_dnn_cfg(cfg.k, cfg.seed ^ 0x39));
+            fit_regression(&mut model, &split.train, Some(&split.val), &tc);
+            Box::new(model)
+        }
+        ModelKind::Ncf | ModelKind::BprMf | ModelKind::Ngcf => {
+            panic!("{} is a top-n-only baseline in the paper", kind.name())
+        }
+    }
+}
+
+fn fit_topn_model(
+    kind: ModelKind,
+    dataset: &Dataset,
+    mask: &FieldMask,
+    split: &LooSplit,
+    cfg: &ExpConfig,
+) -> Box<dyn Scorer> {
+    let n = dataset.schema.total_dim();
+    let m = mask.n_active();
+    let codec = PairCodec::from_schema(&dataset.schema);
+    let tc = train_cfg(cfg);
+    match kind {
+        ModelKind::Ncf => {
+            let mut model = Ncf::new(codec, &NcfConfig { k: cfg.k, layers: 2, dropout: 0.2, seed: cfg.seed ^ 0x4a });
+            fit_regression(&mut model, &split.train, None, &tc);
+            Box::new(model)
+        }
+        ModelKind::BprMf => {
+            let mut model = BprMf::new(codec, MfConfig { lr: 0.05, ..mf_cfg(cfg) });
+            model.fit(&split.train_pairs, &split.train_user_items);
+            Box::new(model)
+        }
+        ModelKind::Ngcf => {
+            let mut model = Ngcf::new(codec, MfConfig { lr: 0.02, ..mf_cfg(cfg) });
+            model.fit(&split.train_pairs, &split.train_user_items);
+            Box::new(model)
+        }
+        ModelKind::LibFm => {
+            let mut model = FactorizationMachine::new(
+                n,
+                FmConfig { k: cfg.k, lr: 0.01, reg: 0.01, epochs: cfg.epochs * 2, seed: cfg.seed ^ 0xb2 },
+            );
+            model.fit(&split.train);
+            Box::new(model)
+        }
+        ModelKind::Nfm => {
+            let mut model = Nfm::new(n, &NfmConfig { k: cfg.k, layers: 1, dropout: 0.2, seed: cfg.seed ^ 0xc3 });
+            fit_regression(&mut model, &split.train, None, &tc);
+            Box::new(model)
+        }
+        ModelKind::Afm => {
+            let mut model = Afm::new(
+                n,
+                &AfmConfig { k: cfg.k, attention_size: cfg.k, dropout: 0.2, seed: cfg.seed ^ 0xd4 },
+            );
+            fit_regression(&mut model, &split.train, None, &tc);
+            Box::new(model)
+        }
+        ModelKind::TransFm => {
+            let mut model = TransFm::new(n, &TransFmConfig { k: cfg.k, seed: cfg.seed ^ 0xe5 });
+            fit_regression(&mut model, &split.train, None, &tc);
+            Box::new(model)
+        }
+        ModelKind::DeepFm => {
+            let mut model =
+                DeepFm::new(n, m, &DeepFmConfig { k: cfg.k, layers: 2, dropout: 0.2, seed: cfg.seed ^ 0xf6 });
+            fit_regression(&mut model, &split.train, None, &tc);
+            Box::new(model)
+        }
+        ModelKind::XDeepFm => {
+            let mut model = XDeepFm::new(
+                n,
+                m,
+                &XDeepFmConfig {
+                    k: cfg.k,
+                    cin_maps: 4,
+                    cin_depth: 2,
+                    layers: 2,
+                    dropout: 0.2,
+                    seed: cfg.seed ^ 0x17,
+                },
+            );
+            fit_regression(&mut model, &split.train, None, &tc);
+            Box::new(model)
+        }
+        ModelKind::GmlFmMd => {
+            let mut model = GmlFm::new(n, &default_md_cfg(cfg.k, cfg.seed ^ 0x28));
+            fit_regression(&mut model, &split.train, None, &tc);
+            Box::new(model)
+        }
+        ModelKind::GmlFmDnn => {
+            let mut model = GmlFm::new(n, &default_dnn_cfg(cfg.k, cfg.seed ^ 0x39));
+            fit_regression(&mut model, &split.train, None, &tc);
+            Box::new(model)
+        }
+        ModelKind::Mf | ModelKind::Pmf => {
+            panic!("{} is a rating-only baseline in the paper", kind.name())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmlfm_data::{generate, loo_split, rating_split, DatasetSpec};
+
+    /// Every rating-task model trains and produces finite metrics on a
+    /// tiny fixture — the regression net for the Table 3 grid.
+    #[test]
+    fn every_rating_model_runs_on_a_tiny_fixture() {
+        let cfg = ExpConfig { scale: 0.15, k: 8, epochs: 2, seed: 7, out_dir: std::env::temp_dir() };
+        let dataset = generate(&DatasetSpec::AmazonAuto.config(cfg.seed).scaled(cfg.scale));
+        let mask = FieldMask::all(&dataset.schema);
+        let split = rating_split(&dataset, &mask, 2, 3);
+        for kind in ModelKind::RATING {
+            let (metrics, errors) = run_rating(kind, &dataset, &mask, &split, &cfg);
+            assert!(metrics.rmse.is_finite() && metrics.rmse > 0.0, "{}: rmse {}", kind.name(), metrics.rmse);
+            assert_eq!(errors.len(), split.test.len(), "{}", kind.name());
+        }
+    }
+
+    /// Every top-n model trains and ranks on a tiny fixture — the
+    /// regression net for the Table 4 grid.
+    #[test]
+    fn every_topn_model_runs_on_a_tiny_fixture() {
+        let cfg = ExpConfig { scale: 0.15, k: 8, epochs: 2, seed: 7, out_dir: std::env::temp_dir() };
+        let dataset = generate(&DatasetSpec::AmazonAuto.config(cfg.seed).scaled(cfg.scale));
+        let mask = FieldMask::all(&dataset.schema);
+        let split = loo_split(&dataset, &mask, 2, 20, 4);
+        for kind in ModelKind::TOPN {
+            let m = run_topn(kind, &dataset, &mask, &split, &cfg);
+            assert!((0.0..=1.0).contains(&m.hr), "{}: hr {}", kind.name(), m.hr);
+            assert!((0.0..=1.0).contains(&m.ndcg), "{}: ndcg {}", kind.name(), m.ndcg);
+            assert_eq!(m.per_user_hr.len(), split.test.len(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "top-n-only")]
+    fn rating_task_rejects_topn_only_models() {
+        let cfg = ExpConfig { scale: 0.15, k: 8, epochs: 1, seed: 7, out_dir: std::env::temp_dir() };
+        let dataset = generate(&DatasetSpec::AmazonAuto.config(cfg.seed).scaled(cfg.scale));
+        let mask = FieldMask::all(&dataset.schema);
+        let split = rating_split(&dataset, &mask, 2, 3);
+        let _ = run_rating(ModelKind::Ncf, &dataset, &mask, &split, &cfg);
+    }
+}

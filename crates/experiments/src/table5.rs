@@ -1,0 +1,88 @@
+//! Table 5: ablations of GML-FM on MovieLens and Mercari-Ticket — the
+//! transformation weight and Mahalanobis matrix, the number of DNN
+//! layers, and the distance-function family.
+
+use crate::datasets::make;
+use crate::paper::TABLE5;
+use crate::runner::{run_rating_gmlfm, run_topn_gmlfm, ExpConfig};
+use gmlfm_core::{Distance, GmlFmConfig};
+use gmlfm_data::{loo_split, rating_split, DatasetSpec, FieldMask};
+use gmlfm_eval::Table;
+
+fn variants(k: usize, seed: u64) -> Vec<(&'static str, GmlFmConfig)> {
+    vec![
+        ("w/o. weight & M", GmlFmConfig::euclidean_plain(k).with_seed(seed)),
+        ("w/. M only", GmlFmConfig::mahalanobis(k).without_weight().with_seed(seed)),
+        ("w/. weight & M", GmlFmConfig::mahalanobis(k).with_seed(seed)),
+        ("#layers 0", GmlFmConfig::dnn(k, 0).with_seed(seed)),
+        ("#layers 1", GmlFmConfig::dnn(k, 1).with_seed(seed)),
+        ("#layers 2", GmlFmConfig::dnn(k, 2).with_seed(seed)),
+        ("#layers 3", GmlFmConfig::dnn(k, 3).with_seed(seed)),
+        ("Manhattan", GmlFmConfig::dnn(k, 1).with_distance(Distance::Manhattan).with_seed(seed)),
+        ("Euclidean", GmlFmConfig::dnn(k, 1).with_seed(seed)),
+        ("Chebyshev", GmlFmConfig::dnn(k, 1).with_distance(Distance::Chebyshev).with_seed(seed)),
+        ("Cosine", GmlFmConfig::dnn(k, 1).with_distance(Distance::Cosine).with_seed(seed)),
+    ]
+}
+
+/// Runs all 11 ablation rows on both datasets and both tasks; writes
+/// `table5.csv`.
+pub fn run(cfg: &ExpConfig) {
+    println!("\n== Table 5: GML-FM ablations (MovieLens + Mercari-Ticket) ==\n");
+    let mut table = Table::new(&[
+        "Variant", "RMSE ML", "RMSE Ticket", "HR ML", "NDCG ML", "HR Ticket", "NDCG Ticket",
+    ]);
+    let mut csv = Table::new(&[
+        "variant", "rmse_ml", "rmse_ticket", "hr_ml", "ndcg_ml", "hr_ticket", "ndcg_ticket",
+        "paper_rmse_ml", "paper_rmse_ticket", "paper_hr_ml", "paper_ndcg_ml", "paper_hr_ticket", "paper_ndcg_ticket",
+    ]);
+
+    let ml = make(DatasetSpec::MovieLens, cfg);
+    let ticket = make(DatasetSpec::MercariTicket, cfg);
+    let ml_mask = FieldMask::all(&ml.schema);
+    let tk_mask = FieldMask::all(&ticket.schema);
+    let ml_rating = rating_split(&ml, &ml_mask, 2, cfg.seed ^ 0x3333);
+    let tk_rating = rating_split(&ticket, &tk_mask, 2, cfg.seed ^ 0x3334);
+    let ml_loo = loo_split(&ml, &ml_mask, 2, 99, cfg.seed ^ 0x3335);
+    let tk_loo = loo_split(&ticket, &tk_mask, 2, 99, cfg.seed ^ 0x3336);
+
+    for (idx, (name, gml_cfg)) in variants(cfg.k, cfg.seed ^ 0x44).into_iter().enumerate() {
+        eprintln!("[table5] {name}");
+        let rmse_ml = run_rating_gmlfm(&gml_cfg, &ml, &ml_rating, cfg).rmse;
+        let rmse_tk = run_rating_gmlfm(&gml_cfg, &ticket, &tk_rating, cfg).rmse;
+        let topn_ml = run_topn_gmlfm(&gml_cfg, &ml, &ml_mask, &ml_loo, cfg);
+        let topn_tk = run_topn_gmlfm(&gml_cfg, &ticket, &tk_mask, &tk_loo, cfg);
+        let paper = TABLE5[idx].1;
+        table.push_row(vec![
+            name.to_string(),
+            format!("{rmse_ml:.4} ({:.4})", paper[0]),
+            format!("{rmse_tk:.4} ({:.4})", paper[1]),
+            format!("{:.4} ({:.4})", topn_ml.hr, paper[2]),
+            format!("{:.4} ({:.4})", topn_ml.ndcg, paper[3]),
+            format!("{:.4} ({:.4})", topn_tk.hr, paper[4]),
+            format!("{:.4} ({:.4})", topn_tk.ndcg, paper[5]),
+        ]);
+        csv.push_row(vec![
+            name.to_string(),
+            format!("{rmse_ml:.4}"),
+            format!("{rmse_tk:.4}"),
+            format!("{:.4}", topn_ml.hr),
+            format!("{:.4}", topn_ml.ndcg),
+            format!("{:.4}", topn_tk.hr),
+            format!("{:.4}", topn_tk.ndcg),
+            format!("{:.4}", paper[0]),
+            format!("{:.4}", paper[1]),
+            format!("{:.4}", paper[2]),
+            format!("{:.4}", paper[3]),
+            format!("{:.4}", paper[4]),
+            format!("{:.4}", paper[5]),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+    println!(
+        "Cell format: measured (paper). Expected shapes: the transformation weight gives the\n\
+         largest jump on the sparse Ticket dataset; 1-2 layers beat 0 and 3; Euclidean beats\n\
+         Manhattan/Chebyshev which beat Cosine."
+    );
+    csv.write_csv(cfg.out_dir.join("table5.csv")).expect("write table5.csv");
+}

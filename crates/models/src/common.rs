@@ -1,0 +1,94 @@
+//! Shared model plumbing: the scoring interface used by evaluation, and
+//! the user/item pair codec for MF-family models.
+
+use gmlfm_data::{Instance, Schema};
+
+// The scoring interface lives in `gmlfm-train` (next to `GraphModel`, which
+// gets a blanket impl); re-exported here so model users find it alongside
+// the models.
+pub use gmlfm_train::Scorer;
+
+/// Decodes `(user, item)` pairs from instances.
+///
+/// By construction (see `gmlfm_data::Dataset::feats`) the user field is
+/// always field 0 and the item field is field 1 under any mask that keeps
+/// the base fields, so MF-family models — which ignore side attributes —
+/// can recover ids from the first two global indices.
+#[derive(Debug, Clone, Copy)]
+pub struct PairCodec {
+    item_offset: usize,
+    n_users: usize,
+    n_items: usize,
+}
+
+impl PairCodec {
+    /// Builds the codec from a schema (field 0 = user, field 1 = item).
+    pub fn from_schema(schema: &Schema) -> Self {
+        Self {
+            item_offset: schema.offset(1),
+            n_users: schema.fields()[0].cardinality,
+            n_items: schema.fields()[1].cardinality,
+        }
+    }
+
+    /// Builds the codec from raw sizes (user ids `0..n_users` are followed
+    /// immediately by item ids).
+    pub fn from_sizes(n_users: usize, n_items: usize) -> Self {
+        Self { item_offset: n_users, n_users, n_items }
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// Number of items.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Extracts `(user, item)` from an instance.
+    ///
+    /// # Panics
+    /// Panics when the indices are outside the user/item ranges, which
+    /// means the instance was built under a mask without base fields.
+    pub fn decode(&self, instance: &Instance) -> (usize, usize) {
+        let user = instance.feats[0] as usize;
+        let item_global = instance.feats[1] as usize;
+        assert!(user < self.n_users, "PairCodec: user index {user} out of range");
+        assert!(
+            (self.item_offset..self.item_offset + self.n_items).contains(&item_global),
+            "PairCodec: item index {item_global} out of range"
+        );
+        (user, item_global - self.item_offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmlfm_data::FieldKind;
+
+    #[test]
+    fn codec_decodes_user_item() {
+        let schema = Schema::from_specs(&[
+            ("user", 10, FieldKind::User),
+            ("item", 20, FieldKind::Item),
+            ("cat", 3, FieldKind::Category),
+        ]);
+        let codec = PairCodec::from_schema(&schema);
+        let inst = Instance::new(vec![4, 10 + 13, 31], 1.0);
+        assert_eq!(codec.decode(&inst), (4, 13));
+        assert_eq!(codec.n_users(), 10);
+        assert_eq!(codec.n_items(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "PairCodec")]
+    fn codec_rejects_masked_out_base_fields() {
+        let codec = PairCodec::from_sizes(5, 5);
+        // Feature 12 is outside the user+item range entirely.
+        let inst = Instance::new(vec![12, 3], 1.0);
+        let _ = codec.decode(&inst);
+    }
+}

@@ -1,0 +1,95 @@
+//! Cross-model contracts: every graph model is seed-deterministic,
+//! scores finitely, and batch scoring equals one-by-one scoring.
+
+use gmlfm_data::Instance;
+use gmlfm_models::{
+    afm::AfmConfig, deepfm::DeepFmConfig, ncf::NcfConfig, nfm::NfmConfig,
+    transfm::TransFmConfig, xdeepfm::XDeepFmConfig, Afm, DeepFm, Ncf, Nfm, PairCodec, TransFm,
+    XDeepFm,
+};
+use gmlfm_train::Scorer;
+
+const N_FEATURES: usize = 40;
+const N_FIELDS: usize = 4;
+
+fn instances() -> Vec<Instance> {
+    vec![
+        Instance::new(vec![0, 12, 25, 33], 1.0),
+        Instance::new(vec![5, 17, 29, 39], -1.0),
+        Instance::new(vec![9, 10, 20, 30], 1.0),
+    ]
+}
+
+fn models(seed: u64) -> Vec<(&'static str, Box<dyn Scorer>)> {
+    vec![
+        ("NFM", Box::new(Nfm::new(N_FEATURES, &NfmConfig { seed, ..NfmConfig::default() }))),
+        ("AFM", Box::new(Afm::new(N_FEATURES, &AfmConfig { seed, ..AfmConfig::default() }))),
+        (
+            "DeepFM",
+            Box::new(DeepFm::new(N_FEATURES, N_FIELDS, &DeepFmConfig { seed, ..DeepFmConfig::default() })),
+        ),
+        (
+            "xDeepFM",
+            Box::new(XDeepFm::new(N_FEATURES, N_FIELDS, &XDeepFmConfig { seed, ..XDeepFmConfig::default() })),
+        ),
+        ("TransFM", Box::new(TransFm::new(N_FEATURES, &TransFmConfig { k: 16, seed }))),
+    ]
+}
+
+#[test]
+fn identical_seeds_build_identical_models() {
+    let insts = instances();
+    let refs: Vec<&Instance> = insts.iter().collect();
+    for ((name_a, a), (_, b)) in models(123).into_iter().zip(models(123)) {
+        assert_eq!(a.scores(&refs), b.scores(&refs), "{name_a} not seed-deterministic");
+    }
+}
+
+#[test]
+fn different_seeds_build_different_models() {
+    let insts = instances();
+    let refs: Vec<&Instance> = insts.iter().collect();
+    for ((name_a, a), (_, b)) in models(123).into_iter().zip(models(456)) {
+        assert_ne!(a.scores(&refs), b.scores(&refs), "{name_a} ignores its seed");
+    }
+}
+
+#[test]
+fn batch_scoring_equals_individual_scoring() {
+    let insts = instances();
+    let refs: Vec<&Instance> = insts.iter().collect();
+    for (name, model) in models(7) {
+        let batched = model.scores(&refs);
+        for (inst, &expected) in refs.iter().zip(&batched) {
+            let single = model.scores(&[inst])[0];
+            assert!(
+                (single - expected).abs() < 1e-12,
+                "{name}: batch {expected} vs single {single}"
+            );
+        }
+    }
+}
+
+#[test]
+fn untrained_scores_are_finite_and_small() {
+    let insts = instances();
+    let refs: Vec<&Instance> = insts.iter().collect();
+    for (name, model) in models(9) {
+        for s in model.scores(&refs) {
+            assert!(s.is_finite(), "{name} produced a non-finite score");
+            assert!(s.abs() < 10.0, "{name} init scores should be near zero, got {s}");
+        }
+    }
+}
+
+#[test]
+fn ncf_contracts_hold_too() {
+    // NCF decodes (user, item) so it needs a codec-compatible layout.
+    let codec = PairCodec::from_sizes(10, 30);
+    let a = Ncf::new(codec, &NcfConfig { seed: 3, ..NcfConfig::default() });
+    let b = Ncf::new(codec, &NcfConfig { seed: 3, ..NcfConfig::default() });
+    let inst = Instance::new(vec![4, 10 + 22], 1.0);
+    assert_eq!(a.scores(&[&inst]), b.scores(&[&inst]));
+    let c = Ncf::new(codec, &NcfConfig { seed: 4, ..NcfConfig::default() });
+    assert_ne!(a.scores(&[&inst]), c.scores(&[&inst]));
+}

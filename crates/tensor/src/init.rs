@@ -1,0 +1,81 @@
+//! Seeded random initialisation used by every model in the workspace.
+//!
+//! The paper initialises all parameters from a normal distribution with
+//! mean 0 and standard deviation 0.01 (Section 4.4); [`normal`] with
+//! `std = 0.01` reproduces that. Xavier/Glorot uniform initialisation is
+//! provided for the deep baselines (NCF / DeepFM MLP towers) where a
+//! 0.01-std normal would stall training.
+
+use crate::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG from a `u64` seed; the only RNG constructor the
+/// workspace uses, so every experiment is bit-reproducible.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draws a `rows x cols` matrix with i.i.d. `N(mean, std²)` entries using a
+/// Box-Muller transform (avoids pulling in `rand_distr`).
+pub fn normal(rng: &mut StdRng, rows: usize, cols: usize, mean: f64, std: f64) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| mean + std * standard_normal(rng))
+}
+
+/// One draw from the standard normal distribution.
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    // Box-Muller; u1 is kept away from 0 so the log is finite.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Uniform `[-limit, limit)` matrix.
+pub fn uniform(rng: &mut StdRng, rows: usize, cols: usize, limit: f64) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-limit..limit))
+}
+
+/// Xavier/Glorot uniform limit `sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_limit(fan_in: usize, fan_out: usize) -> f64 {
+    (6.0 / (fan_in + fan_out) as f64).sqrt()
+}
+
+/// Xavier-uniform initialised `fan_in x fan_out` matrix.
+pub fn xavier(rng: &mut StdRng, fan_in: usize, fan_out: usize) -> Matrix {
+    uniform(rng, fan_in, fan_out, xavier_limit(fan_in, fan_out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_reproducible() {
+        let a = normal(&mut seeded_rng(7), 4, 4, 0.0, 1.0);
+        let b = normal(&mut seeded_rng(7), 4, 4, 0.0, 1.0);
+        assert!(crate::approx_eq(&a, &b, 0.0));
+        let c = normal(&mut seeded_rng(8), 4, 4, 0.0, 1.0);
+        assert!(!crate::approx_eq(&a, &c, 1e-6));
+    }
+
+    #[test]
+    fn normal_has_requested_moments() {
+        let m = normal(&mut seeded_rng(42), 200, 200, 1.5, 2.0);
+        let n = m.len() as f64;
+        let mean = m.sum() / n;
+        let var = m.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        assert!((mean - 1.5).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn uniform_respects_limit() {
+        let m = uniform(&mut seeded_rng(1), 50, 50, 0.3);
+        assert!(m.as_slice().iter().all(|v| (-0.3..0.3).contains(v)));
+    }
+
+    #[test]
+    fn xavier_limit_formula() {
+        assert!((xavier_limit(3, 3) - 1.0).abs() < 1e-12);
+    }
+}

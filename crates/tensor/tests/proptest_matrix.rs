@@ -1,0 +1,83 @@
+//! Property tests for the algebraic laws the matrix substrate must obey.
+
+use gmlfm_tensor::{approx_eq, Matrix};
+use proptest::prelude::*;
+
+const DIM: usize = 4;
+const TOL: f64 = 1e-9;
+
+fn matrix() -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f64..10.0, DIM * DIM)
+        .prop_map(|data| Matrix::from_vec(DIM, DIM, data))
+}
+
+proptest! {
+    #[test]
+    fn addition_is_commutative(a in matrix(), b in matrix()) {
+        prop_assert!(approx_eq(&(&a + &b), &(&b + &a), TOL));
+    }
+
+    #[test]
+    fn addition_is_associative(a in matrix(), b in matrix(), c in matrix()) {
+        let left = &(&a + &b) + &c;
+        let right = &a + &(&b + &c);
+        prop_assert!(approx_eq(&left, &right, TOL));
+    }
+
+    #[test]
+    fn matmul_is_associative(a in matrix(), b in matrix(), c in matrix()) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        // Magnitudes reach ~DIM^2 * 1000, so compare with scaled tolerance.
+        let scale = left.max_abs().max(1.0);
+        prop_assert!(approx_eq(&left, &right, 1e-9 * scale));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in matrix(), b in matrix(), c in matrix()) {
+        let left = a.matmul(&(&b + &c));
+        let right = &a.matmul(&b) + &a.matmul(&c);
+        let scale = left.max_abs().max(1.0);
+        prop_assert!(approx_eq(&left, &right, 1e-9 * scale));
+    }
+
+    #[test]
+    fn transpose_of_product_reverses_order(a in matrix(), b in matrix()) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        let scale = left.max_abs().max(1.0);
+        prop_assert!(approx_eq(&left, &right, 1e-9 * scale));
+    }
+
+    #[test]
+    fn identity_is_neutral(a in matrix()) {
+        let eye = Matrix::eye(DIM);
+        prop_assert!(approx_eq(&a.matmul(&eye), &a, TOL));
+        prop_assert!(approx_eq(&eye.matmul(&a), &a, TOL));
+    }
+
+    #[test]
+    fn frobenius_norm_is_subadditive(a in matrix(), b in matrix()) {
+        prop_assert!((&a + &b).norm() <= a.norm() + b.norm() + TOL);
+    }
+
+    #[test]
+    fn dot_is_bilinear(a in matrix(), b in matrix(), alpha in -5.0f64..5.0) {
+        let scaled = a.scale(alpha);
+        prop_assert!((scaled.dot(&b) - alpha * a.dot(&b)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn gram_matrices_are_psd(a in matrix()) {
+        let gram = a.matmul_tn(&a);
+        prop_assert!(gmlfm_tensor::linalg::is_positive_semi_definite(&gram, 1e-7));
+    }
+
+    #[test]
+    fn axpy_matches_operator_form(a in matrix(), b in matrix(), alpha in -5.0f64..5.0) {
+        let mut via_axpy = a.clone();
+        via_axpy.axpy(alpha, &b);
+        let via_ops = &a + &b.scale(alpha);
+        prop_assert!(approx_eq(&via_axpy, &via_ops, TOL));
+    }
+}

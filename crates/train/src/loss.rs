@@ -1,0 +1,93 @@
+//! Scalar loss helpers for the hand-derived (non-autograd) models.
+//!
+//! The graph-based models compose their losses from autograd primitives;
+//! the classic factorization models (MF, PMF, BPR-MF, FM) use these
+//! closed-form value/derivative pairs in their custom SGD loops.
+
+/// Squared error `(ŷ − y)²` and its derivative w.r.t. `ŷ` (paper Eq. 13).
+#[inline]
+pub fn squared(pred: f64, target: f64) -> (f64, f64) {
+    let r = pred - target;
+    (r * r, 2.0 * r)
+}
+
+/// BPR loss `−ln σ(x̂_uij)` for the pairwise score difference
+/// `x̂_uij = ŷ(u,i) − ŷ(u,j)`, returning `(loss, dloss/dx̂)`.
+///
+/// Numerically stable for large |x̂|.
+#[inline]
+pub fn bpr(x_uij: f64) -> (f64, f64) {
+    // loss = softplus(-x); dloss/dx = -sigmoid(-x) = sigmoid(x) - 1
+    let loss = softplus(-x_uij);
+    let grad = sigmoid(x_uij) - 1.0;
+    (loss, grad)
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable `ln(1 + e^x)`.
+#[inline]
+pub fn softplus(x: f64) -> f64 {
+    if x > 30.0 {
+        x
+    } else if x < -30.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squared_value_and_grad() {
+        let (l, g) = squared(2.5, 1.0);
+        assert!((l - 2.25).abs() < 1e-12);
+        assert!((g - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bpr_matches_finite_difference() {
+        for &x in &[-5.0, -0.5, 0.0, 0.7, 4.0] {
+            let (_, g) = bpr(x);
+            let eps = 1e-6;
+            let num = (bpr(x + eps).0 - bpr(x - eps).0) / (2.0 * eps);
+            assert!((g - num).abs() < 1e-8, "x={x}: {g} vs {num}");
+        }
+    }
+
+    #[test]
+    fn bpr_is_stable_at_extremes() {
+        let (l_neg, g_neg) = bpr(-1000.0);
+        assert!(l_neg.is_finite() && g_neg.is_finite());
+        assert!((g_neg + 1.0).abs() < 1e-9, "gradient saturates at -1");
+        let (l_pos, g_pos) = bpr(1000.0);
+        assert!(l_pos.abs() < 1e-9 && g_pos.abs() < 1e-9);
+    }
+
+    #[test]
+    fn sigmoid_symmetry() {
+        for &x in &[-3.0, -1.0, 0.0, 2.0] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn softplus_limits() {
+        assert!((softplus(50.0) - 50.0).abs() < 1e-9);
+        assert!(softplus(-50.0) > 0.0);
+        assert!(softplus(-50.0) < 1e-20);
+        assert!((softplus(0.0) - 2f64.ln()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,42 @@
+//! Persistence: train a GML-FM model, save it to JSON, reload it, and
+//! verify the reloaded model scores identically — the workflow a serving
+//! deployment would use.
+//!
+//! ```sh
+//! cargo run --release --example save_load
+//! ```
+
+use gml_fm::core::{GmlFm, GmlFmConfig};
+use gml_fm::data::{generate, rating_split, DatasetSpec, FieldMask};
+use gml_fm::eval::evaluate_rating;
+use gml_fm::train::{fit_regression, Scorer, TrainConfig};
+
+fn main() {
+    let dataset = generate(&DatasetSpec::AmazonAuto.config(42).scaled(0.4));
+    let mask = FieldMask::all(&dataset.schema);
+    let split = rating_split(&dataset, &mask, 2, 7);
+
+    let mut model = GmlFm::new(dataset.schema.total_dim(), &GmlFmConfig::dnn(16, 1));
+    fit_regression(&mut model, &split.train, Some(&split.val), &TrainConfig { epochs: 10, ..TrainConfig::default() });
+    let before = evaluate_rating(&model, &split.test);
+    println!("trained model: test RMSE {:.4}", before.rmse);
+
+    let path = std::env::temp_dir().join("gmlfm_example_model.json");
+    model.save_json(&path).expect("save");
+    let bytes = std::fs::metadata(&path).expect("metadata").len();
+    println!("saved to {} ({} KiB)", path.display(), bytes / 1024);
+
+    let restored = GmlFm::load_json(&path).expect("load");
+    let after = evaluate_rating(&restored, &split.test);
+    println!("restored model: test RMSE {:.4}", after.rmse);
+
+    // Bit-identical predictions, not just close.
+    let probe = &split.test[0];
+    assert_eq!(
+        model.score_one(probe).to_bits(),
+        restored.score_one(probe).to_bits(),
+        "round trip must be exact"
+    );
+    println!("round trip verified: predictions are bit-identical");
+    let _ = std::fs::remove_file(path);
+}

@@ -1,0 +1,54 @@
+//! # gml-fm
+//!
+//! Facade crate for the GML-FM workspace: a from-scratch Rust
+//! reproduction of *Enhancing Factorization Machines with Generalized
+//! Metric Learning* (ICDE'23 / TKDE; arXiv:2006.11600).
+//!
+//! Each subsystem lives in its own crate and is re-exported here under a
+//! short name:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`tensor`] | `gmlfm-tensor` | dense `f64` matrices, seeded init, Cholesky |
+//! | [`autograd`] | `gmlfm-autograd` | tape-based reverse-mode AD, gradient checks |
+//! | [`data`] | `gmlfm-data` | schemas, synthetic Table-2 datasets, splits, sampling |
+//! | [`train`] | `gmlfm-train` | SGD/Adam, squared + BPR losses, trainers |
+//! | [`models`] | `gmlfm-models` | the twelve baselines the paper compares against |
+//! | [`core`] | `gmlfm-core` | **GML-FM** itself: distances, transforms, efficient evaluation, persistence |
+//! | [`eval`] | `gmlfm-eval` | RMSE/HR/NDCG/MRR/AUC, protocols, significance tests |
+//! | [`tsne`] | `gmlfm-tsne` | exact t-SNE for the embedding case study |
+//!
+//! ## Minimal end-to-end example
+//!
+//! ```
+//! use gml_fm::core::{GmlFm, GmlFmConfig};
+//! use gml_fm::data::{generate, rating_split, DatasetSpec, FieldMask};
+//! use gml_fm::eval::evaluate_rating;
+//! use gml_fm::train::{fit_regression, TrainConfig};
+//!
+//! // A tiny seeded dataset and the paper's rating protocol.
+//! let dataset = generate(&DatasetSpec::AmazonAuto.config(42).scaled(0.15));
+//! let mask = FieldMask::all(&dataset.schema);
+//! let split = rating_split(&dataset, &mask, 2, 7);
+//!
+//! // GML-FM with the deep (1-layer) distance, trained with Adam.
+//! let mut model = GmlFm::new(dataset.schema.total_dim(), &GmlFmConfig::dnn(8, 1));
+//! let cfg = TrainConfig { epochs: 2, ..TrainConfig::default() };
+//! fit_regression(&mut model, &split.train, Some(&split.val), &cfg);
+//!
+//! let metrics = evaluate_rating(&model, &split.test);
+//! assert!(metrics.rmse.is_finite());
+//! ```
+//!
+//! See `examples/` for complete scenarios and the `repro` binary
+//! (`gmlfm-experiments`) for regenerating every table and figure of the
+//! paper.
+
+pub use gmlfm_autograd as autograd;
+pub use gmlfm_core as core;
+pub use gmlfm_data as data;
+pub use gmlfm_eval as eval;
+pub use gmlfm_models as models;
+pub use gmlfm_tensor as tensor;
+pub use gmlfm_train as train;
+pub use gmlfm_tsne as tsne;

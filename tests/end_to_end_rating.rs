@@ -1,0 +1,68 @@
+//! Integration: the full rating-prediction pipeline (Table 3's protocol)
+//! across generator → split → training → evaluation, spanning all crates.
+
+use gml_fm::core::{GmlFm, GmlFmConfig};
+use gml_fm::data::{generate, rating_split, DatasetSpec, FieldMask};
+use gml_fm::eval::evaluate_rating;
+use gml_fm::models::{fm::FmConfig, FactorizationMachine};
+use gml_fm::train::{fit_regression, TrainConfig};
+
+fn trivial_rmse(test: &[gml_fm::data::Instance], train: &[gml_fm::data::Instance]) -> f64 {
+    let mean = train.iter().map(|i| i.label).sum::<f64>() / train.len() as f64;
+    (test.iter().map(|i| (mean - i.label).powi(2)).sum::<f64>() / test.len() as f64).sqrt()
+}
+
+#[test]
+fn gmlfm_beats_the_mean_predictor_on_rating() {
+    // MovieLens is the densest configuration — the one where rating
+    // prediction has enough per-user evidence at test scale (sparser
+    // sets mainly separate models on the ranking task; see EXPERIMENTS.md).
+    let dataset = generate(&DatasetSpec::MovieLens.config(5).scaled(0.3));
+    let mask = FieldMask::all(&dataset.schema);
+    let split = rating_split(&dataset, &mask, 2, 9);
+    let mut model = GmlFm::new(dataset.schema.total_dim(), &GmlFmConfig::dnn(16, 1));
+    let cfg = TrainConfig { epochs: 12, ..TrainConfig::default() };
+    fit_regression(&mut model, &split.train, Some(&split.val), &cfg);
+    let metrics = evaluate_rating(&model, &split.test);
+    let trivial = trivial_rmse(&split.test, &split.train);
+    assert!(
+        metrics.rmse < trivial * 0.95,
+        "GML-FM RMSE {} should clearly beat the mean predictor {}",
+        metrics.rmse,
+        trivial
+    );
+    assert!(metrics.mae <= metrics.rmse + 1e-9, "MAE never exceeds RMSE");
+}
+
+#[test]
+fn vanilla_fm_also_learns_the_same_split() {
+    let dataset = generate(&DatasetSpec::AmazonOffice.config(5).scaled(0.25));
+    let mask = FieldMask::all(&dataset.schema);
+    let split = rating_split(&dataset, &mask, 2, 9);
+    let mut fm = FactorizationMachine::new(
+        dataset.schema.total_dim(),
+        FmConfig { epochs: 25, ..FmConfig::default() },
+    );
+    fm.fit(&split.train);
+    let metrics = evaluate_rating(&fm, &split.test);
+    let trivial = trivial_rmse(&split.test, &split.train);
+    assert!(metrics.rmse < trivial * 1.02, "FM RMSE {} vs trivial {}", metrics.rmse, trivial);
+}
+
+#[test]
+fn validation_early_stopping_restores_best_parameters() {
+    let dataset = generate(&DatasetSpec::AmazonAuto.config(6).scaled(0.25));
+    let mask = FieldMask::all(&dataset.schema);
+    let split = rating_split(&dataset, &mask, 2, 10);
+    let mut model = GmlFm::new(dataset.schema.total_dim(), &GmlFmConfig::mahalanobis(8));
+    let cfg = TrainConfig { epochs: 30, patience: 2, ..TrainConfig::default() };
+    let report = fit_regression(&mut model, &split.train, Some(&split.val), &cfg);
+    // The restored model's validation RMSE equals the best seen.
+    let val_metrics = evaluate_rating(&model, &split.val);
+    assert!(
+        (val_metrics.rmse - report.best_val_rmse).abs() < 1e-9,
+        "restored params ({}) should match best-val snapshot ({})",
+        val_metrics.rmse,
+        report.best_val_rmse
+    );
+}

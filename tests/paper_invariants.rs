@@ -1,0 +1,116 @@
+//! Integration: the paper's mathematical claims checked through the
+//! public API, end to end.
+
+use gml_fm::core::{DenseGmlFm, DenseTransform, Distance, DnnTransform, GmlFm, GmlFmConfig};
+use gml_fm::data::{generate_with_truth, DatasetSpec};
+use gml_fm::tensor::init::normal;
+use gml_fm::tensor::linalg::is_positive_semi_definite;
+use gml_fm::tensor::seeded_rng;
+
+/// Section 3.2.1: any `M = LᵀL` is PSD, so the learned Mahalanobis metric
+/// is always valid — including after arbitrary "training" perturbations.
+#[test]
+fn learned_mahalanobis_matrix_is_always_psd() {
+    let mut rng = seeded_rng(3);
+    for _ in 0..20 {
+        let l = normal(&mut rng, 8, 8, 0.0, 1.0);
+        let m = l.matmul_tn(&l);
+        assert!(is_positive_semi_definite(&m, 1e-9));
+    }
+}
+
+/// Section 3.3: the simplified and naive second-order forms agree on a
+/// trained-model-scale configuration for all three distance families.
+#[test]
+fn efficient_form_agrees_with_naive_at_model_scale() {
+    let (n, k) = (200, 16);
+    let mut rng = seeded_rng(5);
+    let v = normal(&mut rng, n, k, 0.0, 0.3);
+    let h = normal(&mut rng, 1, k, 0.0, 0.3).into_vec();
+    let l = normal(&mut rng, k, k, 0.0, 0.3);
+    let transforms = [
+        DenseTransform::Identity,
+        DenseTransform::Mahalanobis(l.matmul_tn(&l)),
+        DenseTransform::Dnn(DnnTransform {
+            weights: vec![normal(&mut rng, k, k, 0.0, 0.4), normal(&mut rng, k, k, 0.0, 0.4)],
+            biases: vec![normal(&mut rng, 1, k, 0.0, 0.1), normal(&mut rng, 1, k, 0.0, 0.1)],
+        }),
+    ];
+    let x: Vec<f64> = normal(&mut rng, 1, n, 0.0, 1.0).into_vec();
+    for transform in transforms {
+        let model = DenseGmlFm { v: v.clone(), h: h.clone(), transform };
+        let naive = model.second_order_naive(&x);
+        let efficient = model.second_order_efficient(&x);
+        assert!(
+            (naive - efficient).abs() < 1e-8 * naive.abs().max(1.0),
+            "naive {naive} vs efficient {efficient}"
+        );
+    }
+}
+
+/// Section 3.5: the graph-built distances match their scalar definitions
+/// through a real GmlFm model.
+#[test]
+fn model_reference_and_graph_agree_for_every_distance() {
+    use gml_fm::data::Instance;
+    use gml_fm::train::Scorer;
+    for distance in Distance::ALL {
+        let cfg = GmlFmConfig::dnn(8, 2).with_distance(distance).with_seed(17);
+        let model = GmlFm::new(40, &cfg);
+        for feats in [vec![0u32, 15, 30], vec![3, 9, 22, 39]] {
+            let inst = Instance::new(feats, 1.0);
+            let graph = model.scores(&[&inst])[0];
+            let reference = model.predict_reference(&inst);
+            assert!(
+                (graph - reference).abs() < 1e-9,
+                "{}: graph {graph} vs reference {reference}",
+                distance.name()
+            );
+        }
+    }
+}
+
+/// The generator's ground truth is self-consistent: a user's chosen items
+/// are closer (in true latent space) than random items, which is the
+/// property every experiment relies on.
+#[test]
+fn ground_truth_positives_are_closer_than_random_items() {
+    let (dataset, truth) = generate_with_truth(&DatasetSpec::AmazonAuto.config(8).scaled(0.3));
+    let mut pos_scores = Vec::new();
+    for it in dataset.interactions.iter().take(500) {
+        pos_scores.push(truth.score(it.user as usize, it.item as usize));
+    }
+    let mut rng = seeded_rng(9);
+    use rand::Rng;
+    let mut rand_scores = Vec::new();
+    for _ in 0..500 {
+        let u = rng.gen_range(0..dataset.n_users);
+        let i = rng.gen_range(0..dataset.n_items);
+        rand_scores.push(truth.score(u, i));
+    }
+    let pos_mean = pos_scores.iter().sum::<f64>() / pos_scores.len() as f64;
+    let rand_mean = rand_scores.iter().sum::<f64>() / rand_scores.len() as f64;
+    assert!(
+        pos_mean > rand_mean,
+        "chosen items should be closer: positives {pos_mean} vs random {rand_mean}"
+    );
+}
+
+/// Section 3.6 (Eq. 15): with unit pair weights, squared Euclidean
+/// distance and equal-norm factors, GML-FM's second-order term is an
+/// affine function of the vanilla FM's — checked through the relation
+/// module's public helpers.
+#[test]
+fn fm_generalization_theorem_holds() {
+    use gml_fm::core::relation::{fm_equivalence_constants, fm_second_order, gml_second_order, normalize_rows_to};
+    let mut rng = seeded_rng(21);
+    let raw = normal(&mut rng, 20, 6, 0.0, 1.0);
+    let c = 1.3;
+    let v = normalize_rows_to(&raw, c);
+    for active in [vec![0usize, 5, 11], vec![1, 2, 3, 4, 5]] {
+        let gml = gml_second_order(&v, &active);
+        let fm = fm_second_order(&v, &active);
+        let (c1, c2) = fm_equivalence_constants(c, active.len());
+        assert!((gml - (c1 * fm + c2)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,56 @@
+//! Integration: the whole pipeline is bit-reproducible in its seeds —
+//! the property that makes the `repro` harness trustworthy.
+
+use gml_fm::core::{GmlFm, GmlFmConfig};
+use gml_fm::data::{generate, loo_split, rating_split, DatasetSpec, FieldMask};
+use gml_fm::eval::{evaluate_rating, evaluate_topn};
+use gml_fm::train::{fit_regression, TrainConfig};
+
+fn rating_pipeline(seed: u64) -> f64 {
+    let dataset = generate(&DatasetSpec::AmazonAuto.config(seed).scaled(0.2));
+    let mask = FieldMask::all(&dataset.schema);
+    let split = rating_split(&dataset, &mask, 2, seed ^ 1);
+    let mut model = GmlFm::new(dataset.schema.total_dim(), &GmlFmConfig::dnn(8, 1).with_seed(seed ^ 2));
+    let cfg = TrainConfig { epochs: 5, seed: seed ^ 3, ..TrainConfig::default() };
+    fit_regression(&mut model, &split.train, Some(&split.val), &cfg);
+    evaluate_rating(&model, &split.test).rmse
+}
+
+#[test]
+fn identical_seeds_give_identical_metrics() {
+    assert_eq!(rating_pipeline(11).to_bits(), rating_pipeline(11).to_bits());
+}
+
+#[test]
+fn different_seeds_give_different_metrics() {
+    assert_ne!(rating_pipeline(11).to_bits(), rating_pipeline(12).to_bits());
+}
+
+#[test]
+fn topn_pipeline_is_reproducible() {
+    let run = || {
+        let dataset = generate(&DatasetSpec::AmazonAuto.config(31).scaled(0.2));
+        let mask = FieldMask::all(&dataset.schema);
+        let split = loo_split(&dataset, &mask, 2, 30, 32);
+        let mut model = GmlFm::new(dataset.schema.total_dim(), &GmlFmConfig::mahalanobis(8).with_seed(33));
+        fit_regression(&mut model, &split.train, None, &TrainConfig { epochs: 4, seed: 34, ..TrainConfig::default() });
+        let m = evaluate_topn(&model, &dataset, &mask, &split.test, 10);
+        (m.hr.to_bits(), m.ndcg.to_bits())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn dropout_training_is_still_seed_deterministic() {
+    let run = || {
+        let dataset = generate(&DatasetSpec::AmazonAuto.config(41).scaled(0.2));
+        let mask = FieldMask::all(&dataset.schema);
+        let split = rating_split(&dataset, &mask, 2, 42);
+        let mut cfg = GmlFmConfig::dnn(8, 2).with_seed(43);
+        cfg.dropout = 0.5; // heavy dropout exercises the mask RNG
+        let mut model = GmlFm::new(dataset.schema.total_dim(), &cfg);
+        fit_regression(&mut model, &split.train, None, &TrainConfig { epochs: 4, seed: 44, ..TrainConfig::default() });
+        evaluate_rating(&model, &split.test).rmse.to_bits()
+    };
+    assert_eq!(run(), run());
+}
