@@ -358,13 +358,18 @@ impl Graph {
         }
         let keep = 1.0 - p;
         let src = &self.nodes[a.0].value;
-        let mask = Matrix::from_fn(src.rows(), src.cols(), |_, _| {
-            if rng.gen::<f64>() < keep {
-                1.0 / keep
-            } else {
-                0.0
-            }
-        });
+        let mask =
+            Matrix::from_fn(
+                src.rows(),
+                src.cols(),
+                |_, _| {
+                    if rng.gen::<f64>() < keep {
+                        1.0 / keep
+                    } else {
+                        0.0
+                    }
+                },
+            );
         let v = src.hadamard(&mask);
         self.push(Op::Dropout(a.0, mask), v)
     }
@@ -408,11 +413,7 @@ impl Graph {
     /// # Panics
     /// Panics when `loss` is not `1x1`.
     pub fn backward(&self, loss: Var) -> Gradients {
-        assert_eq!(
-            self.nodes[loss.0].value.shape(),
-            (1, 1),
-            "backward: loss must be a 1x1 node"
-        );
+        assert_eq!(self.nodes[loss.0].value.shape(), (1, 1), "backward: loss must be a 1x1 node");
         let mut adj: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
         adj[loss.0] = Some(Matrix::filled(1, 1, 1.0));
         let mut grads = Gradients::new(self.n_params_seen);
@@ -698,11 +699,7 @@ mod tests {
         let grads = g.backward(s);
         let ge = grads.get(e).unwrap();
         // Row 2 gathered twice => grad 2, row 0 once => 1, row 1 never => 0.
-        assert!(approx_eq(
-            ge,
-            &Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 0.0], &[2.0, 2.0]]),
-            1e-12
-        ));
+        assert!(approx_eq(ge, &Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 0.0], &[2.0, 2.0]]), 1e-12));
     }
 
     #[test]

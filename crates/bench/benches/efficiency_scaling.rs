@@ -35,7 +35,10 @@ fn bench(c: &mut Criterion) {
     let k = 16;
     for (label, dnn) in [("mahalanobis_eq10", false), ("dnn_eq11", true)] {
         let mut group = c.benchmark_group(format!("efficiency_scaling/{label}"));
-        group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(800));
         for n in [64usize, 128, 256, 512] {
             let m = model(n, k, dnn);
             let mut rng = seeded_rng(7);

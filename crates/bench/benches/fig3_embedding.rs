@@ -16,7 +16,10 @@ fn bench(c: &mut Criterion) {
     let tc = TrainConfig { epochs: 1, patience: 0, ..TrainConfig::default() };
 
     let mut group = c.benchmark_group("fig3_embedding_size");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
     for k in [4usize, 16, 64, 128] {
         group.throughput(Throughput::Elements(f.rating.train.len() as u64));
         group.bench_with_input(BenchmarkId::new("gmlfm_dnn_epoch", k), &k, |b, &k| {

@@ -30,12 +30,18 @@ fn bench(c: &mut Criterion) {
             support: items.iter().map(|&i| (i as usize, 1.0)).collect(),
         })
         .collect();
-    let mut mamo = MamoLite::new(d.n_items, &profile_cards, MamoConfig { epochs: 2, ..MamoConfig::default() });
+    let mut mamo =
+        MamoLite::new(d.n_items, &profile_cards, MamoConfig { epochs: 2, ..MamoConfig::default() });
     mamo.fit(&tasks);
 
     // Train GML-FM once.
     let mut gml = GmlFm::new(d.schema.total_dim(), &GmlFmConfig::dnn(16, 1));
-    fit_regression(&mut gml, &f.loo.train, None, &TrainConfig { epochs: 2, patience: 0, ..TrainConfig::default() });
+    fit_regression(
+        &mut gml,
+        &f.loo.train,
+        None,
+        &TrainConfig { epochs: 2, patience: 0, ..TrainConfig::default() },
+    );
 
     let case = &f.loo.test[0];
     let user = case.user as usize;
@@ -50,13 +56,14 @@ fn bench(c: &mut Criterion) {
     let refs: Vec<&Instance> = instances.iter().collect();
 
     let mut group = c.benchmark_group("fig4_coldstart");
-    group.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
     group.bench_function("mamo_adapt_and_score", |b| {
         b.iter(|| black_box(mamo.predict(&d.user_attrs[user], &support, &query_items)))
     });
-    group.bench_function("gmlfm_score", |b| {
-        b.iter(|| black_box(gml.scores(&refs)))
-    });
+    group.bench_function("gmlfm_score", |b| b.iter(|| black_box(gml.scores(&refs))));
     group.finish();
 }
 

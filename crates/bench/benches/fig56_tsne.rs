@@ -10,7 +10,10 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig56_tsne");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
     for n in [30usize, 60, 120] {
         let mut rng = seeded_rng(n as u64);
         let data = normal(&mut rng, n, 16, 0.0, 1.0);

@@ -15,7 +15,10 @@ use std::time::Duration;
 
 fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate/kernels");
-    group.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
     let mut rng = seeded_rng(1);
     for k in [16usize, 64] {
         let a = normal(&mut rng, 256, k, 0.0, 1.0);
@@ -37,7 +40,10 @@ fn bench_kernels(c: &mut Criterion) {
 /// raw forward math.
 fn bench_autograd_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate/autograd");
-    group.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
     let k = 16;
     let mut rng = seeded_rng(2);
     let mut params = ParamSet::new();
@@ -83,7 +89,10 @@ fn bench_fm_paths(c: &mut Criterion) {
     let f = fixture(DatasetSpec::AmazonAuto);
     let n = f.dataset.schema.total_dim();
     let mut group = c.benchmark_group("substrate/fm_paths");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
     group.bench_function("fm_sgd_epoch_hand_derived", |b| {
         b.iter(|| {
             let mut m = FactorizationMachine::new(n, FmConfig { epochs: 1, ..FmConfig::default() });
@@ -96,9 +105,7 @@ fn bench_fm_paths(c: &mut Criterion) {
         m
     };
     let refs: Vec<&Instance> = f.rating.test.iter().collect();
-    group.bench_function("fm_predict_test_set", |b| {
-        b.iter(|| black_box(m.scores(&refs)))
-    });
+    group.bench_function("fm_predict_test_set", |b| b.iter(|| black_box(m.scores(&refs))));
     group.finish();
 }
 

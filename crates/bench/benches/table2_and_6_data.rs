@@ -10,7 +10,10 @@ use std::time::Duration;
 
 fn bench_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_datagen");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
     for spec in DatasetSpec::ALL {
         group.bench_with_input(BenchmarkId::from_parameter(spec.name()), &spec, |b, spec| {
             b.iter(|| black_box(generate(&spec.config(2023).scaled(BENCH_SCALE))))
@@ -28,7 +31,10 @@ fn bench_masked_instances(c: &mut Criterion) {
         ("base+all", FieldMask::all(&dataset.schema)),
     ];
     let mut group = c.benchmark_group("table6_attributes");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
     for (name, mask) in masks {
         group.bench_with_input(BenchmarkId::new("build_instances", name), &mask, |b, mask| {
             b.iter(|| {

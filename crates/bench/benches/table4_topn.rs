@@ -19,7 +19,10 @@ fn bench(c: &mut Criterion) {
     let tc = TrainConfig { epochs: 2, patience: 0, ..TrainConfig::default() };
 
     let mut group = c.benchmark_group("table4_topn");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
 
     group.bench_function("bpr_mf", |b| {
         b.iter(|| {

@@ -16,7 +16,10 @@ fn bench(c: &mut Criterion) {
     let tc = TrainConfig { epochs: 1, patience: 0, ..TrainConfig::default() };
 
     let mut group = c.benchmark_group("table5_ablation");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
 
     let variants: Vec<(&str, GmlFmConfig)> = vec![
         ("euclidean_plain", GmlFmConfig::euclidean_plain(16)),

@@ -162,14 +162,7 @@ impl Transform {
     }
 
     /// Applies the transform to a `B×k` node.
-    pub fn build(
-        &self,
-        g: &mut Graph,
-        params: &ParamSet,
-        v: Var,
-        training: bool,
-        rng: &mut StdRng,
-    ) -> Var {
+    pub fn build(&self, g: &mut Graph, params: &ParamSet, v: Var, training: bool, rng: &mut StdRng) -> Var {
         match self {
             Transform::Identity => v,
             Transform::Mahalanobis { l } => {

@@ -175,6 +175,22 @@ impl GmlFm {
         self.params.get(self.v)
     }
 
+    /// Global bias `w₀` (used by the freeze path in `gmlfm-serve`).
+    pub fn bias(&self) -> f64 {
+        self.params.get(self.w0)[(0, 0)]
+    }
+
+    /// Borrow of the first-order weights `w ∈ R^{n×1}`.
+    pub fn linear_weights(&self) -> &Matrix {
+        self.params.get(self.w)
+    }
+
+    /// Borrow of the transformation-weight vector `h ∈ R^{k×1}` (Eq. 2),
+    /// `None` when the model was built `without_weight` (`w_ij = 1`).
+    pub fn transform_weight(&self) -> Option<&Matrix> {
+        self.h.map(|id| self.params.get(id))
+    }
+
     /// The transform in use (for the dense/efficient evaluation paths).
     pub fn transform(&self) -> &Transform {
         &self.transform
@@ -316,10 +332,7 @@ mod tests {
             let batch_pred = model.scores(&[&a, &b]);
             for (inst, got) in [&a, &b].iter().zip(&batch_pred) {
                 let want = model.predict_reference(inst);
-                assert!(
-                    (got - want).abs() < 1e-9,
-                    "{name}: graph {got} vs reference {want}"
-                );
+                assert!((got - want).abs() < 1e-9, "{name}: graph {got} vs reference {want}");
             }
         }
     }

@@ -217,10 +217,7 @@ mod tests {
         // Perturb parameters so the snapshot is not just the init.
         let ids: Vec<_> = model.params().iter().map(|(id, _)| id).collect();
         for (i, id) in ids.into_iter().enumerate() {
-            model
-                .params_mut()
-                .get_mut(id)
-                .map_inplace(|x| x + 0.01 * (i as f64 + 1.0));
+            model.params_mut().get_mut(id).map_inplace(|x| x + 0.01 * (i as f64 + 1.0));
         }
         model
     }

@@ -26,12 +26,7 @@ pub fn gml_second_order(v: &Matrix, active: &[usize]) -> f64 {
     let mut out = 0.0;
     for (a, &i) in active.iter().enumerate() {
         for &j in active.iter().skip(a + 1) {
-            out += v
-                .row(i)
-                .iter()
-                .zip(v.row(j))
-                .map(|(x, y)| (x - y) * (x - y))
-                .sum::<f64>();
+            out += v.row(i).iter().zip(v.row(j)).map(|(x, y)| (x - y) * (x - y)).sum::<f64>();
         }
     }
     out

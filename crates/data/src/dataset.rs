@@ -63,6 +63,15 @@ impl Dataset {
     /// active fields of `mask`, in schema field order.
     pub fn feats(&self, user: u32, item: u32, mask: &FieldMask) -> Vec<u32> {
         let mut out = Vec::with_capacity(mask.n_active());
+        self.feats_into(user, item, mask, &mut out);
+        out
+    }
+
+    /// [`Dataset::feats`] into a caller-owned buffer (cleared first), so
+    /// candidate-scoring loops — the frozen top-n protocol scores
+    /// hundreds of items per user — reuse one allocation.
+    pub fn feats_into(&self, user: u32, item: u32, mask: &FieldMask, out: &mut Vec<u32>) {
+        out.clear();
         for (field, f) in self.schema.fields().iter().enumerate() {
             if !mask.is_active(field) {
                 continue;
@@ -71,17 +80,24 @@ impl Dataset {
                 FieldKind::User => user as usize,
                 FieldKind::Item => item as usize,
                 FieldKind::UserAttr => {
-                    let col = self.user_attr_fields.iter().position(|&x| x == field).expect("user attr column");
+                    let col = self
+                        .user_attr_fields
+                        .iter()
+                        .position(|&x| x == field)
+                        .expect("user attr column");
                     self.user_attrs[user as usize][col]
                 }
                 _ => {
-                    let col = self.item_attr_fields.iter().position(|&x| x == field).expect("item attr column");
+                    let col = self
+                        .item_attr_fields
+                        .iter()
+                        .position(|&x| x == field)
+                        .expect("item attr column");
                     self.item_attrs[item as usize][col]
                 }
             };
             out.push(self.schema.feature_index(field, value));
         }
-        out
     }
 
     /// Instance for `(user, item)` with a label, over all fields.

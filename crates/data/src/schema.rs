@@ -153,9 +153,7 @@ impl FieldMask {
 
     /// Fields whose kind appears in `kinds`.
     pub fn of_kinds(schema: &Schema, kinds: &[FieldKind]) -> Self {
-        Self {
-            active: schema.fields().iter().map(|f| kinds.contains(&f.kind)).collect(),
-        }
+        Self { active: schema.fields().iter().map(|f| kinds.contains(&f.kind)).collect() }
     }
 
     /// Returns a copy with every field of `kind` switched on.
@@ -181,12 +179,7 @@ impl FieldMask {
 
     /// Indices of active fields in order.
     pub fn active_fields(&self) -> Vec<usize> {
-        self.active
-            .iter()
-            .enumerate()
-            .filter(|(_, &a)| a)
-            .map(|(i, _)| i)
-            .collect()
+        self.active.iter().enumerate().filter(|(_, &a)| a).map(|(i, _)| i).collect()
     }
 }
 

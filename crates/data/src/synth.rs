@@ -324,8 +324,9 @@ pub fn generate_with_truth(config: &SynthConfig) -> (Dataset, GroundTruth) {
             .collect(),
     );
     let user_attr_fields = (2..2 + config.user_attrs.len()).collect::<Vec<_>>();
-    let item_attr_fields =
-        (2 + config.user_attrs.len()..2 + config.user_attrs.len() + config.item_attrs.len()).collect::<Vec<_>>();
+    let item_attr_fields = (2 + config.user_attrs.len()
+        ..2 + config.user_attrs.len() + config.item_attrs.len())
+        .collect::<Vec<_>>();
 
     // --- Attribute assignments and latents --------------------------------
     let truth = TruthTransform::new(config.correlation, d, &mut rng);

@@ -1,9 +1,7 @@
 //! Property tests on the data substrate: encoding round-trips, split
 //! invariants and generator guarantees across random configurations.
 
-use gmlfm_data::{
-    generate, loo_split, rating_split, DatasetSpec, FieldKind, FieldMask, Schema,
-};
+use gmlfm_data::{generate, loo_split, rating_split, DatasetSpec, FieldKind, FieldMask, Schema};
 use proptest::prelude::*;
 use std::collections::HashSet;
 

@@ -7,7 +7,8 @@
 pub fn rmse(preds: &[f64], targets: &[f64]) -> f64 {
     assert_eq!(preds.len(), targets.len(), "rmse: length mismatch");
     assert!(!preds.is_empty(), "rmse: empty inputs");
-    let mse: f64 = preds.iter().zip(targets).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / preds.len() as f64;
+    let mse: f64 =
+        preds.iter().zip(targets).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / preds.len() as f64;
     mse.sqrt()
 }
 

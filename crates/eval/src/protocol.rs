@@ -1,7 +1,16 @@
 //! End-to-end evaluation protocols over a trained [`Scorer`].
+//!
+//! Two top-n paths are provided: the generic [`evaluate_topn`], which
+//! scores every candidate through whatever [`Scorer`] it is given, and
+//! [`evaluate_topn_frozen`], which exploits a frozen model's
+//! [`TopNRanker`] to compute each user's context partial sums once and
+//! score candidates by item delta only. Both produce identical metrics
+//! for the same model (pinned by tests here); the frozen path is the one
+//! the experiment runners use.
 
 use crate::metrics::{hit_ratio_at, mae, ndcg_at, rmse};
-use gmlfm_data::{Dataset, FieldMask, Instance, LooTestCase};
+use gmlfm_data::{Dataset, FieldKind, FieldMask, Instance, LooTestCase};
+use gmlfm_serve::FrozenModel;
 use gmlfm_train::Scorer;
 
 /// Rating-prediction results (Table 3 reports RMSE).
@@ -59,6 +68,64 @@ pub fn evaluate_topn<S: Scorer + ?Sized>(
         }
         let refs: Vec<&Instance> = candidates.iter().collect();
         let scores = scorer.scores(&refs);
+        per_user_hr.push(hit_ratio_at(&scores, k));
+        per_user_ndcg.push(ndcg_at(&scores, k));
+    }
+    let hr = per_user_hr.iter().sum::<f64>() / per_user_hr.len() as f64;
+    let ndcg = per_user_ndcg.iter().sum::<f64>() / per_user_ndcg.len() as f64;
+    TopnMetrics { hr, ndcg, per_user_hr, per_user_ndcg }
+}
+
+/// Positions (within the active fields of `mask`) that carry item-side
+/// values and therefore change between ranking candidates. These are the
+/// `item_slots` to hand to [`FrozenModel::ranker`] for instances built by
+/// [`Dataset::feats`] under the same mask.
+pub fn item_side_slots(dataset: &Dataset, mask: &FieldMask) -> Vec<usize> {
+    dataset
+        .schema
+        .fields()
+        .iter()
+        .enumerate()
+        .filter(|(field, _)| mask.is_active(*field))
+        .map(|(_, f)| f.kind)
+        .enumerate()
+        .filter(|(_, kind)| !matches!(kind, FieldKind::User | FieldKind::UserAttr))
+        .map(|(slot, _)| slot)
+        .collect()
+}
+
+/// Leave-one-out evaluation through the frozen serving path: one
+/// [`gmlfm_serve::TopNRanker`] per test case computes the user/context
+/// partial sums once and scores the positive plus its sampled negatives
+/// by item delta only. Metrics match [`evaluate_topn`] on the same
+/// frozen model.
+pub fn evaluate_topn_frozen(
+    model: &FrozenModel,
+    dataset: &Dataset,
+    mask: &FieldMask,
+    cases: &[LooTestCase],
+    k: usize,
+) -> TopnMetrics {
+    assert!(!cases.is_empty(), "evaluate_topn_frozen: no test cases");
+    let item_slots = item_side_slots(dataset, mask);
+    let mut per_user_hr = Vec::with_capacity(cases.len());
+    let mut per_user_ndcg = Vec::with_capacity(cases.len());
+    let mut scores: Vec<f64> = Vec::new();
+    let mut feats: Vec<u32> = Vec::new();
+    let mut item_feats: Vec<u32> = Vec::new();
+    for case in cases {
+        let template = dataset.feats(case.user, case.pos_item, mask);
+        let mut ranker = model.ranker(&template, &item_slots);
+        scores.clear();
+        item_feats.clear();
+        item_feats.extend(item_slots.iter().map(|&s| template[s]));
+        scores.push(ranker.score(&item_feats));
+        for &neg in &case.negatives {
+            dataset.feats_into(case.user, neg, mask, &mut feats);
+            item_feats.clear();
+            item_feats.extend(item_slots.iter().map(|&s| feats[s]));
+            scores.push(ranker.score(&item_feats));
+        }
         per_user_hr.push(hit_ratio_at(&scores, k));
         per_user_ndcg.push(ndcg_at(&scores, k));
     }
@@ -136,6 +203,28 @@ mod tests {
         assert!((m.rmse - 1.0).abs() < 1e-12);
         assert!((m.mae - 1.0).abs() < 1e-12);
         assert_eq!(m.n, 2);
+    }
+
+    /// The frozen ranking protocol must produce the same metrics as the
+    /// generic candidate-scoring protocol for the same frozen model.
+    #[test]
+    fn frozen_protocol_matches_generic_protocol() {
+        use gmlfm_core::{GmlFm, GmlFmConfig};
+        use gmlfm_serve::Freeze;
+        let d = generate(&DatasetSpec::AmazonAuto.config(135).scaled(0.2));
+        let mask = FieldMask::all(&d.schema);
+        let split = loo_split(&d, &mask, 2, 20, 5);
+        let model = GmlFm::new(d.schema.total_dim(), &GmlFmConfig::mahalanobis(6).with_seed(9));
+        let frozen = model.freeze();
+        let generic = evaluate_topn(&frozen, &d, &mask, &split.test, 10);
+        let fast = evaluate_topn_frozen(&frozen, &d, &mask, &split.test, 10);
+        assert_eq!(fast.per_user_hr, generic.per_user_hr);
+        for (a, b) in fast.per_user_ndcg.iter().zip(&generic.per_user_ndcg) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // And both agree with the autograd path's metrics.
+        let graph = evaluate_topn(&model, &d, &mask, &split.test, 10);
+        assert_eq!(fast.per_user_hr, graph.per_user_hr);
     }
 
     #[test]

@@ -24,7 +24,13 @@ impl Table {
     /// # Panics
     /// Panics when the row width differs from the header width.
     pub fn push_row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.header.len(), "Table: row width {} != header width {}", row.len(), self.header.len());
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "Table: row width {} != header width {}",
+            row.len(),
+            self.header.len()
+        );
         self.rows.push(row);
     }
 

@@ -28,17 +28,32 @@ fn main() {
     {
         let codec = gmlfm_models::PairCodec::from_schema(&dataset.schema);
         let fit = |insts: &[gmlfm_data::Instance]| -> (f64, f64) {
-            let xs: Vec<f64> = insts.iter().map(|i| { let (u,it)=codec.decode(i); truth.score(u,it) }).collect();
+            let xs: Vec<f64> = insts
+                .iter()
+                .map(|i| {
+                    let (u, it) = codec.decode(i);
+                    truth.score(u, it)
+                })
+                .collect();
             let ys: Vec<f64> = insts.iter().map(|i| i.label).collect();
-            let mx = xs.iter().sum::<f64>()/xs.len() as f64;
-            let my = ys.iter().sum::<f64>()/ys.len() as f64;
-            let cov: f64 = xs.iter().zip(&ys).map(|(x,y)| (x-mx)*(y-my)).sum();
-            let var: f64 = xs.iter().map(|x| (x-mx)*(x-mx)).sum();
-            let a = cov/var.max(1e-12);
-            (a, my - a*mx)
+            let mx = xs.iter().sum::<f64>() / xs.len() as f64;
+            let my = ys.iter().sum::<f64>() / ys.len() as f64;
+            let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+            let var: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+            let a = cov / var.max(1e-12);
+            (a, my - a * mx)
         };
-        let (a,b) = fit(&rating.train);
-        let mse: f64 = rating.test.iter().map(|i| { let (u,it)=codec.decode(i); let p = (a*truth.score(u,it)+b).clamp(-1.0,1.0); (p-i.label).powi(2) }).sum::<f64>()/rating.test.len() as f64;
+        let (a, b) = fit(&rating.train);
+        let mse: f64 = rating
+            .test
+            .iter()
+            .map(|i| {
+                let (u, it) = codec.decode(i);
+                let p = (a * truth.score(u, it) + b).clamp(-1.0, 1.0);
+                (p - i.label).powi(2)
+            })
+            .sum::<f64>()
+            / rating.test.len() as f64;
         println!("ORACLE linear-in-truth test RMSE: {:.4}", mse.sqrt());
     }
 

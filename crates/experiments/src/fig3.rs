@@ -2,19 +2,15 @@
 //! for six methods.
 
 use crate::datasets::make;
-use crate::runner::{run_topn, run_topn_gmlfm, default_dnn_cfg, ExpConfig, ModelKind};
+use crate::runner::{default_dnn_cfg, run_topn, run_topn_gmlfm, ExpConfig, ModelKind};
 use gmlfm_data::{loo_split, DatasetSpec, FieldMask};
 use gmlfm_eval::Table;
 
 const METHODS: [ModelKind; 5] =
     [ModelKind::BprMf, ModelKind::Nfm, ModelKind::TransFm, ModelKind::DeepFm, ModelKind::XDeepFm];
 
-const FIG3_DATASETS: [DatasetSpec; 4] = [
-    DatasetSpec::AmazonClothing,
-    DatasetSpec::AmazonAuto,
-    DatasetSpec::AmazonOffice,
-    DatasetSpec::MovieLens,
-];
+const FIG3_DATASETS: [DatasetSpec; 4] =
+    [DatasetSpec::AmazonClothing, DatasetSpec::AmazonAuto, DatasetSpec::AmazonOffice, DatasetSpec::MovieLens];
 
 /// Runs the embedding-size sweep. `full` extends the sweep to the paper's
 /// 512; the default stops at 128 to keep the run short.
@@ -41,7 +37,12 @@ pub fn run(cfg: &ExpConfig, full: bool) {
                 kcfg.k = k;
                 let m = run_topn(kind, &dataset, &mask, &split, &kcfg);
                 row.push(format!("{:.4}", m.hr));
-                csv.push_row(vec![spec.name().into(), kind.name().into(), k.to_string(), format!("{:.4}", m.hr)]);
+                csv.push_row(vec![
+                    spec.name().into(),
+                    kind.name().into(),
+                    k.to_string(),
+                    format!("{:.4}", m.hr),
+                ]);
             }
             rows.push(row);
         }

@@ -14,7 +14,10 @@ use crate::runner::{default_dnn_cfg, ExpConfig};
 use gmlfm_core::GmlFm;
 use gmlfm_data::{generate, DatasetSpec, FieldMask, Instance, NegativeSampler};
 use gmlfm_eval::Table;
-use gmlfm_models::{MamoLite, mamo::{MamoConfig, MamoTask}};
+use gmlfm_models::{
+    mamo::{MamoConfig, MamoTask},
+    MamoLite,
+};
 use gmlfm_tensor::seeded_rng;
 use gmlfm_train::{fit_regression, Scorer, TrainConfig};
 use std::collections::{HashMap, HashSet};
@@ -33,7 +36,10 @@ struct ColdStartData {
 }
 
 fn build(cfg: &ExpConfig) -> ColdStartData {
-    let spec = DatasetSpec::MovieLens.config(cfg.seed ^ 0x8888).scaled(cfg.scale).with_interactions(1, 25);
+    let spec = DatasetSpec::MovieLens
+        .config(cfg.seed ^ 0x8888)
+        .scaled(cfg.scale)
+        .with_interactions(1, 25);
     let dataset = generate(&spec);
     let mut rng = seeded_rng(cfg.seed ^ 0x8889);
     let mut support = vec![Vec::new(); dataset.n_users];
@@ -112,7 +118,14 @@ pub fn run(cfg: &ExpConfig) {
         }
     }
     let mut gml = GmlFm::new(d.schema.total_dim(), &default_dnn_cfg(cfg.k, cfg.seed ^ 0x8b));
-    let tc = TrainConfig { lr: 0.01, epochs: cfg.epochs, batch_size: 256, weight_decay: 1e-5, patience: 0, seed: cfg.seed ^ 0x8c };
+    let tc = TrainConfig {
+        lr: 0.01,
+        epochs: cfg.epochs,
+        batch_size: 256,
+        weight_decay: 1e-5,
+        patience: 0,
+        seed: cfg.seed ^ 0x8c,
+    };
     fit_regression(&mut gml, &train, None, &tc);
 
     // --- Meta-train MAMO-lite on warm users' support tasks ----------------
@@ -198,8 +211,20 @@ pub fn run(cfg: &ExpConfig) {
                 format!("{g_rmse:.4}"),
                 g.n.to_string(),
             ]);
-            csv.push_row(vec![qname.to_string(), (b + 1).to_string(), "MAMO-lite".into(), format!("{m_rmse:.4}"), m.n.to_string()]);
-            csv.push_row(vec![qname.to_string(), (b + 1).to_string(), "GML-FM".into(), format!("{g_rmse:.4}"), g.n.to_string()]);
+            csv.push_row(vec![
+                qname.to_string(),
+                (b + 1).to_string(),
+                "MAMO-lite".into(),
+                format!("{m_rmse:.4}"),
+                m.n.to_string(),
+            ]);
+            csv.push_row(vec![
+                qname.to_string(),
+                (b + 1).to_string(),
+                "GML-FM".into(),
+                format!("{g_rmse:.4}"),
+                g.n.to_string(),
+            ]);
             buckets += 1;
             if g_rmse < m_rmse {
                 gml_wins += 1;

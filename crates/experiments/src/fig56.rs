@@ -15,10 +15,12 @@ use crate::runner::{default_dnn_cfg, ExpConfig};
 use gmlfm_core::GmlFm;
 use gmlfm_data::{loo_split, DatasetSpec, FieldMask, NegativeSampler};
 use gmlfm_eval::Table;
-use gmlfm_models::{fm::FmConfig, nfm::NfmConfig, transfm::TransFmConfig, FactorizationMachine, Nfm, TransFm};
+use gmlfm_models::{
+    fm::FmConfig, nfm::NfmConfig, transfm::TransFmConfig, FactorizationMachine, Nfm, TransFm,
+};
 use gmlfm_tensor::{seeded_rng, Matrix};
-use gmlfm_tsne::{separation_score, tsne, TsneConfig};
 use gmlfm_train::{fit_regression, TrainConfig};
+use gmlfm_tsne::{separation_score, tsne, TsneConfig};
 
 /// Runs the case study for the `rank`-th most active user (0 for Fig. 5,
 /// 1 for Fig. 6) and writes `fig{5,6}_<model>.csv`.
@@ -30,12 +32,8 @@ pub fn run(cfg: &ExpConfig, rank: usize) {
     let split = loo_split(&dataset, &mask, 2, 99, cfg.seed ^ 0x9999);
 
     // Pick the rank-th most active user.
-    let mut users: Vec<(usize, usize)> = split
-        .train_user_items
-        .iter()
-        .enumerate()
-        .map(|(u, s)| (s.len(), u))
-        .collect();
+    let mut users: Vec<(usize, usize)> =
+        split.train_user_items.iter().enumerate().map(|(u, s)| (s.len(), u)).collect();
     users.sort_unstable_by(|a, b| b.cmp(a));
     let (n_pos, user) = users[rank];
     println!("user id {user} with {n_pos} training positives\n");
@@ -50,7 +48,14 @@ pub fn run(cfg: &ExpConfig, rank: usize) {
     let negatives = sampler.sample(&mut rng, &dataset.user_item_sets()[user], positives.len());
     let item_offset = dataset.schema.offset(1);
 
-    let tc = TrainConfig { lr: 0.01, epochs: cfg.epochs, batch_size: 256, weight_decay: 1e-5, patience: 0, seed: cfg.seed ^ 0x9b };
+    let tc = TrainConfig {
+        lr: 0.01,
+        epochs: cfg.epochs,
+        batch_size: 256,
+        weight_decay: 1e-5,
+        patience: 0,
+        seed: cfg.seed ^ 0x9b,
+    };
     let n = dataset.schema.total_dim();
 
     // Train the four case-study models and extract item-ID factor rows.
@@ -67,7 +72,8 @@ pub fn run(cfg: &ExpConfig, rank: usize) {
                 m.factors().clone()
             }
             "NFM" => {
-                let mut m = Nfm::new(n, &NfmConfig { k: cfg.k, layers: 1, dropout: 0.2, seed: cfg.seed ^ 0x9d });
+                let mut m =
+                    Nfm::new(n, &NfmConfig { k: cfg.k, layers: 1, dropout: 0.2, seed: cfg.seed ^ 0x9d });
                 fit_regression(&mut m, &split.train, None, &tc);
                 m.factors().clone()
             }

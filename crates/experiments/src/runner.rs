@@ -3,13 +3,14 @@
 
 use gmlfm_core::{GmlFm, GmlFmConfig};
 use gmlfm_data::{Dataset, FieldMask, LooSplit, RatingSplit};
-use gmlfm_eval::{evaluate_rating, evaluate_topn, RatingMetrics, TopnMetrics};
+use gmlfm_eval::{evaluate_rating, evaluate_topn, evaluate_topn_frozen, RatingMetrics, TopnMetrics};
 use gmlfm_models::{
     afm::AfmConfig, deepfm::DeepFmConfig, mf::MfConfig, ncf::NcfConfig, nfm::NfmConfig,
-    transfm::TransFmConfig, xdeepfm::XDeepFmConfig, Afm, BprMf, DeepFm, FactorizationMachine, Ncf,
-    Nfm, Ngcf, PairCodec, Pmf, TransFm, XDeepFm,
+    transfm::TransFmConfig, xdeepfm::XDeepFmConfig, Afm, BprMf, DeepFm, FactorizationMachine, Ncf, Nfm, Ngcf,
+    PairCodec, Pmf, TransFm, XDeepFm,
 };
 use gmlfm_models::{fm::FmConfig, MatrixFactorization};
+use gmlfm_serve::Freeze;
 use gmlfm_train::{fit_regression, Scorer, TrainConfig};
 
 /// Global experiment knobs, shared by every table/figure.
@@ -173,7 +174,9 @@ pub fn run_topn_gmlfm(
 ) -> TopnMetrics {
     let mut model = GmlFm::new(dataset.schema.total_dim(), gml_cfg);
     fit_regression(&mut model, &split.train, None, &train_cfg(cfg));
-    evaluate_topn(&model, dataset, mask, &split.test, 10)
+    // Rank through the frozen serving path: context partials once per
+    // user, item delta per candidate (identical metrics, no tape).
+    evaluate_topn_frozen(&model.freeze(), dataset, mask, &split.test, 10)
 }
 
 /// GML-FM with a custom configuration on the rating task.
@@ -185,7 +188,7 @@ pub fn run_rating_gmlfm(
 ) -> RatingMetrics {
     let mut model = GmlFm::new(dataset.schema.total_dim(), gml_cfg);
     fit_regression(&mut model, &split.train, Some(&split.val), &train_cfg(cfg));
-    evaluate_rating(&model, &split.test)
+    evaluate_rating(&model.freeze(), &split.test)
 }
 
 /// The default GML-FM_dnn configuration used across experiments.
@@ -226,10 +229,11 @@ fn fit_rating_model(
                 FmConfig { k: cfg.k, lr: 0.01, reg: 0.01, epochs: cfg.epochs * 2, seed: cfg.seed ^ 0xb2 },
             );
             model.fit(&split.train);
-            Box::new(model)
+            Box::new(model.freeze())
         }
         ModelKind::Nfm => {
-            let mut model = Nfm::new(n, &NfmConfig { k: cfg.k, layers: 1, dropout: 0.2, seed: cfg.seed ^ 0xc3 });
+            let mut model =
+                Nfm::new(n, &NfmConfig { k: cfg.k, layers: 1, dropout: 0.2, seed: cfg.seed ^ 0xc3 });
             fit_regression(&mut model, &split.train, Some(&split.val), &tc);
             Box::new(model)
         }
@@ -244,7 +248,7 @@ fn fit_rating_model(
         ModelKind::TransFm => {
             let mut model = TransFm::new(n, &TransFmConfig { k: cfg.k, seed: cfg.seed ^ 0xe5 });
             fit_regression(&mut model, &split.train, Some(&split.val), &tc);
-            Box::new(model)
+            Box::new(model.freeze())
         }
         ModelKind::DeepFm => {
             let mut model =
@@ -271,12 +275,12 @@ fn fit_rating_model(
         ModelKind::GmlFmMd => {
             let mut model = GmlFm::new(n, &default_md_cfg(cfg.k, cfg.seed ^ 0x28));
             fit_regression(&mut model, &split.train, Some(&split.val), &tc);
-            Box::new(model)
+            Box::new(model.freeze())
         }
         ModelKind::GmlFmDnn => {
             let mut model = GmlFm::new(n, &default_dnn_cfg(cfg.k, cfg.seed ^ 0x39));
             fit_regression(&mut model, &split.train, Some(&split.val), &tc);
-            Box::new(model)
+            Box::new(model.freeze())
         }
         ModelKind::Ncf | ModelKind::BprMf | ModelKind::Ngcf => {
             panic!("{} is a top-n-only baseline in the paper", kind.name())
@@ -297,7 +301,8 @@ fn fit_topn_model(
     let tc = train_cfg(cfg);
     match kind {
         ModelKind::Ncf => {
-            let mut model = Ncf::new(codec, &NcfConfig { k: cfg.k, layers: 2, dropout: 0.2, seed: cfg.seed ^ 0x4a });
+            let mut model =
+                Ncf::new(codec, &NcfConfig { k: cfg.k, layers: 2, dropout: 0.2, seed: cfg.seed ^ 0x4a });
             fit_regression(&mut model, &split.train, None, &tc);
             Box::new(model)
         }
@@ -317,10 +322,11 @@ fn fit_topn_model(
                 FmConfig { k: cfg.k, lr: 0.01, reg: 0.01, epochs: cfg.epochs * 2, seed: cfg.seed ^ 0xb2 },
             );
             model.fit(&split.train);
-            Box::new(model)
+            Box::new(model.freeze())
         }
         ModelKind::Nfm => {
-            let mut model = Nfm::new(n, &NfmConfig { k: cfg.k, layers: 1, dropout: 0.2, seed: cfg.seed ^ 0xc3 });
+            let mut model =
+                Nfm::new(n, &NfmConfig { k: cfg.k, layers: 1, dropout: 0.2, seed: cfg.seed ^ 0xc3 });
             fit_regression(&mut model, &split.train, None, &tc);
             Box::new(model)
         }
@@ -335,7 +341,7 @@ fn fit_topn_model(
         ModelKind::TransFm => {
             let mut model = TransFm::new(n, &TransFmConfig { k: cfg.k, seed: cfg.seed ^ 0xe5 });
             fit_regression(&mut model, &split.train, None, &tc);
-            Box::new(model)
+            Box::new(model.freeze())
         }
         ModelKind::DeepFm => {
             let mut model =
@@ -362,12 +368,12 @@ fn fit_topn_model(
         ModelKind::GmlFmMd => {
             let mut model = GmlFm::new(n, &default_md_cfg(cfg.k, cfg.seed ^ 0x28));
             fit_regression(&mut model, &split.train, None, &tc);
-            Box::new(model)
+            Box::new(model.freeze())
         }
         ModelKind::GmlFmDnn => {
             let mut model = GmlFm::new(n, &default_dnn_cfg(cfg.k, cfg.seed ^ 0x39));
             fit_regression(&mut model, &split.train, None, &tc);
-            Box::new(model)
+            Box::new(model.freeze())
         }
         ModelKind::Mf | ModelKind::Pmf => {
             panic!("{} is a rating-only baseline in the paper", kind.name())

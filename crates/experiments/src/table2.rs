@@ -10,8 +10,15 @@ use gmlfm_eval::Table;
 /// originals and writes `table2.csv`.
 pub fn run(cfg: &ExpConfig) {
     let mut table = Table::new(&[
-        "Dataset", "#users", "#items", "#attr-dim", "#instances", "sparsity",
-        "paper #users", "paper #items", "paper sparsity",
+        "Dataset",
+        "#users",
+        "#items",
+        "#attr-dim",
+        "#instances",
+        "sparsity",
+        "paper #users",
+        "paper #items",
+        "paper sparsity",
     ]);
     for spec in DatasetSpec::ALL {
         let stats = datasets::make(spec, cfg).stats();

@@ -72,7 +72,9 @@ pub fn run(cfg: &ExpConfig) {
         table.push_row(cells);
     }
     println!("{}", table.to_markdown());
-    println!("Cell format: HR/NDCG measured (paper). †/* mark significance of GML-FM_dnn vs best baseline HR.");
+    println!(
+        "Cell format: HR/NDCG measured (paper). †/* mark significance of GML-FM_dnn vs best baseline HR."
+    );
 
     // Paper's headline trend: the sparser the dataset, the larger the
     // GML-FM advantage over the best baseline.

@@ -29,12 +29,22 @@ fn variants(k: usize, seed: u64) -> Vec<(&'static str, GmlFmConfig)> {
 /// `table5.csv`.
 pub fn run(cfg: &ExpConfig) {
     println!("\n== Table 5: GML-FM ablations (MovieLens + Mercari-Ticket) ==\n");
-    let mut table = Table::new(&[
-        "Variant", "RMSE ML", "RMSE Ticket", "HR ML", "NDCG ML", "HR Ticket", "NDCG Ticket",
-    ]);
+    let mut table =
+        Table::new(&["Variant", "RMSE ML", "RMSE Ticket", "HR ML", "NDCG ML", "HR Ticket", "NDCG Ticket"]);
     let mut csv = Table::new(&[
-        "variant", "rmse_ml", "rmse_ticket", "hr_ml", "ndcg_ml", "hr_ticket", "ndcg_ticket",
-        "paper_rmse_ml", "paper_rmse_ticket", "paper_hr_ml", "paper_ndcg_ml", "paper_hr_ticket", "paper_ndcg_ticket",
+        "variant",
+        "rmse_ml",
+        "rmse_ticket",
+        "hr_ml",
+        "ndcg_ml",
+        "hr_ticket",
+        "ndcg_ticket",
+        "paper_rmse_ml",
+        "paper_rmse_ticket",
+        "paper_hr_ml",
+        "paper_ndcg_ml",
+        "paper_hr_ticket",
+        "paper_ndcg_ticket",
     ]);
 
     let ml = make(DatasetSpec::MovieLens, cfg);

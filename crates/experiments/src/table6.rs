@@ -14,11 +14,13 @@ fn masks(schema: &Schema) -> Vec<(&'static str, FieldMask)> {
         ("base+cty", base.with_kind(schema, FieldKind::Category)),
         (
             "base+cty+cdn",
-            base.with_kind(schema, FieldKind::Category).with_kind(schema, FieldKind::Condition),
+            base.with_kind(schema, FieldKind::Category)
+                .with_kind(schema, FieldKind::Condition),
         ),
         (
             "base+cty+shp",
-            base.with_kind(schema, FieldKind::Category).with_kind(schema, FieldKind::Shipping),
+            base.with_kind(schema, FieldKind::Category)
+                .with_kind(schema, FieldKind::Shipping),
         ),
         ("base+all", FieldMask::all(schema)),
     ]
@@ -30,22 +32,29 @@ pub fn run(cfg: &ExpConfig) {
     println!("\n== Table 6: attribute effect on Mercari (GML-FM_dnn, top-n) ==\n");
     let mut table = Table::new(&["Attributes", "HR Ticket", "NDCG Ticket", "HR Books", "NDCG Books"]);
     let mut csv = Table::new(&[
-        "attributes", "hr_ticket", "ndcg_ticket", "hr_books", "ndcg_books",
-        "paper_hr_ticket", "paper_ndcg_ticket", "paper_hr_books", "paper_ndcg_books",
+        "attributes",
+        "hr_ticket",
+        "ndcg_ticket",
+        "hr_books",
+        "ndcg_books",
+        "paper_hr_ticket",
+        "paper_ndcg_ticket",
+        "paper_hr_books",
+        "paper_ndcg_books",
     ]);
 
     let ticket = make(DatasetSpec::MercariTicket, cfg);
     let books = make(DatasetSpec::MercariBooks, cfg);
 
-    for (idx, name) in ["base", "base+cty", "base+cty+cdn", "base+cty+shp", "base+all"].iter().enumerate() {
+    for (idx, name) in ["base", "base+cty", "base+cty+cdn", "base+cty+shp", "base+all"]
+        .iter()
+        .enumerate()
+    {
         eprintln!("[table6] {name}");
         let mut row = vec![name.to_string()];
         let mut csv_row = vec![name.to_string()];
         for dataset in [&ticket, &books] {
-            let (_, mask) = masks(&dataset.schema)
-                .into_iter()
-                .find(|(n, _)| n == name)
-                .expect("mask name");
+            let (_, mask) = masks(&dataset.schema).into_iter().find(|(n, _)| n == name).expect("mask name");
             let split = loo_split(dataset, &mask, 2, 99, cfg.seed ^ 0x6666);
             let gml = default_dnn_cfg(cfg.k, cfg.seed ^ 0x67);
             let m = run_topn_gmlfm(&gml, dataset, &mask, &split, cfg);

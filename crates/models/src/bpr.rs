@@ -141,6 +141,9 @@ mod tests {
         let cfg = MfConfig { epochs: 3, ..MfConfig::default() };
         let mut a = BprMf::new(codec, cfg.clone());
         let mut b = BprMf::new(codec, cfg);
-        assert_eq!(a.fit(&split.train_pairs, &split.train_user_items), b.fit(&split.train_pairs, &split.train_user_items));
+        assert_eq!(
+            a.fit(&split.train_pairs, &split.train_user_items),
+            b.fit(&split.train_pairs, &split.train_user_items)
+        );
     }
 }

@@ -46,7 +46,8 @@ impl DeepFm {
         let mut rng = seeded_rng(cfg.seed);
         let mut params = ParamSet::new();
         let base = FmBase::new(&mut params, n_features, cfg.k, &mut rng);
-        let deep = Mlp::new(&mut params, "deep", n_fields * cfg.k, cfg.k, cfg.layers, cfg.dropout, true, &mut rng);
+        let deep =
+            Mlp::new(&mut params, "deep", n_fields * cfg.k, cfg.k, cfg.layers, cfg.dropout, true, &mut rng);
         let out = params.add("deep.out", normal(&mut rng, cfg.k, 1, 0.0, 0.1));
         Self { params, base, deep, out, n_fields_hint: std::cell::Cell::new(Some(n_fields)) }
     }

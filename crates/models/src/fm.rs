@@ -63,6 +63,16 @@ impl FactorizationMachine {
         &self.v
     }
 
+    /// Global bias `w₀` (freeze path).
+    pub fn bias(&self) -> f64 {
+        self.w0
+    }
+
+    /// First-order weights `w`, one per feature (freeze path).
+    pub fn linear_weights(&self) -> &[f64] {
+        &self.w
+    }
+
     /// Predicts one instance in O(k·m).
     pub fn predict_one(&self, inst: &Instance) -> f64 {
         let mut linear = self.w0;
@@ -167,10 +177,7 @@ mod tests {
 
     #[test]
     fn fast_and_naive_predictions_agree() {
-        let fm = FactorizationMachine::new(
-            50,
-            FmConfig { k: 8, seed: 3, ..FmConfig::default() },
-        );
+        let fm = FactorizationMachine::new(50, FmConfig { k: 8, seed: 3, ..FmConfig::default() });
         let inst = Instance::new(vec![0, 17, 44, 9], 1.0);
         let fast = fm.predict_one(&inst);
         let naive = fm.predict_one_naive(&inst);
@@ -196,7 +203,8 @@ mod tests {
         let d = generate(&DatasetSpec::AmazonAuto.config(41).scaled(0.25));
         let mask = FieldMask::all(&d.schema);
         let s = rating_split(&d, &mask, 2, 7);
-        let mut fm = FactorizationMachine::new(d.schema.total_dim(), FmConfig { epochs: 20, ..FmConfig::default() });
+        let mut fm =
+            FactorizationMachine::new(d.schema.total_dim(), FmConfig { epochs: 20, ..FmConfig::default() });
         let losses = fm.fit(&s.train);
         assert!(losses.last().unwrap() < &(losses[0] * 0.85), "losses {losses:?}");
         let refs: Vec<&Instance> = s.test.iter().collect();

@@ -146,11 +146,7 @@ impl Mlp {
             let h = g.matmul(x, w);
             let h = g.add_row_broadcast(h, b);
             let h = if self.relu { g.relu(h) } else { g.tanh(h) };
-            x = if training && self.dropout > 0.0 {
-                g.dropout(h, self.dropout, rng)
-            } else {
-                h
-            };
+            x = if training && self.dropout > 0.0 { g.dropout(h, self.dropout, rng) } else { h };
         }
         x
     }

@@ -236,8 +236,7 @@ mod tests {
         let mut model = MamoLite::new(20, &[2], cfg);
         model.fit(&tasks);
         // A contrarian user: group 0 profile but group-1 preferences.
-        let support: Vec<(usize, f64)> =
-            vec![(12, 1.0), (14, 1.0), (17, 1.0), (2, -1.0), (5, -1.0)];
+        let support: Vec<(usize, f64)> = vec![(12, 1.0), (14, 1.0), (17, 1.0), (2, -1.0), (5, -1.0)];
         let adapted = model.predict(&[0], &support, &[15, 3]);
         assert!(adapted[0] > adapted[1], "adaptation should override the prior: {adapted:?}");
     }

@@ -49,15 +49,7 @@ impl MatrixFactorization {
         let mut rng = seeded_rng(cfg.seed);
         let p = normal(&mut rng, codec.n_users(), cfg.k, 0.0, 0.01);
         let q = normal(&mut rng, codec.n_items(), cfg.k, 0.0, 0.01);
-        Self {
-            codec,
-            mu: 0.0,
-            bu: vec![0.0; codec.n_users()],
-            bi: vec![0.0; codec.n_items()],
-            p,
-            q,
-            cfg,
-        }
+        Self { codec, mu: 0.0, bu: vec![0.0; codec.n_users()], bi: vec![0.0; codec.n_items()], p, q, cfg }
     }
 
     /// Trains on labelled instances; returns the mean training loss per

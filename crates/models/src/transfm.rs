@@ -52,6 +52,21 @@ impl TransFm {
     pub fn factors(&self) -> &gmlfm_tensor::Matrix {
         self.params.get(self.base.v)
     }
+
+    /// Global bias `w₀` (freeze path).
+    pub fn bias(&self) -> f64 {
+        self.params.get(self.base.w0)[(0, 0)]
+    }
+
+    /// Borrow of the first-order weights `w ∈ R^{n×1}` (freeze path).
+    pub fn linear_weights(&self) -> &gmlfm_tensor::Matrix {
+        self.params.get(self.base.w)
+    }
+
+    /// Borrow of the translation table `V' ∈ R^{n×k}` (freeze path).
+    pub fn translations(&self) -> &gmlfm_tensor::Matrix {
+        self.params.get(self.v_trans)
+    }
 }
 
 impl GraphModel for TransFm {

@@ -63,7 +63,8 @@ impl XDeepFm {
         let mut rng = seeded_rng(cfg.seed);
         let mut params = ParamSet::new();
         let base = FmBase::new(&mut params, n_features, cfg.k, &mut rng);
-        let deep = Mlp::new(&mut params, "deep", n_fields * cfg.k, cfg.k, cfg.layers, cfg.dropout, true, &mut rng);
+        let deep =
+            Mlp::new(&mut params, "deep", n_fields * cfg.k, cfg.k, cfg.layers, cfg.dropout, true, &mut rng);
         let deep_out = params.add("deep.out", normal(&mut rng, cfg.k, 1, 0.0, 0.1));
 
         let mut cin_weights = Vec::with_capacity(cfg.cin_depth);
@@ -74,20 +75,8 @@ impl XDeepFm {
             cin_weights.push(params.add(format!("cin.w{l}"), w));
             h_prev = cfg.cin_maps;
         }
-        let cin_out = params.add(
-            "cin.out",
-            normal(&mut rng, cfg.cin_depth * cfg.cin_maps, 1, 0.0, 0.1),
-        );
-        Self {
-            params,
-            base,
-            deep,
-            deep_out,
-            cin_weights,
-            cin_out,
-            cin_maps: cfg.cin_maps,
-            n_fields,
-        }
+        let cin_out = params.add("cin.out", normal(&mut rng, cfg.cin_depth * cfg.cin_maps, 1, 0.0, 0.1));
+        Self { params, base, deep, deep_out, cin_weights, cin_out, cin_maps: cfg.cin_maps, n_fields }
     }
 
     /// One CIN pass; returns the `B × (depth·maps)` pooled features.
@@ -149,7 +138,13 @@ impl GraphModel for XDeepFm {
         rng: &mut StdRng,
     ) -> Var {
         let cols = FmBase::columns(batch);
-        assert_eq!(cols.len(), self.n_fields, "XDeepFm built for {} fields, got {}", self.n_fields, cols.len());
+        assert_eq!(
+            cols.len(),
+            self.n_fields,
+            "XDeepFm built for {} fields, got {}",
+            self.n_fields,
+            cols.len()
+        );
         let linear = self.base.linear(g, params, &cols);
         let embeds = self.base.field_embeddings(g, params, &cols);
 

@@ -3,9 +3,8 @@
 
 use gmlfm_data::Instance;
 use gmlfm_models::{
-    afm::AfmConfig, deepfm::DeepFmConfig, ncf::NcfConfig, nfm::NfmConfig,
-    transfm::TransFmConfig, xdeepfm::XDeepFmConfig, Afm, DeepFm, Ncf, Nfm, PairCodec, TransFm,
-    XDeepFm,
+    afm::AfmConfig, deepfm::DeepFmConfig, ncf::NcfConfig, nfm::NfmConfig, transfm::TransFmConfig,
+    xdeepfm::XDeepFmConfig, Afm, DeepFm, Ncf, Nfm, PairCodec, TransFm, XDeepFm,
 };
 use gmlfm_train::Scorer;
 
@@ -62,10 +61,7 @@ fn batch_scoring_equals_individual_scoring() {
         let batched = model.scores(&refs);
         for (inst, &expected) in refs.iter().zip(&batched) {
             let single = model.scores(&[inst])[0];
-            assert!(
-                (single - expected).abs() < 1e-12,
-                "{name}: batch {expected} vs single {single}"
-            );
+            assert!((single - expected).abs() < 1e-12, "{name}: batch {expected} vs single {single}");
         }
     }
 }

@@ -1,0 +1,51 @@
+//! Chunked batch scoring for frozen models.
+//!
+//! The frozen path has no per-batch graph to amortise, but serving still
+//! processes requests in chunks — the same [`gmlfm_train::EVAL_CHUNK_SIZE`]
+//! unit the autograd eval path uses — so downstream consumers (request
+//! schedulers, progress reporting, future parallel sharding) see one
+//! consistent batching granularity across both paths.
+
+use crate::frozen::FrozenModel;
+use gmlfm_data::Instance;
+
+/// Scores `instances` in chunks of `chunk_size`, in order.
+pub fn score_chunked(model: &FrozenModel, instances: &[&Instance], chunk_size: usize) -> Vec<f64> {
+    assert!(chunk_size > 0, "score_chunked: chunk size must be positive");
+    let mut out = Vec::with_capacity(instances.len());
+    for chunk in instances.chunks(chunk_size) {
+        for inst in chunk {
+            out.push(model.predict(inst));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frozen::SecondOrder;
+    use gmlfm_tensor::init::normal;
+    use gmlfm_tensor::seeded_rng;
+
+    #[test]
+    fn chunking_is_invisible_in_the_output() {
+        let mut rng = seeded_rng(3);
+        let v = normal(&mut rng, 12, 3, 0.0, 0.5);
+        let w = normal(&mut rng, 1, 12, 0.0, 0.1).into_vec();
+        let model = FrozenModel::from_parts(0.5, w, v, SecondOrder::Dot);
+        let insts: Vec<Instance> = (0..37).map(|i| Instance::new(vec![i % 12, (i + 5) % 12], 1.0)).collect();
+        let refs: Vec<&Instance> = insts.iter().collect();
+        let whole = score_chunked(&model, &refs, usize::MAX);
+        for chunk_size in [1, 2, 7, 37, 64] {
+            assert_eq!(score_chunked(&model, &refs, chunk_size), whole, "chunk {chunk_size}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_size_is_rejected() {
+        let model = FrozenModel::from_parts(0.0, vec![], gmlfm_tensor::Matrix::zeros(0, 2), SecondOrder::Dot);
+        let _ = score_chunked(&model, &[], 0);
+    }
+}

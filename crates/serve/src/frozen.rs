@@ -1,0 +1,423 @@
+//! The frozen model: plain matrices, no graph, no tape.
+//!
+//! [`FrozenModel`] is the serving-side representation of any trained
+//! second-order model in this workspace. Freezing precomputes everything
+//! the paper's efficient evaluation (Section 3.3, Eq. 10/11) needs:
+//!
+//! * the transformed embedding table `V̂ = ψ(V)` (identity for plain
+//!   FMs, `V L` for GML-FM_md, the tanh MLP image for GML-FM_dnn) — so
+//!   the Mahalanobis and DNN cases collapse into one code path, because
+//!   `(vᵢ−vⱼ)ᵀLLᵀ(vᵢ−vⱼ) = ‖v̂ᵢ−v̂ⱼ‖²` with `v̂ = vL`;
+//! * the per-feature squared norms `qᵢ = ‖v̂ᵢ‖²`.
+//!
+//! Prediction over a sparse [`Instance`] with `m` active fields then
+//! evaluates the decoupled sums of Eq. 10/11 directly on the active
+//! features — `O(m·k²)` and allocation-light — instead of replaying the
+//! `O(m²)` pair loop through an autograd graph as
+//! [`gmlfm_train::GraphModel::predict`] does. Distances without a
+//! decoupled form (Manhattan, Chebyshev, cosine) and TransFM's
+//! order-dependent translated distance fall back to a tape-free pairwise
+//! loop, still far cheaper than the graph path.
+
+use gmlfm_core::Distance;
+use gmlfm_data::Instance;
+use gmlfm_tensor::Matrix;
+use gmlfm_train::Scorer;
+
+use crate::rank::TopNRanker;
+
+/// How the second-order interaction term is evaluated.
+#[derive(Debug, Clone)]
+pub enum SecondOrder {
+    /// Vanilla FM: `Σ_{i<j} ⟨vᵢ, vⱼ⟩`, via the `O(k·m)` sum-of-squares
+    /// trick.
+    Dot,
+    /// GML-FM family: `Σ_{i<j} w_ij · D(v̂ᵢ, v̂ⱼ)` with frozen transformed
+    /// embeddings. Squared Euclidean uses the Eq. 10/11 decoupled sums;
+    /// other distances use the pairwise loop.
+    Metric {
+        /// Transformed embedding table `V̂ = ψ(V)` (`n×k`).
+        v_hat: Matrix,
+        /// Per-feature squared norms `qᵢ = ‖v̂ᵢ‖²`.
+        q: Vec<f64>,
+        /// Transformation weight vector `h` (Eq. 2); `None` fixes
+        /// `w_ij = 1`.
+        h: Option<Vec<f64>>,
+        /// Distance over transformed embeddings (Section 3.5).
+        distance: Distance,
+    },
+    /// TransFM: `Σ_{i<j} ‖(vᵢ + v'ᵢ) − vⱼ‖²` — order-dependent in the
+    /// field positions, so always pairwise.
+    Translated {
+        /// Translation table `V' ∈ R^{n×k}`.
+        v_trans: Matrix,
+    },
+}
+
+/// A trained model frozen for serving: plain parameters, direct sparse
+/// evaluation, no autograd machinery.
+#[derive(Debug, Clone)]
+pub struct FrozenModel {
+    /// Global bias `w₀`.
+    pub(crate) w0: f64,
+    /// First-order weights, one per feature.
+    pub(crate) w: Vec<f64>,
+    /// Factor table `V ∈ R^{n×k}`.
+    pub(crate) v: Matrix,
+    /// Second-order evaluation strategy.
+    pub(crate) second: SecondOrder,
+}
+
+impl FrozenModel {
+    /// Assembles a frozen model from raw parts. `w.len()` must equal
+    /// `v.rows()`; the [`SecondOrder`] tables must share `v`'s shape.
+    pub fn from_parts(w0: f64, w: Vec<f64>, v: Matrix, second: SecondOrder) -> Self {
+        assert_eq!(w.len(), v.rows(), "FrozenModel: |w| != n");
+        match &second {
+            SecondOrder::Metric { v_hat, q, h, .. } => {
+                assert_eq!(v_hat.shape(), v.shape(), "FrozenModel: V̂ shape mismatch");
+                assert_eq!(q.len(), v.rows(), "FrozenModel: |q| != n");
+                if let Some(h) = h {
+                    assert_eq!(h.len(), v.cols(), "FrozenModel: |h| != k");
+                }
+            }
+            SecondOrder::Translated { v_trans } => {
+                assert_eq!(v_trans.shape(), v.shape(), "FrozenModel: V' shape mismatch");
+            }
+            SecondOrder::Dot => {}
+        }
+        Self { w0, w, v, second }
+    }
+
+    /// Number of one-hot features `n`.
+    pub fn n_features(&self) -> usize {
+        self.v.rows()
+    }
+
+    /// Embedding size `k`.
+    pub fn k(&self) -> usize {
+        self.v.cols()
+    }
+
+    /// The second-order strategy in use.
+    pub fn second_order_kind(&self) -> &SecondOrder {
+        &self.second
+    }
+
+    /// Scores one instance: `w₀ + Σ_f w[x_f] + second-order`.
+    pub fn predict(&self, inst: &Instance) -> f64 {
+        self.predict_feats(&inst.feats)
+    }
+
+    /// [`FrozenModel::predict`] over raw feature indices.
+    pub fn predict_feats(&self, feats: &[u32]) -> f64 {
+        let mut out = self.w0;
+        for &f in feats {
+            out += self.w[f as usize];
+        }
+        out + self.second_order(feats)
+    }
+
+    /// Scores one instance using only the pairwise reference loops, never
+    /// the decoupled sums. Exposed so tests can pin the decoupled paths
+    /// against it.
+    pub fn predict_pairwise(&self, inst: &Instance) -> f64 {
+        let mut out = self.w0;
+        for &f in &inst.feats {
+            out += self.w[f as usize];
+        }
+        out + self.second_order_pairwise(&inst.feats)
+    }
+
+    /// Builds a top-N ranker over a template instance whose `item_slots`
+    /// positions vary per candidate (see [`TopNRanker`]).
+    pub fn ranker<'m>(&'m self, template: &[u32], item_slots: &[usize]) -> TopNRanker<'m> {
+        TopNRanker::new(self, template, item_slots)
+    }
+
+    /// The second-order term for a set of active features, choosing the
+    /// cheapest exact evaluation.
+    ///
+    /// The weighted Eq. 10/11 decoupled form costs `O(m·k²)` against the
+    /// pairwise loop's `O(m²·k)`: the decoupling is the right call in the
+    /// paper's many-active-features regime (`m > k`), while the sparse
+    /// one-hot instances the datasets produce (`m` of a few fields) are
+    /// cheaper — and allocation-free — through the pair loop. Both are
+    /// exact, so the switch is purely a cost model.
+    pub(crate) fn second_order(&self, feats: &[u32]) -> f64 {
+        match &self.second {
+            SecondOrder::Dot => self.dot_decoupled(feats),
+            SecondOrder::Metric { distance: Distance::SquaredEuclidean, v_hat, q, h } => match h {
+                Some(h) if feats.len() > self.k() => self.metric_decoupled_weighted(feats, v_hat, q, h),
+                Some(_) => self.second_order_pairwise(feats),
+                None => self.metric_decoupled_unweighted(feats, v_hat, q),
+            },
+            _ => self.second_order_pairwise(feats),
+        }
+    }
+
+    /// The Eq. 10/11 decoupled evaluation, forced (no size heuristic).
+    /// Exposed so tests can pin it against the pairwise reference in the
+    /// small-`m` regime too.
+    pub fn second_order_decoupled(&self, feats: &[u32]) -> f64 {
+        match &self.second {
+            SecondOrder::Dot => self.dot_decoupled(feats),
+            SecondOrder::Metric { distance: Distance::SquaredEuclidean, v_hat, q, h } => match h {
+                Some(h) => self.metric_decoupled_weighted(feats, v_hat, q, h),
+                None => self.metric_decoupled_unweighted(feats, v_hat, q),
+            },
+            _ => self.second_order_pairwise(feats),
+        }
+    }
+
+    /// Pairwise reference evaluation of the second-order term.
+    pub(crate) fn second_order_pairwise(&self, feats: &[u32]) -> f64 {
+        let mut out = 0.0;
+        match &self.second {
+            SecondOrder::Dot => {
+                for (p, &fi) in feats.iter().enumerate() {
+                    for &fj in &feats[p + 1..] {
+                        out += dot(self.v.row(fi as usize), self.v.row(fj as usize));
+                    }
+                }
+            }
+            SecondOrder::Metric { v_hat, h, distance, .. } => {
+                for (p, &fi) in feats.iter().enumerate() {
+                    for &fj in &feats[p + 1..] {
+                        let d = distance.eval(v_hat.row(fi as usize), v_hat.row(fj as usize));
+                        out += self.pair_weight(h.as_deref(), fi, fj) * d;
+                    }
+                }
+            }
+            SecondOrder::Translated { v_trans } => {
+                // TransFM pairs are ordered: (vᵢ + v'ᵢ) vs vⱼ for i < j in
+                // field-position order.
+                for (p, &fi) in feats.iter().enumerate() {
+                    let vi = self.v.row(fi as usize);
+                    let ti = v_trans.row(fi as usize);
+                    for &fj in &feats[p + 1..] {
+                        let vj = self.v.row(fj as usize);
+                        out += vi
+                            .iter()
+                            .zip(ti)
+                            .zip(vj)
+                            .map(|((a, t), b)| {
+                                let diff = a + t - b;
+                                diff * diff
+                            })
+                            .sum::<f64>();
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `w_ij = hᵀ(vᵢ ⊙ vⱼ)`, or 1 without the transformation weight.
+    pub(crate) fn pair_weight(&self, h: Option<&[f64]>, fi: u32, fj: u32) -> f64 {
+        match h {
+            Some(h) => {
+                let (vi, vj) = (self.v.row(fi as usize), self.v.row(fj as usize));
+                vi.iter().zip(vj).zip(h).map(|((a, b), hv)| a * b * hv).sum()
+            }
+            None => 1.0,
+        }
+    }
+
+    /// Vanilla FM sum-of-squares trick: `½ Σ_d [(Σ_f v_fd)² − Σ_f v_fd²]`.
+    fn dot_decoupled(&self, feats: &[u32]) -> f64 {
+        let k = self.k();
+        let mut pair = 0.0;
+        for d in 0..k {
+            let mut s = 0.0;
+            let mut s2 = 0.0;
+            for &f in feats {
+                let vfd = self.v[(f as usize, d)];
+                s += vfd;
+                s2 += vfd * vfd;
+            }
+            pair += s * s - s2;
+        }
+        0.5 * pair
+    }
+
+    /// Accumulates the Eq. 10/11 partial sums over a feature set:
+    /// `a = Σ v_f`, `b = Σ q_f v_f`, `C = Σ v_f v̂_fᵀ`. Shared by the
+    /// decoupled evaluator and the ranker's wide-context state.
+    pub(crate) fn metric_partials(
+        &self,
+        feats: &[u32],
+        v_hat: &Matrix,
+        q: &[f64],
+    ) -> (Vec<f64>, Vec<f64>, Matrix) {
+        let k = self.k();
+        let mut a = vec![0.0; k];
+        let mut b = vec![0.0; k];
+        let mut c = Matrix::zeros(k, k);
+        for &f in feats {
+            let f = f as usize;
+            let vf = self.v.row(f);
+            let vhf = v_hat.row(f);
+            let qf = q[f];
+            for d in 0..k {
+                a[d] += vf[d];
+                b[d] += qf * vf[d];
+            }
+            for (r, &vfr) in vf.iter().enumerate() {
+                if vfr == 0.0 {
+                    continue;
+                }
+                let c_row = c.row_mut(r);
+                for (slot, &vh) in c_row.iter_mut().zip(vhf) {
+                    *slot += vfr * vh;
+                }
+            }
+        }
+        (a, b, c)
+    }
+
+    /// Eq. 10/11 over the active features, unified through `V̂`:
+    /// `f = Σ_d h_d a_d b_d − Σ_f v_fᵀ diag(h) C v̂_f` with
+    /// `a = Σ v_f`, `b = Σ q_f v_f`, `C = Σ v_f v̂_fᵀ`.
+    fn metric_decoupled_weighted(&self, feats: &[u32], v_hat: &Matrix, q: &[f64], h: &[f64]) -> f64 {
+        let k = self.k();
+        let (a, b, c) = self.metric_partials(feats, v_hat, q);
+        let first: f64 = h.iter().zip(&a).zip(&b).map(|((hv, av), bv)| hv * av * bv).sum();
+        let mut second = 0.0;
+        let mut cv = vec![0.0; k];
+        for &f in feats {
+            let f = f as usize;
+            let vf = self.v.row(f);
+            let vhf = v_hat.row(f);
+            for (r, slot) in cv.iter_mut().enumerate() {
+                *slot = dot(c.row(r), vhf);
+            }
+            second += vf.iter().zip(h).zip(&cv).map(|((vv, hv), cvv)| vv * hv * cvv).sum::<f64>();
+        }
+        first - second
+    }
+
+    /// The `w_ij = 1` special case: `Σ_{i<j} ‖v̂ᵢ−v̂ⱼ‖² = m·u − ‖s‖²`
+    /// with `u = Σ q_f` and `s = Σ v̂_f` — `O(m·k)`.
+    fn metric_decoupled_unweighted(&self, feats: &[u32], v_hat: &Matrix, q: &[f64]) -> f64 {
+        let k = self.k();
+        let mut s = vec![0.0; k];
+        let mut u = 0.0;
+        for &f in feats {
+            let f = f as usize;
+            u += q[f];
+            for (slot, &vh) in s.iter_mut().zip(v_hat.row(f)) {
+                *slot += vh;
+            }
+        }
+        feats.len() as f64 * u - dot(&s, &s)
+    }
+}
+
+impl Scorer for FrozenModel {
+    fn scores(&self, instances: &[&Instance]) -> Vec<f64> {
+        crate::batch::score_chunked(self, instances, gmlfm_train::EVAL_CHUNK_SIZE)
+    }
+}
+
+pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmlfm_tensor::init::normal;
+    use gmlfm_tensor::seeded_rng;
+
+    pub(crate) fn random_metric_model(
+        n: usize,
+        k: usize,
+        weighted: bool,
+        distance: Distance,
+        seed: u64,
+    ) -> FrozenModel {
+        let mut rng = seeded_rng(seed);
+        let v = normal(&mut rng, n, k, 0.0, 0.5);
+        let v_hat = normal(&mut rng, n, k, 0.0, 0.5);
+        let q: Vec<f64> = (0..n).map(|r| dot(v_hat.row(r), v_hat.row(r))).collect();
+        let h = weighted.then(|| normal(&mut rng, 1, k, 0.0, 0.5).into_vec());
+        let w = normal(&mut rng, 1, n, 0.0, 0.1).into_vec();
+        FrozenModel::from_parts(0.37, w, v, SecondOrder::Metric { v_hat, q, h, distance })
+    }
+
+    #[test]
+    fn decoupled_paths_match_pairwise_reference() {
+        for weighted in [false, true] {
+            for seed in 0..10 {
+                let model = random_metric_model(40, 6, weighted, Distance::SquaredEuclidean, seed);
+                // Below the m > k crossover (heuristic may route pairwise)…
+                let small = Instance::new(vec![1, 7, 19, 33], 1.0);
+                // …and above it (decoupled is the asymptotic winner).
+                let large = Instance::new(vec![0, 3, 5, 8, 13, 17, 21, 26, 31, 38], 1.0);
+                for inst in [&small, &large] {
+                    let auto = model.predict(inst);
+                    let slow = model.predict_pairwise(inst);
+                    let forced = model.second_order_decoupled(&inst.feats)
+                        + model.w0
+                        + inst.feats.iter().map(|&f| model.w[f as usize]).sum::<f64>();
+                    let tol = 1e-9 * slow.abs().max(1.0);
+                    assert!(
+                        (auto - slow).abs() <= tol && (forced - slow).abs() <= tol,
+                        "weighted={weighted} seed={seed} m={}: auto {auto} forced {forced} vs {slow}",
+                        inst.feats.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_field_has_no_pair_term() {
+        let model = random_metric_model(10, 4, true, Distance::SquaredEuclidean, 3);
+        let inst = Instance::new(vec![4], 1.0);
+        let expected = model.w0 + model.w[4];
+        assert!((model.predict(&inst) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_euclidean_distances_use_pairwise_exactly() {
+        for distance in [Distance::Manhattan, Distance::Chebyshev, Distance::Cosine] {
+            let model = random_metric_model(20, 4, true, distance, 5);
+            let inst = Instance::new(vec![0, 9, 17], 1.0);
+            assert_eq!(model.predict(&inst), model.predict_pairwise(&inst));
+        }
+    }
+
+    #[test]
+    fn dot_trick_matches_pairwise() {
+        let mut rng = seeded_rng(11);
+        let v = normal(&mut rng, 25, 5, 0.0, 0.4);
+        let w = normal(&mut rng, 1, 25, 0.0, 0.1).into_vec();
+        let model = FrozenModel::from_parts(-0.2, w, v, SecondOrder::Dot);
+        let inst = Instance::new(vec![2, 8, 14, 21], 1.0);
+        let fast = model.predict(&inst);
+        let slow = model.predict_pairwise(&inst);
+        assert!((fast - slow).abs() <= 1e-9 * slow.abs().max(1.0), "{fast} vs {slow}");
+    }
+
+    #[test]
+    fn scorer_matches_predict_across_chunks() {
+        let model = random_metric_model(30, 4, true, Distance::SquaredEuclidean, 7);
+        let insts: Vec<Instance> = (0..1100)
+            .map(|i| Instance::new(vec![i % 30, (i + 7) % 30, (i + 19) % 30], 1.0))
+            .collect();
+        let refs: Vec<&Instance> = insts.iter().collect();
+        let batched = model.scores(&refs);
+        for (inst, got) in insts.iter().zip(&batched) {
+            assert_eq!(*got, model.predict(inst));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "|w| != n")]
+    fn mismatched_parts_are_rejected() {
+        let v = Matrix::zeros(4, 2);
+        let _ = FrozenModel::from_parts(0.0, vec![0.0; 3], v, SecondOrder::Dot);
+    }
+}

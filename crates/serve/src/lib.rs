@@ -1,0 +1,38 @@
+//! # gmlfm-serve
+//!
+//! Autograd-free serving for trained models: the production-side answer
+//! to the paper's efficiency claim (Section 3.3).
+//!
+//! Training needs the tape — every batch builds a reverse-mode graph.
+//! Serving does not: a trained model is just numbers, and the paper's
+//! Eq. 10/11 decoupled sums evaluate its second-order term directly on a
+//! sparse instance's active features. This crate freezes any supported
+//! model into that form and routes all inference through it:
+//!
+//! * [`Freeze`] — extracts a [`FrozenModel`] from a trained
+//!   [`gmlfm_core::GmlFm`] (all transform/distance/weight variants), a
+//!   [`gmlfm_models::FactorizationMachine`], or a
+//!   [`gmlfm_models::TransFm`]. Freezing precomputes `V̂ = ψ(V)` and the
+//!   per-feature norms, so the Mahalanobis and DNN transforms cost the
+//!   same at serving time.
+//! * [`FrozenModel`] — tape-free scoring of sparse instances; implements
+//!   [`gmlfm_train::Scorer`], so every evaluation protocol in
+//!   `gmlfm-eval` consumes it unchanged. Batch scoring reuses
+//!   [`gmlfm_train::EVAL_CHUNK_SIZE`] as its chunking unit.
+//! * [`TopNRanker`] — leave-one-out ranking with the context-side
+//!   partial sums computed once per user and only an `O(k²)` (or `O(k)`)
+//!   delta per candidate item.
+//!
+//! Parity with the autograd path is pinned to ≤1e-9 by the tests in this
+//! crate and by `tests/frozen_parity.rs`; the `serve_speedup` bench in
+//! `gmlfm-bench` measures the resulting wall-clock separation.
+
+pub mod batch;
+pub mod freeze;
+pub mod frozen;
+pub mod rank;
+
+pub use batch::score_chunked;
+pub use freeze::Freeze;
+pub use frozen::{FrozenModel, SecondOrder};
+pub use rank::TopNRanker;

@@ -1,0 +1,299 @@
+//! Top-N ranking over a frozen model.
+//!
+//! Leave-one-out ranking scores one context (user + side attributes)
+//! against hundreds of candidate items. The autograd path rebuilds the
+//! full forward for every candidate — `O(items × full-forward)`. The
+//! ranker here computes the context-side partial sums of Eq. 10/11
+//! (`a`, `b`, `C` — or `s`, `u` without the transformation weight) once,
+//! then scores each candidate with only the item-side delta:
+//! `O(full-forward + items × item-delta)`, the delta being `O(k²)` per
+//! candidate item feature (and `O(k)` in the unweighted and vanilla-FM
+//! cases).
+//!
+//! A candidate is a *group* of features (the item id plus its attribute
+//! values), declared as slot positions in a template instance, so
+//! datasets with item-side attributes rank exactly like plain
+//! user × item ones.
+
+use crate::frozen::{dot, FrozenModel, SecondOrder};
+use gmlfm_core::Distance;
+use gmlfm_tensor::Matrix;
+
+/// Context-side partial sums, by second-order mode.
+enum State {
+    /// Vanilla FM: `a = Σ_ctx v_f` — `O(k)` per candidate feature.
+    Dot { a: Vec<f64> },
+    /// Weighted metric (Eq. 10/11) partial sums: `a = Σ v_f`,
+    /// `b = Σ q_f v_f`, `C = Σ v_f v̂_fᵀ` — `O(k²)` per candidate
+    /// feature, independent of the context size. Built when the context
+    /// is wide (`|ctx| > k`).
+    MetricWeighted { a: Vec<f64>, b: Vec<f64>, c: Matrix },
+    /// Weighted metric with a narrow context: cross pairs iterated
+    /// directly over the context features — `O(|ctx|·k)` per candidate
+    /// feature, allocation-free, cheaper than the `O(k²)` partials when
+    /// `|ctx| < k`.
+    MetricWeightedDirect,
+    /// Unweighted metric: `s = Σ v̂_f`, `u = Σ q_f` — `O(k)` per
+    /// candidate feature.
+    MetricUnweighted { s: Vec<f64>, u: f64 },
+    /// No decoupled form (non-Euclidean distances, TransFM): score by
+    /// splicing candidates into the template and re-evaluating.
+    Generic,
+}
+
+/// Scores candidate items against a fixed context in `O(item-delta)` per
+/// candidate. Build one with [`FrozenModel::ranker`].
+pub struct TopNRanker<'m> {
+    model: &'m FrozenModel,
+    /// Template feature vector; `item_slots` positions are overwritten
+    /// per candidate.
+    scratch: Vec<u32>,
+    item_slots: Vec<usize>,
+    /// Fixed context features (template minus item slots).
+    ctx: Vec<u32>,
+    /// `w₀ + Σ_ctx w[f] + second-order(ctx)`.
+    ctx_score: f64,
+    state: State,
+}
+
+impl<'m> TopNRanker<'m> {
+    pub(crate) fn new(model: &'m FrozenModel, template: &[u32], item_slots: &[usize]) -> Self {
+        assert!(
+            item_slots.iter().all(|&s| s < template.len()),
+            "TopNRanker: item slot out of bounds for template of {} fields",
+            template.len()
+        );
+        let ctx: Vec<u32> = template
+            .iter()
+            .enumerate()
+            .filter(|(p, _)| !item_slots.contains(p))
+            .map(|(_, &f)| f)
+            .collect();
+        let mut ctx_score = model.w0;
+        for &f in &ctx {
+            ctx_score += model.w[f as usize];
+        }
+        ctx_score += model.second_order(&ctx);
+        let state = Self::build_state(model, &ctx);
+        Self { model, scratch: template.to_vec(), item_slots: item_slots.to_vec(), ctx, ctx_score, state }
+    }
+
+    fn build_state(model: &FrozenModel, ctx: &[u32]) -> State {
+        let k = model.k();
+        match &model.second {
+            SecondOrder::Dot => {
+                let mut a = vec![0.0; k];
+                for &f in ctx {
+                    for (slot, &vv) in a.iter_mut().zip(model.v.row(f as usize)) {
+                        *slot += vv;
+                    }
+                }
+                State::Dot { a }
+            }
+            SecondOrder::Metric { distance: Distance::SquaredEuclidean, v_hat, q, h } => {
+                if h.is_some() {
+                    if ctx.len() <= k {
+                        return State::MetricWeightedDirect;
+                    }
+                    let (a, b, c) = model.metric_partials(ctx, v_hat, q);
+                    State::MetricWeighted { a, b, c }
+                } else {
+                    let mut s = vec![0.0; k];
+                    let mut u = 0.0;
+                    for &f in ctx {
+                        let f = f as usize;
+                        u += q[f];
+                        for (slot, &vh) in s.iter_mut().zip(v_hat.row(f)) {
+                            *slot += vh;
+                        }
+                    }
+                    State::MetricUnweighted { s, u }
+                }
+            }
+            _ => State::Generic,
+        }
+    }
+
+    /// Number of fixed context features.
+    pub fn context_len(&self) -> usize {
+        self.ctx.len()
+    }
+
+    /// Scores one candidate: `item_feats` fills the template's item slots
+    /// (same order). Equal to [`FrozenModel::predict`] on the substituted
+    /// instance, up to float re-association in the decoupled paths.
+    pub fn score(&mut self, item_feats: &[u32]) -> f64 {
+        assert_eq!(
+            item_feats.len(),
+            self.item_slots.len(),
+            "TopNRanker::score: candidate has {} features, template has {} item slots",
+            item_feats.len(),
+            self.item_slots.len()
+        );
+        if matches!(self.state, State::Generic) {
+            for (&slot, &f) in self.item_slots.iter().zip(item_feats) {
+                self.scratch[slot] = f;
+            }
+            return self.model.predict_feats(&self.scratch);
+        }
+        let model = self.model;
+        let mut out = self.ctx_score;
+        for &f in item_feats {
+            out += model.w[f as usize];
+        }
+        // Cross pairs (context × candidate), O(k²) per candidate feature.
+        for &f in item_feats {
+            out += self.cross_delta(f);
+        }
+        // Pairs within the candidate group (item id × its attributes).
+        out + model.second_order(item_feats)
+    }
+
+    /// `Σ_{i ∈ ctx} w_ij · D(v̂ᵢ, v̂ⱼ)` for one candidate feature `j`,
+    /// from the context partial sums alone.
+    fn cross_delta(&self, j: u32) -> f64 {
+        let model = self.model;
+        let k = model.k();
+        let vj = model.v.row(j as usize);
+        match (&self.state, &model.second) {
+            (State::Dot { a }, _) => dot(a, vj),
+            (State::MetricWeighted { a, b, c }, SecondOrder::Metric { v_hat, q, h: Some(h), .. }) => {
+                let vhj = v_hat.row(j as usize);
+                let qj = q[j as usize];
+                let mut first = 0.0; // (h⊙vⱼ)·b + qⱼ (h⊙vⱼ)·a
+                let mut cross = 0.0; // (h⊙vⱼ)ᵀ C v̂ⱼ
+                for r in 0..k {
+                    let hv = h[r] * vj[r];
+                    if hv == 0.0 {
+                        continue;
+                    }
+                    first += hv * (b[r] + qj * a[r]);
+                    cross += hv * dot(c.row(r), vhj);
+                }
+                first - 2.0 * cross
+            }
+            (State::MetricUnweighted { s, u }, SecondOrder::Metric { v_hat, q, .. }) => {
+                let vhj = v_hat.row(j as usize);
+                u + self.ctx.len() as f64 * q[j as usize] - 2.0 * dot(s, vhj)
+            }
+            (State::MetricWeightedDirect, SecondOrder::Metric { v_hat, q, h: Some(h), .. }) => {
+                let vhj = v_hat.row(j as usize);
+                let qj = q[j as usize];
+                let mut out = 0.0;
+                for &i in &self.ctx {
+                    let w_ij = model.pair_weight(Some(h), i, j);
+                    let d = q[i as usize] + qj - 2.0 * dot(v_hat.row(i as usize), vhj);
+                    out += w_ij * d;
+                }
+                out
+            }
+            _ => unreachable!("cross_delta called with a Generic or mismatched state"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmlfm_data::Instance;
+    use gmlfm_tensor::init::normal;
+    use gmlfm_tensor::seeded_rng;
+
+    fn metric_model(weighted: bool, distance: Distance, seed: u64) -> FrozenModel {
+        let n = 40;
+        let k = 5;
+        let mut rng = seeded_rng(seed);
+        let v = normal(&mut rng, n, k, 0.0, 0.5);
+        let v_hat = normal(&mut rng, n, k, 0.0, 0.5);
+        let q: Vec<f64> = (0..n).map(|r| dot(v_hat.row(r), v_hat.row(r))).collect();
+        let h = weighted.then(|| normal(&mut rng, 1, k, 0.0, 0.5).into_vec());
+        let w = normal(&mut rng, 1, n, 0.0, 0.1).into_vec();
+        FrozenModel::from_parts(0.1, w, v, SecondOrder::Metric { v_hat, q, h, distance })
+    }
+
+    /// Template [user, item, user-attr, item-attr] with slots 1 and 3
+    /// varying: the ranker must equal a fresh full prediction per
+    /// candidate for every mode.
+    #[test]
+    fn ranker_matches_full_prediction_for_all_modes() {
+        let models = [
+            ("weighted-euclidean", metric_model(true, Distance::SquaredEuclidean, 1)),
+            ("unweighted-euclidean", metric_model(false, Distance::SquaredEuclidean, 2)),
+            ("manhattan", metric_model(true, Distance::Manhattan, 3)),
+            ("cosine", metric_model(true, Distance::Cosine, 4)),
+        ];
+        for (name, model) in &models {
+            let template = vec![0u32, 10, 30, 20];
+            let mut ranker = model.ranker(&template, &[1, 3]);
+            assert_eq!(ranker.context_len(), 2);
+            for cand in 0u32..8 {
+                let item_feats = [10 + cand, 20 + cand];
+                let got = ranker.score(&item_feats);
+                let inst = Instance::new(vec![0, 10 + cand, 30, 20 + cand], 1.0);
+                let want = model.predict(&inst);
+                assert!(
+                    (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                    "{name} candidate {cand}: ranker {got} vs predict {want}"
+                );
+            }
+        }
+    }
+
+    /// Contexts wider than `k` switch to the Eq. 10/11 partial sums; the
+    /// scores must still match full predictions.
+    #[test]
+    fn wide_context_uses_partial_sums_and_matches() {
+        let n = 40;
+        let k = 3; // narrower than the 5-field context below
+        let mut rng = seeded_rng(8);
+        let v = normal(&mut rng, n, k, 0.0, 0.5);
+        let v_hat = normal(&mut rng, n, k, 0.0, 0.5);
+        let q: Vec<f64> = (0..n).map(|r| dot(v_hat.row(r), v_hat.row(r))).collect();
+        let h = Some(normal(&mut rng, 1, k, 0.0, 0.5).into_vec());
+        let w = normal(&mut rng, 1, n, 0.0, 0.1).into_vec();
+        let model = FrozenModel::from_parts(
+            0.2,
+            w,
+            v,
+            SecondOrder::Metric { v_hat, q, h, distance: Distance::SquaredEuclidean },
+        );
+        let template = vec![0u32, 5, 11, 17, 23, 30];
+        let mut ranker = model.ranker(&template, &[5]);
+        assert_eq!(ranker.context_len(), 5);
+        for cand in 30u32..38 {
+            let got = ranker.score(&[cand]);
+            let want = model.predict(&Instance::new(vec![0, 5, 11, 17, 23, cand], 1.0));
+            assert!((got - want).abs() <= 1e-9 * want.abs().max(1.0), "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn ranker_handles_single_item_slot_and_dot_models() {
+        let mut rng = seeded_rng(9);
+        let v = normal(&mut rng, 30, 4, 0.0, 0.4);
+        let w = normal(&mut rng, 1, 30, 0.0, 0.1).into_vec();
+        let model = FrozenModel::from_parts(0.0, w, v, SecondOrder::Dot);
+        let template = vec![3u32, 12, 25];
+        let mut ranker = model.ranker(&template, &[1]);
+        for cand in 10u32..20 {
+            let got = ranker.score(&[cand]);
+            let want = model.predict(&Instance::new(vec![3, cand, 25], 1.0));
+            assert!((got - want).abs() <= 1e-9 * want.abs().max(1.0), "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "item slot out of bounds")]
+    fn out_of_bounds_slots_are_rejected() {
+        let model = metric_model(true, Distance::SquaredEuclidean, 5);
+        let _ = model.ranker(&[0, 1], &[5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "item slots")]
+    fn wrong_candidate_arity_is_rejected() {
+        let model = metric_model(true, Distance::SquaredEuclidean, 6);
+        let mut ranker = model.ranker(&[0, 10, 20], &[1]);
+        let _ = ranker.score(&[1, 2]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests pinning the frozen serving path to the autograd path:
+//! for random `TransformKind` / `Distance` / `use_weight` configurations
+//! and random sparse instances, `FrozenModel` scoring must match
+//! `GraphModel::predict` to ≤1e-9 — before and after training, and
+//! through the top-N ranker.
+
+use gmlfm_core::{Distance, GmlFm, GmlFmConfig, TransformKind};
+use gmlfm_data::Instance;
+use gmlfm_serve::Freeze;
+use gmlfm_train::{fit_regression, GraphModel, TrainConfig};
+use proptest::prelude::*;
+
+const N_FEATURES: usize = 36;
+
+fn config_from(transform: u8, distance: u8, use_weight: bool, seed: u64) -> GmlFmConfig {
+    let transform = match transform % 4 {
+        0 => TransformKind::Identity,
+        1 => TransformKind::Mahalanobis,
+        2 => TransformKind::Dnn(1),
+        _ => TransformKind::Dnn(2),
+    };
+    let distance = Distance::ALL[distance as usize % Distance::ALL.len()];
+    GmlFmConfig { k: 5, transform, distance, use_weight, dropout: 0.1, init_std: 0.05, seed }
+}
+
+fn instance_from(feats: Vec<u32>) -> Option<Instance> {
+    let mut feats = feats;
+    feats.sort_unstable();
+    feats.dedup();
+    (feats.len() >= 2).then(|| Instance::new(feats, 1.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn frozen_matches_graph_predict_across_configs(
+        transform in 0u8..4,
+        distance in 0u8..4,
+        use_weight in 0u8..2,
+        seed in 0u64..200,
+        feats in proptest::collection::vec(0u32..(N_FEATURES as u32), 2..6),
+    ) {
+        let Some(inst) = instance_from(feats) else { return Ok(()) };
+        let cfg = config_from(transform, distance, use_weight == 1, seed);
+        let model = GmlFm::new(N_FEATURES, &cfg);
+        let frozen = model.freeze();
+        let graph = model.predict(&[&inst])[0];
+        let served = frozen.predict(&inst);
+        prop_assert!(
+            (graph - served).abs() <= 1e-9 * graph.abs().max(1.0),
+            "transform {transform} distance {distance} weight {use_weight}: graph {graph} vs frozen {served}"
+        );
+    }
+
+    #[test]
+    fn ranker_matches_graph_predict_per_candidate(
+        transform in 0u8..4,
+        distance in 0u8..4,
+        use_weight in 0u8..2,
+        seed in 0u64..100,
+        user in 0u32..12,
+        candidates in proptest::collection::vec(12u32..(N_FEATURES as u32), 2..8),
+    ) {
+        let cfg = config_from(transform, distance, use_weight == 1, seed);
+        let model = GmlFm::new(N_FEATURES, &cfg);
+        let frozen = model.freeze();
+        // Template [user, item]; slot 1 varies per candidate.
+        let mut ranker = frozen.ranker(&[user, candidates[0]], &[1]);
+        for &cand in &candidates {
+            let inst = Instance::new(vec![user, cand], 1.0);
+            let graph = model.predict(&[&inst])[0];
+            let served = ranker.score(&[cand]);
+            prop_assert!(
+                (graph - served).abs() <= 1e-9 * graph.abs().max(1.0),
+                "transform {transform} distance {distance} weight {use_weight} cand {cand}: graph {graph} vs ranker {served}"
+            );
+        }
+    }
+}
+
+/// The headline guarantee on *trained* weights: train each transform
+/// family briefly, freeze, and compare against the autograd eval path on
+/// every test instance.
+#[test]
+fn trained_models_freeze_to_matching_predictions() {
+    use gmlfm_data::{generate, rating_split, DatasetSpec, FieldMask};
+    let dataset = generate(&DatasetSpec::AmazonAuto.config(51).scaled(0.15));
+    let mask = FieldMask::all(&dataset.schema);
+    let split = rating_split(&dataset, &mask, 2, 9);
+    for cfg in [
+        GmlFmConfig::mahalanobis(8),
+        GmlFmConfig::dnn(8, 1),
+        GmlFmConfig::euclidean_plain(8),
+        GmlFmConfig::dnn(8, 1).with_distance(Distance::Manhattan),
+    ] {
+        let mut model = GmlFm::new(dataset.schema.total_dim(), &cfg);
+        fit_regression(&mut model, &split.train, None, &TrainConfig { epochs: 2, ..TrainConfig::default() });
+        let frozen = model.freeze();
+        let refs: Vec<&Instance> = split.test.iter().collect();
+        let graph_scores = model.predict(&refs);
+        for (inst, graph) in refs.iter().zip(&graph_scores) {
+            let served = frozen.predict(inst);
+            assert!(
+                (graph - served).abs() <= 1e-9 * graph.abs().max(1.0),
+                "{:?}: graph {graph} vs frozen {served}",
+                cfg.transform
+            );
+        }
+    }
+}

@@ -33,10 +33,7 @@ pub const DEFAULT_TOL: f64 = 1e-9;
 pub fn approx_eq(a: &Matrix, b: &Matrix, tol: f64) -> bool {
     a.rows() == b.rows()
         && a.cols() == b.cols()
-        && a.as_slice()
-            .iter()
-            .zip(b.as_slice())
-            .all(|(x, y)| (x - y).abs() <= tol)
+        && a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| (x - y).abs() <= tol)
 }
 
 #[cfg(test)]

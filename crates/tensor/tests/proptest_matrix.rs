@@ -7,8 +7,7 @@ const DIM: usize = 4;
 const TOL: f64 = 1e-9;
 
 fn matrix() -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-10.0f64..10.0, DIM * DIM)
-        .prop_map(|data| Matrix::from_vec(DIM, DIM, data))
+    proptest::collection::vec(-10.0f64..10.0, DIM * DIM).prop_map(|data| Matrix::from_vec(DIM, DIM, data))
 }
 
 proptest! {

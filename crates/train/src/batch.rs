@@ -16,7 +16,12 @@ pub fn field_index_columns(batch: &[&Instance]) -> Vec<Vec<usize>> {
     let m = first.n_fields();
     let mut cols = vec![Vec::with_capacity(batch.len()); m];
     for inst in batch {
-        assert_eq!(inst.n_fields(), m, "field_index_columns: ragged batch ({} vs {m} fields)", inst.n_fields());
+        assert_eq!(
+            inst.n_fields(),
+            m,
+            "field_index_columns: ragged batch ({} vs {m} fields)",
+            inst.n_fields()
+        );
         for (f, &idx) in inst.feats.iter().enumerate() {
             cols[f].push(idx as usize);
         }

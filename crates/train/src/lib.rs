@@ -22,4 +22,4 @@ pub mod trainer;
 
 pub use batch::{field_index_columns, labels_column};
 pub use optim::{Adam, Optimizer, Sgd};
-pub use trainer::{fit_bpr, fit_regression, GraphModel, Scorer, TrainConfig, TrainReport};
+pub use trainer::{fit_bpr, fit_regression, GraphModel, Scorer, TrainConfig, TrainReport, EVAL_CHUNK_SIZE};

@@ -83,7 +83,16 @@ impl Adam {
     /// Creates an Adam optimizer with the given learning rate and the
     /// standard β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
     pub fn new(lr: f64) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Adds decoupled weight decay.

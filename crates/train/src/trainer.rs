@@ -8,6 +8,15 @@ use gmlfm_tensor::seeded_rng;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
+/// Number of instances scored per evaluation graph in
+/// [`GraphModel::predict`], and the batching unit reused by the
+/// `gmlfm-serve` frozen scoring path.
+///
+/// Chunking keeps each eval tape small (bounded peak memory) without
+/// paying per-instance graph setup. Override per call with
+/// [`GraphModel::predict_chunked`].
+pub const EVAL_CHUNK_SIZE: usize = 512;
+
 /// A model trainable by [`fit_regression`]: it owns a [`ParamSet`] and can
 /// build the prediction column for a batch of instances as an autograd
 /// graph.
@@ -20,17 +29,31 @@ pub trait GraphModel {
 
     /// Builds the `B x 1` prediction column for `batch`. `training`
     /// enables dropout; `rng` drives dropout masks.
-    fn forward_batch(&self, g: &mut Graph, params: &ParamSet, batch: &[&Instance], training: bool, rng: &mut StdRng) -> Var;
+    fn forward_batch(
+        &self,
+        g: &mut Graph,
+        params: &ParamSet,
+        batch: &[&Instance],
+        training: bool,
+        rng: &mut StdRng,
+    ) -> Var;
 
-    /// Predicts scores in evaluation mode (dropout disabled).
+    /// Predicts scores in evaluation mode (dropout disabled), building one
+    /// graph per [`EVAL_CHUNK_SIZE`] instances.
     fn predict(&self, instances: &[&Instance]) -> Vec<f64> {
+        self.predict_chunked(instances, EVAL_CHUNK_SIZE)
+    }
+
+    /// [`GraphModel::predict`] with an explicit chunk size (larger chunks
+    /// trade peak memory for fewer graph setups).
+    fn predict_chunked(&self, instances: &[&Instance], chunk_size: usize) -> Vec<f64> {
+        assert!(chunk_size > 0, "predict_chunked: chunk size must be positive");
         if instances.is_empty() {
             return Vec::new();
         }
         let mut rng = seeded_rng(0);
         let mut out = Vec::with_capacity(instances.len());
-        // Chunked so the eval graphs stay small.
-        for chunk in instances.chunks(512) {
+        for chunk in instances.chunks(chunk_size) {
             let mut g = Graph::new();
             let pred = self.forward_batch(&mut g, self.params(), chunk, false, &mut rng);
             out.extend_from_slice(g.value(pred).as_slice());
@@ -189,8 +212,7 @@ pub fn fit_bpr<M: GraphModel>(
         let mut n_batches = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
             let pos_batch: Vec<&Instance> = chunk.iter().map(|&i| &positives[i]).collect();
-            let neg_owned: Vec<Instance> =
-                pos_batch.iter().map(|p| sample_negative(p, &mut rng)).collect();
+            let neg_owned: Vec<Instance> = pos_batch.iter().map(|p| sample_negative(p, &mut rng)).collect();
             let neg_batch: Vec<&Instance> = neg_owned.iter().collect();
             let mut g = Graph::new();
             let pos_scores = model.forward_batch(&mut g, model.params(), &pos_batch, true, &mut rng);
@@ -211,11 +233,7 @@ pub fn fit_bpr<M: GraphModel>(
 }
 
 fn rmse(preds: &[f64], instances: &[Instance]) -> f64 {
-    let mse: f64 = preds
-        .iter()
-        .zip(instances)
-        .map(|(p, i)| (p - i.label).powi(2))
-        .sum::<f64>()
+    let mse: f64 = preds.iter().zip(instances).map(|(p, i)| (p - i.label).powi(2)).sum::<f64>()
         / preds.len().max(1) as f64;
     mse.sqrt()
 }
@@ -293,7 +311,8 @@ mod tests {
         let train = toy_data(400, 1);
         let val = toy_data(100, 2);
         let mut model = LinearToy::new(10, 3);
-        let cfg = TrainConfig { lr: 0.05, epochs: 60, batch_size: 32, weight_decay: 0.0, patience: 0, seed: 4 };
+        let cfg =
+            TrainConfig { lr: 0.05, epochs: 60, batch_size: 32, weight_decay: 0.0, patience: 0, seed: 4 };
         let report = fit_regression(&mut model, &train, Some(&val), &cfg);
         assert!(report.best_val_rmse < 0.3, "val rmse {}", report.best_val_rmse);
         // Training loss decreased substantially.
@@ -305,7 +324,8 @@ mod tests {
         let train = toy_data(200, 5);
         let val = toy_data(50, 6);
         let mut model = LinearToy::new(10, 7);
-        let cfg = TrainConfig { lr: 0.2, epochs: 200, batch_size: 64, weight_decay: 0.0, patience: 3, seed: 8 };
+        let cfg =
+            TrainConfig { lr: 0.2, epochs: 200, batch_size: 64, weight_decay: 0.0, patience: 3, seed: 8 };
         let report = fit_regression(&mut model, &train, Some(&val), &cfg);
         assert!(report.epochs_run < 200, "expected early stop, ran {}", report.epochs_run);
     }
@@ -341,7 +361,8 @@ mod tests {
                 .collect()
         };
         let mut model = LinearToy::new(10, 2);
-        let cfg = TrainConfig { lr: 0.05, epochs: 30, batch_size: 32, weight_decay: 0.0, patience: 0, seed: 3 };
+        let cfg =
+            TrainConfig { lr: 0.05, epochs: 30, batch_size: 32, weight_decay: 0.0, patience: 0, seed: 3 };
         let report = fit_bpr(
             &mut model,
             &positives,

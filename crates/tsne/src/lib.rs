@@ -166,12 +166,7 @@ fn pairwise_sq_distances(data: &Matrix) -> Matrix {
     let mut d2 = Matrix::zeros(n, n);
     for i in 0..n {
         for j in i + 1..n {
-            let dist: f64 = data
-                .row(i)
-                .iter()
-                .zip(data.row(j))
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
+            let dist: f64 = data.row(i).iter().zip(data.row(j)).map(|(a, b)| (a - b) * (a - b)).sum();
             d2[(i, j)] = dist;
             d2[(j, i)] = dist;
         }

@@ -79,8 +79,10 @@ fn main() {
         let mut items = vec![pos];
         items.extend(&negs);
 
-        let instances: Vec<_> =
-            items.iter().map(|&i| dataset.instance_masked(u as u32, i, 0.0, &mask)).collect();
+        let instances: Vec<_> = items
+            .iter()
+            .map(|&i| dataset.instance_masked(u as u32, i, 0.0, &mask))
+            .collect();
         let refs: Vec<&_> = instances.iter().collect();
         let gml_scores = gml.scores(&refs);
         if gml_scores[1..].iter().filter(|&&s| s >= gml_scores[0]).count() < 5 {

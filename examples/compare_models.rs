@@ -9,10 +9,11 @@
 
 use gml_fm::core::{GmlFm, GmlFmConfig};
 use gml_fm::data::{generate, loo_split, DatasetSpec, FieldMask};
-use gml_fm::eval::evaluate_topn;
+use gml_fm::eval::{evaluate_topn, evaluate_topn_frozen};
 use gml_fm::models::{
     fm::FmConfig, nfm::NfmConfig, transfm::TransFmConfig, FactorizationMachine, Nfm, TransFm,
 };
+use gml_fm::serve::Freeze;
 use gml_fm::train::{fit_regression, TrainConfig};
 
 fn main() {
@@ -32,10 +33,10 @@ fn main() {
 
     let mut results: Vec<(&str, f64, f64)> = Vec::new();
 
-    // Vanilla FM (inner product, LibFM-style SGD).
+    // Vanilla FM (inner product, LibFM-style SGD), served frozen.
     let mut fm = FactorizationMachine::new(n, FmConfig { epochs: 30, ..FmConfig::default() });
     fm.fit(&split.train);
-    let m = evaluate_topn(&fm, &dataset, &mask, &split.test, 10);
+    let m = evaluate_topn_frozen(&fm.freeze(), &dataset, &mask, &split.test, 10);
     results.push(("FM (inner product)", m.hr, m.ndcg));
 
     // NFM (inner product + MLP).
@@ -44,22 +45,22 @@ fn main() {
     let m = evaluate_topn(&nfm, &dataset, &mask, &split.test, 10);
     results.push(("NFM (Bi-Interaction)", m.hr, m.ndcg));
 
-    // TransFM (plain Euclidean metric).
+    // TransFM (plain Euclidean metric), served frozen.
     let mut transfm = TransFm::new(n, &TransFmConfig::default());
     fit_regression(&mut transfm, &split.train, None, &tc);
-    let m = evaluate_topn(&transfm, &dataset, &mask, &split.test, 10);
+    let m = evaluate_topn_frozen(&transfm.freeze(), &dataset, &mask, &split.test, 10);
     results.push(("TransFM (Euclidean)", m.hr, m.ndcg));
 
-    // GML-FM_md (learned Mahalanobis metric).
+    // GML-FM_md (learned Mahalanobis metric), served frozen.
     let mut md = GmlFm::new(n, &GmlFmConfig::mahalanobis(16));
     fit_regression(&mut md, &split.train, None, &tc);
-    let m = evaluate_topn(&md, &dataset, &mask, &split.test, 10);
+    let m = evaluate_topn_frozen(&md.freeze(), &dataset, &mask, &split.test, 10);
     results.push(("GML-FM_md (Mahalanobis)", m.hr, m.ndcg));
 
-    // GML-FM_dnn (learned deep metric).
+    // GML-FM_dnn (learned deep metric), served frozen.
     let mut dnn = GmlFm::new(n, &GmlFmConfig::dnn(16, 1));
     fit_regression(&mut dnn, &split.train, None, &tc);
-    let m = evaluate_topn(&dnn, &dataset, &mask, &split.test, 10);
+    let m = evaluate_topn_frozen(&dnn.freeze(), &dataset, &mask, &split.test, 10);
     results.push(("GML-FM_dnn (deep metric)", m.hr, m.ndcg));
 
     println!("{:<26} {:>8} {:>8}", "model", "HR@10", "NDCG@10");

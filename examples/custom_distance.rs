@@ -6,9 +6,7 @@
 //! cargo run --release --example custom_distance
 //! ```
 
-use gml_fm::core::{
-    DenseGmlFm, DenseTransform, Distance, DnnTransform, GmlFm, GmlFmConfig,
-};
+use gml_fm::core::{DenseGmlFm, DenseTransform, Distance, DnnTransform, GmlFm, GmlFmConfig};
 use gml_fm::data::{generate, rating_split, DatasetSpec, FieldMask};
 use gml_fm::eval::evaluate_rating;
 use gml_fm::tensor::init::normal;

@@ -7,7 +7,8 @@
 
 use gml_fm::core::{GmlFm, GmlFmConfig};
 use gml_fm::data::{generate, loo_split, rating_split, DatasetSpec, FieldMask};
-use gml_fm::eval::{evaluate_rating, evaluate_topn};
+use gml_fm::eval::{evaluate_rating, evaluate_topn_frozen};
+use gml_fm::serve::Freeze;
 use gml_fm::train::{fit_regression, TrainConfig};
 
 fn main() {
@@ -46,14 +47,17 @@ fn main() {
         report.best_val_rmse
     );
 
-    let rating = evaluate_rating(&model, &split.test);
+    // 4. Freeze for serving: all evaluation runs tape-free through the
+    //    Eq. 10/11 decoupled form.
+    let rating = evaluate_rating(&model.freeze(), &split.test);
     println!("rating prediction: test RMSE {:.4}, MAE {:.4}", rating.rmse, rating.mae);
 
-    // 4. The top-n protocol: leave-one-out, 99 sampled negatives,
-    //    truncate at 10.
+    // 5. The top-n protocol: leave-one-out, 99 sampled negatives,
+    //    truncate at 10 — ranked via the frozen top-N scorer (context
+    //    partial sums once per user, item delta per candidate).
     let loo = loo_split(&dataset, &mask, 2, 99, 11);
     let mut ranker = GmlFm::new(dataset.schema.total_dim(), &GmlFmConfig::dnn(16, 1));
     fit_regression(&mut ranker, &loo.train, None, &TrainConfig { epochs: 15, ..TrainConfig::default() });
-    let topn = evaluate_topn(&ranker, &dataset, &mask, &loo.test, 10);
+    let topn = evaluate_topn_frozen(&ranker.freeze(), &dataset, &mask, &loo.test, 10);
     println!("top-n recommendation: HR@10 {:.4}, NDCG@10 {:.4}", topn.hr, topn.ndcg);
 }

@@ -9,6 +9,7 @@
 use gml_fm::core::{GmlFm, GmlFmConfig};
 use gml_fm::data::{generate, rating_split, DatasetSpec, FieldMask};
 use gml_fm::eval::evaluate_rating;
+use gml_fm::serve::Freeze;
 use gml_fm::train::{fit_regression, Scorer, TrainConfig};
 
 fn main() {
@@ -17,7 +18,12 @@ fn main() {
     let split = rating_split(&dataset, &mask, 2, 7);
 
     let mut model = GmlFm::new(dataset.schema.total_dim(), &GmlFmConfig::dnn(16, 1));
-    fit_regression(&mut model, &split.train, Some(&split.val), &TrainConfig { epochs: 10, ..TrainConfig::default() });
+    fit_regression(
+        &mut model,
+        &split.train,
+        Some(&split.val),
+        &TrainConfig { epochs: 10, ..TrainConfig::default() },
+    );
     let before = evaluate_rating(&model, &split.test);
     println!("trained model: test RMSE {:.4}", before.rmse);
 
@@ -26,17 +32,23 @@ fn main() {
     let bytes = std::fs::metadata(&path).expect("metadata").len();
     println!("saved to {} ({} KiB)", path.display(), bytes / 1024);
 
+    // A deployment would reload and immediately freeze: the frozen model
+    //  serves without any autograd machinery.
     let restored = GmlFm::load_json(&path).expect("load");
-    let after = evaluate_rating(&restored, &split.test);
-    println!("restored model: test RMSE {:.4}", after.rmse);
+    let frozen = restored.freeze();
+    let after = evaluate_rating(&frozen, &split.test);
+    println!("restored + frozen model: test RMSE {:.4}", after.rmse);
 
-    // Bit-identical predictions, not just close.
+    // Bit-identical predictions through the tape path, not just close.
     let probe = &split.test[0];
     assert_eq!(
         model.score_one(probe).to_bits(),
         restored.score_one(probe).to_bits(),
         "round trip must be exact"
     );
-    println!("round trip verified: predictions are bit-identical");
+    let served = frozen.predict(probe);
+    let graph = model.score_one(probe);
+    assert!((served - graph).abs() <= 1e-9 * graph.abs().max(1.0), "frozen serving must match");
+    println!("round trip verified: graph path bit-identical, frozen path within 1e-9");
     let _ = std::fs::remove_file(path);
 }

@@ -15,6 +15,7 @@
 //! | [`train`] | `gmlfm-train` | SGD/Adam, squared + BPR losses, trainers |
 //! | [`models`] | `gmlfm-models` | the twelve baselines the paper compares against |
 //! | [`core`] | `gmlfm-core` | **GML-FM** itself: distances, transforms, efficient evaluation, persistence |
+//! | [`serve`] | `gmlfm-serve` | autograd-free serving: `Freeze`, `FrozenModel`, top-N ranking via Eq. 10/11 |
 //! | [`eval`] | `gmlfm-eval` | RMSE/HR/NDCG/MRR/AUC, protocols, significance tests |
 //! | [`tsne`] | `gmlfm-tsne` | exact t-SNE for the embedding case study |
 //!
@@ -36,7 +37,10 @@
 //! let cfg = TrainConfig { epochs: 2, ..TrainConfig::default() };
 //! fit_regression(&mut model, &split.train, Some(&split.val), &cfg);
 //!
-//! let metrics = evaluate_rating(&model, &split.test);
+//! // Freeze for serving: evaluation runs tape-free through the paper's
+//! // Eq. 10/11 decoupled form (see `gml_fm::serve`).
+//! use gml_fm::serve::Freeze;
+//! let metrics = evaluate_rating(&model.freeze(), &split.test);
 //! assert!(metrics.rmse.is_finite());
 //! ```
 //!
@@ -49,6 +53,7 @@ pub use gmlfm_core as core;
 pub use gmlfm_data as data;
 pub use gmlfm_eval as eval;
 pub use gmlfm_models as models;
+pub use gmlfm_serve as serve;
 pub use gmlfm_tensor as tensor;
 pub use gmlfm_train as train;
 pub use gmlfm_tsne as tsne;

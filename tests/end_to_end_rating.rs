@@ -39,10 +39,8 @@ fn vanilla_fm_also_learns_the_same_split() {
     let dataset = generate(&DatasetSpec::AmazonOffice.config(5).scaled(0.25));
     let mask = FieldMask::all(&dataset.schema);
     let split = rating_split(&dataset, &mask, 2, 9);
-    let mut fm = FactorizationMachine::new(
-        dataset.schema.total_dim(),
-        FmConfig { epochs: 25, ..FmConfig::default() },
-    );
+    let mut fm =
+        FactorizationMachine::new(dataset.schema.total_dim(), FmConfig { epochs: 25, ..FmConfig::default() });
     fm.fit(&split.train);
     let metrics = evaluate_rating(&fm, &split.test);
     let trivial = trivial_rmse(&split.test, &split.train);

@@ -102,7 +102,9 @@ fn ground_truth_positives_are_closer_than_random_items() {
 /// module's public helpers.
 #[test]
 fn fm_generalization_theorem_holds() {
-    use gml_fm::core::relation::{fm_equivalence_constants, fm_second_order, gml_second_order, normalize_rows_to};
+    use gml_fm::core::relation::{
+        fm_equivalence_constants, fm_second_order, gml_second_order, normalize_rows_to,
+    };
     let mut rng = seeded_rng(21);
     let raw = normal(&mut rng, 20, 6, 0.0, 1.0);
     let c = 1.3;

@@ -33,7 +33,12 @@ fn topn_pipeline_is_reproducible() {
         let mask = FieldMask::all(&dataset.schema);
         let split = loo_split(&dataset, &mask, 2, 30, 32);
         let mut model = GmlFm::new(dataset.schema.total_dim(), &GmlFmConfig::mahalanobis(8).with_seed(33));
-        fit_regression(&mut model, &split.train, None, &TrainConfig { epochs: 4, seed: 34, ..TrainConfig::default() });
+        fit_regression(
+            &mut model,
+            &split.train,
+            None,
+            &TrainConfig { epochs: 4, seed: 34, ..TrainConfig::default() },
+        );
         let m = evaluate_topn(&model, &dataset, &mask, &split.test, 10);
         (m.hr.to_bits(), m.ndcg.to_bits())
     };
@@ -49,7 +54,12 @@ fn dropout_training_is_still_seed_deterministic() {
         let mut cfg = GmlFmConfig::dnn(8, 2).with_seed(43);
         cfg.dropout = 0.5; // heavy dropout exercises the mask RNG
         let mut model = GmlFm::new(dataset.schema.total_dim(), &cfg);
-        fit_regression(&mut model, &split.train, None, &TrainConfig { epochs: 4, seed: 44, ..TrainConfig::default() });
+        fit_regression(
+            &mut model,
+            &split.train,
+            None,
+            &TrainConfig { epochs: 4, seed: 44, ..TrainConfig::default() },
+        );
         evaluate_rating(&model, &split.test).rmse.to_bits()
     };
     assert_eq!(run(), run());

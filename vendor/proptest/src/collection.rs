@@ -1,0 +1,114 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::Strategy;
+use rand::{Rng, StdRng};
+use std::collections::BTreeSet;
+
+/// Size specification: an exact length or a half-open range of lengths.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "SizeRange: empty range");
+        Self { lo: r.start, hi: r.end }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        if self.lo + 1 == self.hi {
+            self.lo
+        } else {
+            rng.gen_range(self.lo..self.hi)
+        }
+    }
+}
+
+/// Strategy producing `Vec<S::Value>` with a length drawn from `size`.
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `proptest::collection::vec(element, size)`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// Strategy producing `BTreeSet<S::Value>` with a size drawn from `size`.
+#[derive(Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let target = self.size.sample(rng);
+        let mut out = BTreeSet::new();
+        // The element domain may be barely larger than `target`; cap the
+        // attempts so a tight domain degrades to a smaller set instead of
+        // spinning.
+        let mut attempts = 0usize;
+        while out.len() < target && attempts < target * 100 + 100 {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+/// `proptest::collection::btree_set(element, size)`.
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+    BTreeSetStrategy { element, size: size.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_exact_and_ranged_sizes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(vec(0u8..5, 7usize).generate(&mut rng).len(), 7);
+        for _ in 0..50 {
+            let v = vec(0u8..5, 1..4).generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_reaches_target_in_wide_domain() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let s = btree_set(0usize..1000, 2..6).generate(&mut rng);
+            assert!((2..6).contains(&s.len()));
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The registry is unreachable in this build environment, so this
+//! vendored crate provides the subset the workspace uses: a JSON-backed
+//! [`Serialize`] / [`Deserialize`] trait pair, `#[derive(Serialize,
+//! Deserialize)]` for plain named-field structs (via the sibling
+//! `serde_derive` shim), and the [`json`] module the `serde_json` shim
+//! re-exports.
+//!
+//! Unlike upstream serde there is no data-model abstraction: the traits
+//! serialise straight to JSON text and deserialise from a parsed
+//! [`json::Value`]. Floats round-trip bit-exactly (shortest-decimal
+//! printing + correctly-rounded parsing), which is the property the
+//! persistence tests pin.
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialisation into JSON text.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Deserialisation from a parsed JSON value.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a JSON value.
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error>;
+}
+
+macro_rules! impl_json_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+                let n = v.as_f64().ok_or_else(|| json::Error::new(format!(
+                    "expected number, found {}", v.kind()
+                )))?;
+                if n.fract() != 0.0 || n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(json::Error::new(format!(
+                        "number {n} does not fit {}", stringify!($t)
+                    )));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+impl_json_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            // Rust's Display prints the shortest decimal that parses back
+            // to the same bits, so the round trip is exact.
+            out.push_str(&self.to_string());
+        } else {
+            // JSON has no Inf/NaN; encode as null like serde_json does.
+            out.push_str("null");
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        if v.is_null() {
+            return Ok(f64::NAN);
+        }
+        v.as_f64()
+            .ok_or_else(|| json::Error::new(format!("expected number, found {}", v.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        (*self as f64).serialize_json(out);
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        f64::deserialize_json(v).map(|n| n as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_bool()
+            .ok_or_else(|| json::Error::new(format!("expected bool, found {}", v.kind())))
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_escaped(self, out);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_escaped(self, out);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| json::Error::new(format!("expected string, found {}", v.kind())))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| json::Error::new(format!("expected array, found {}", v.kind())))?;
+        arr.iter().map(T::deserialize_json).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::deserialize_json(v).map(Some)
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(']');
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| json::Error::new(format!("expected 2-tuple array, found {}", v.kind())))?;
+        if arr.len() != 2 {
+            return Err(json::Error::new(format!("expected 2 elements, found {}", arr.len())));
+        }
+        Ok((A::deserialize_json(&arr[0])?, B::deserialize_json(&arr[1])?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Serialize + Deserialize>(v: &T) -> T {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        T::deserialize_json(&json::parse(&s).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(round_trip(&42u32), 42);
+        assert_eq!(round_trip(&usize::MAX), usize::MAX);
+        assert_eq!(round_trip(&-7i64), -7);
+        assert!(round_trip(&true));
+        assert_eq!(round_trip(&"héllo \"json\"\n".to_string()), "héllo \"json\"\n");
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for &bits in
+            &[0x3FF0_0000_0000_0001u64, 0x0010_0000_0000_0000, 0x7FEF_FFFF_FFFF_FFFF, 0x8000_0000_0000_0000]
+        {
+            let x = f64::from_bits(bits);
+            assert_eq!(round_trip(&x).to_bits(), bits, "{x}");
+        }
+        assert_eq!(round_trip(&0.1f64).to_bits(), 0.1f64.to_bits());
+    }
+
+    #[test]
+    fn composites_round_trip() {
+        let v = vec![(String::from("a"), vec![1.5f64, -2.25]), (String::from("b"), vec![])];
+        assert_eq!(round_trip(&v), v);
+        assert_eq!(round_trip(&Some(3u32)), Some(3));
+        assert_eq!(round_trip(&None::<u32>), None);
+    }
+}

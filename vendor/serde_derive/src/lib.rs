@@ -1,0 +1,143 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the shim `serde::Serialize` / `serde::Deserialize` traits for
+//! plain structs with named fields — the only shape the workspace
+//! serialises. Implemented directly on `proc_macro::TokenStream` (no
+//! `syn`/`quote`, which are unavailable offline): the generated code only
+//! needs the struct name and field names; field types are recovered by
+//! inference from the struct literal the impl constructs.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_struct(input);
+    let mut body = String::from("out.push('{');");
+    for (i, field) in item.fields.iter().enumerate() {
+        if i > 0 {
+            body.push_str("out.push(',');");
+        }
+        body.push_str(&format!(
+            "out.push_str(\"\\\"{field}\\\":\"); ::serde::Serialize::serialize_json(&self.{field}, out);"
+        ));
+    }
+    body.push_str("out.push('}');");
+    format!(
+        "impl ::serde::Serialize for {} {{ \
+             fn serialize_json(&self, out: &mut ::std::string::String) {{ {body} }} \
+         }}",
+        item.name
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_struct(input);
+    let mut fields = String::new();
+    for field in &item.fields {
+        fields.push_str(&format!("{field}: ::serde::json::field(v, \"{field}\")?,"));
+    }
+    format!(
+        "impl ::serde::Deserialize for {} {{ \
+             fn deserialize_json(v: &::serde::json::Value) \
+                 -> ::std::result::Result<Self, ::serde::json::Error> {{ \
+                 ::std::result::Result::Ok(Self {{ {fields} }}) \
+             }} \
+         }}",
+        item.name
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+struct StructItem {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extracts the struct name and its field names from the derive input.
+fn parse_struct(input: TokenStream) -> StructItem {
+    let mut tokens = input.into_iter().peekable();
+    // Header: attributes, visibility, `struct`, name.
+    let mut name = None;
+    while let Some(tok) = tokens.next() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute group that follows `#`.
+                tokens.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                // Skip optional `pub(...)` restriction.
+                if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    tokens.next();
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("serde_derive shim: expected struct name, found {other:?}"),
+                }
+                break;
+            }
+            other => panic!(
+                "serde_derive shim: unsupported item token {other:?} (only plain structs are supported)"
+            ),
+        }
+    }
+    let name = name.expect("serde_derive shim: no struct found");
+    // Body: the brace-delimited field list (generics are not supported).
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde_derive shim: generic structs are not supported")
+            }
+            Some(_) => continue,
+            None => panic!("serde_derive shim: struct '{name}' has no braced field list (tuple/unit structs unsupported)"),
+        }
+    };
+    StructItem { name, fields: field_names(body) }
+}
+
+/// Walks a struct body and collects field names: for each top-level
+/// `name: Type` entry, the identifier immediately before the first `:` at
+/// angle-bracket depth 0 after a field boundary.
+fn field_names(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    let mut angle_depth = 0i32;
+    let mut expecting_name = true;
+    while let Some(tok) = tokens.next() {
+        match tok {
+            TokenTree::Punct(p) => match p.as_char() {
+                '#' => {
+                    tokens.next(); // attribute group (doc comments etc.)
+                }
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => expecting_name = true,
+                _ => {}
+            },
+            TokenTree::Ident(id) if expecting_name && angle_depth == 0 => {
+                let text = id.to_string();
+                if text == "pub" {
+                    // Skip optional `pub(...)`.
+                    if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        tokens.next();
+                    }
+                } else if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+                    fields.push(text);
+                    expecting_name = false;
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}

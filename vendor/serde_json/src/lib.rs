@@ -1,0 +1,62 @@
+//! Offline stand-in for `serde_json`, backed by the `serde` shim's JSON
+//! core. Floats round-trip bit-exactly (the upstream `float_roundtrip`
+//! feature is the default and only behaviour here).
+
+pub use serde::json::{parse, Error, Value};
+
+/// Serialises a value to a JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Deserialises a value from a JSON string.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    T::deserialize_json(&parse(s)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Inner {
+        rows: usize,
+        data: Vec<f64>,
+    }
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Outer {
+        /// Doc comments on fields must not confuse the derive shim.
+        pub version: u32,
+        name: String,
+        flag: bool,
+        pairs: Vec<(String, Inner)>,
+    }
+
+    #[test]
+    fn derived_structs_round_trip() {
+        let v = Outer {
+            version: 1,
+            name: "snapshot \"x\"".into(),
+            flag: true,
+            pairs: vec![
+                ("w".into(), Inner { rows: 2, data: vec![0.1, -1.0 / 3.0] }),
+                ("v".into(), Inner { rows: 0, data: vec![] }),
+            ],
+        };
+        let json = crate::to_string(&v).unwrap();
+        let back: Outer = crate::from_str(&json).unwrap();
+        assert_eq!(back, v);
+        for (orig, rt) in v.pairs[0].1.data.iter().zip(&back.pairs[0].1.data) {
+            assert_eq!(orig.to_bits(), rt.to_bits());
+        }
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let err = crate::from_str::<Inner>("{\"rows\": 1}").unwrap_err();
+        assert!(err.to_string().contains("data"), "{err}");
+    }
+}
