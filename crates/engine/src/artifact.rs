@@ -1,0 +1,432 @@
+//! The versioned, servable artifact: spec + schema + frozen matrices
+//! (+ optional serving catalog) in one JSON file.
+//!
+//! An artifact is everything a serving process needs and nothing it does
+//! not: no autograd tape, no optimizer state, no training data. Loading
+//! one (`Engine::load`) reconstructs a [`gmlfm_serve::FrozenModel`]
+//! directly from the stored matrices — the training crates are never
+//! touched — and the embedded [`Catalog`] (per-user templates + per-item
+//! feature groups) makes `top_n` servable straight off the file.
+//!
+//! The `format_version` field is checked *before* the body is decoded,
+//! so a bumped or unknown version fails with
+//! [`EngineError::UnsupportedVersion`] rather than a parse panic deep in
+//! some field.
+
+use crate::error::EngineError;
+use crate::spec::{distance_from_name, distance_name, ModelSpec};
+use gmlfm_data::schema::Field;
+use gmlfm_data::{Dataset, FieldKind, FieldMask, Schema};
+use gmlfm_eval::item_side_slots;
+use gmlfm_serve::{FrozenModel, SecondOrder};
+use gmlfm_tensor::Matrix;
+use serde::json::{self, Value};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::Path;
+
+/// The artifact format version this build writes and reads.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+/// A dense matrix in serialisable form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct MatrixRepr {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl MatrixRepr {
+    fn from_matrix(m: &Matrix) -> Self {
+        Self { rows: m.rows(), cols: m.cols(), data: m.as_slice().to_vec() }
+    }
+
+    fn into_matrix(self) -> Result<Matrix, EngineError> {
+        if self.data.len() != self.rows * self.cols {
+            return Err(EngineError::BadArtifact(format!(
+                "matrix {}x{} carries {} values",
+                self.rows,
+                self.cols,
+                self.data.len()
+            )));
+        }
+        Ok(Matrix::from_vec(self.rows, self.cols, self.data))
+    }
+}
+
+/// Serialisable form of [`SecondOrder`], tagged by `kind`.
+#[derive(Debug, Clone)]
+pub(crate) enum SecondRepr {
+    Dot,
+    Metric { v_hat: MatrixRepr, q: Vec<f64>, h: Option<Vec<f64>>, distance: String },
+    Translated { v_trans: MatrixRepr },
+}
+
+impl Serialize for SecondRepr {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            SecondRepr::Dot => out.push_str("{\"kind\":\"dot\"}"),
+            SecondRepr::Metric { v_hat, q, h, distance } => {
+                out.push_str("{\"kind\":\"metric\",\"v_hat\":");
+                v_hat.serialize_json(out);
+                out.push_str(",\"q\":");
+                q.serialize_json(out);
+                out.push_str(",\"h\":");
+                h.serialize_json(out);
+                out.push_str(",\"distance\":");
+                distance.serialize_json(out);
+                out.push('}');
+            }
+            SecondRepr::Translated { v_trans } => {
+                out.push_str("{\"kind\":\"translated\",\"v_trans\":");
+                v_trans.serialize_json(out);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl Deserialize for SecondRepr {
+    fn deserialize_json(v: &Value) -> Result<Self, json::Error> {
+        let kind: String = json::field(v, "kind")?;
+        match kind.as_str() {
+            "dot" => Ok(SecondRepr::Dot),
+            "metric" => Ok(SecondRepr::Metric {
+                v_hat: json::field(v, "v_hat")?,
+                q: json::field(v, "q")?,
+                h: json::field(v, "h")?,
+                distance: json::field(v, "distance")?,
+            }),
+            "translated" => Ok(SecondRepr::Translated { v_trans: json::field(v, "v_trans")? }),
+            other => Err(json::Error::new(format!("unknown second-order kind '{other}'"))),
+        }
+    }
+}
+
+/// Serialisable form of a [`FrozenModel`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct FrozenRepr {
+    w0: f64,
+    w: Vec<f64>,
+    v: MatrixRepr,
+    second: SecondRepr,
+}
+
+impl FrozenRepr {
+    pub(crate) fn from_frozen(frozen: &FrozenModel) -> Self {
+        let second = match frozen.second_order_kind() {
+            SecondOrder::Dot => SecondRepr::Dot,
+            SecondOrder::Metric { v_hat, q, h, distance } => SecondRepr::Metric {
+                v_hat: MatrixRepr::from_matrix(v_hat),
+                q: q.clone(),
+                h: h.clone(),
+                distance: distance_name(*distance).to_string(),
+            },
+            SecondOrder::Translated { v_trans } => {
+                SecondRepr::Translated { v_trans: MatrixRepr::from_matrix(v_trans) }
+            }
+        };
+        Self {
+            w0: frozen.bias(),
+            w: frozen.linear_weights().to_vec(),
+            v: MatrixRepr::from_matrix(frozen.factors()),
+            second,
+        }
+    }
+
+    pub(crate) fn into_frozen(self) -> Result<FrozenModel, EngineError> {
+        let v = self.v.into_matrix()?;
+        let (n, k) = v.shape();
+        if self.w.len() != n {
+            return Err(EngineError::BadArtifact(format!(
+                "{} linear weights for {n} features",
+                self.w.len()
+            )));
+        }
+        let second = match self.second {
+            SecondRepr::Dot => SecondOrder::Dot,
+            SecondRepr::Metric { v_hat, q, h, distance } => {
+                let v_hat = v_hat.into_matrix()?;
+                if v_hat.shape() != (n, k) {
+                    return Err(EngineError::BadArtifact("V-hat shape differs from V".into()));
+                }
+                if q.len() != n {
+                    return Err(EngineError::BadArtifact(format!("{} norms for {n} features", q.len())));
+                }
+                if let Some(h) = &h {
+                    if h.len() != k {
+                        return Err(EngineError::BadArtifact(format!(
+                            "{} transformation weights for k={k}",
+                            h.len()
+                        )));
+                    }
+                }
+                let distance = distance_from_name(&distance)?;
+                SecondOrder::Metric { v_hat, q, h, distance }
+            }
+            SecondRepr::Translated { v_trans } => {
+                let v_trans = v_trans.into_matrix()?;
+                if v_trans.shape() != (n, k) {
+                    return Err(EngineError::BadArtifact("translation table shape differs from V".into()));
+                }
+                SecondOrder::Translated { v_trans }
+            }
+        };
+        Ok(FrozenModel::from_parts(self.w0, self.w, v, second))
+    }
+}
+
+/// One schema field in serialisable form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct FieldRepr {
+    name: String,
+    cardinality: usize,
+    kind: String,
+}
+
+/// Serialisable form of a [`Schema`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct SchemaRepr {
+    fields: Vec<FieldRepr>,
+}
+
+fn kind_name(kind: FieldKind) -> &'static str {
+    match kind {
+        FieldKind::User => "user",
+        FieldKind::Item => "item",
+        FieldKind::UserAttr => "user_attr",
+        FieldKind::Category => "category",
+        FieldKind::Condition => "condition",
+        FieldKind::Shipping => "shipping",
+        FieldKind::ItemAttr => "item_attr",
+    }
+}
+
+fn kind_from_name(name: &str) -> Result<FieldKind, EngineError> {
+    match name {
+        "user" => Ok(FieldKind::User),
+        "item" => Ok(FieldKind::Item),
+        "user_attr" => Ok(FieldKind::UserAttr),
+        "category" => Ok(FieldKind::Category),
+        "condition" => Ok(FieldKind::Condition),
+        "shipping" => Ok(FieldKind::Shipping),
+        "item_attr" => Ok(FieldKind::ItemAttr),
+        other => Err(EngineError::BadArtifact(format!("unknown field kind '{other}'"))),
+    }
+}
+
+impl SchemaRepr {
+    pub(crate) fn from_schema(schema: &Schema) -> Self {
+        Self {
+            fields: schema
+                .fields()
+                .iter()
+                .map(|f| FieldRepr {
+                    name: f.name.clone(),
+                    cardinality: f.cardinality,
+                    kind: kind_name(f.kind).to_string(),
+                })
+                .collect(),
+        }
+    }
+
+    pub(crate) fn into_schema(self) -> Result<Schema, EngineError> {
+        let mut fields = Vec::with_capacity(self.fields.len());
+        for f in self.fields {
+            fields.push(Field { name: f.name, cardinality: f.cardinality, kind: kind_from_name(&f.kind)? });
+        }
+        Ok(Schema::new(fields))
+    }
+}
+
+/// The item/user feature tables a ranking request needs: per-user context
+/// templates and per-item candidate feature groups, mask-resolved into
+/// global one-hot indices.
+///
+/// A catalog is what turns a frozen model into a *servable* recommender:
+/// `top_n(user)` needs to enumerate every item's feature group (item id +
+/// item attributes) and splice it into the user's template — exactly the
+/// [`gmlfm_serve::TopNRanker`] workflow — without the training-side
+/// [`Dataset`] in memory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Catalog {
+    /// Template positions that carry item-side values.
+    item_slots: Vec<usize>,
+    /// Per-user full feature template (item slots hold item 0's values
+    /// until spliced).
+    user_templates: Vec<Vec<u32>>,
+    /// Per-item values for the item slots, in `item_slots` order.
+    item_feats: Vec<Vec<u32>>,
+}
+
+impl Catalog {
+    /// Extracts the serving catalog from a dataset under an attribute
+    /// mask.
+    pub fn from_dataset(dataset: &Dataset, mask: &FieldMask) -> Self {
+        let item_slots = item_side_slots(dataset, mask);
+        let user_templates: Vec<Vec<u32>> =
+            (0..dataset.n_users).map(|u| dataset.feats(u as u32, 0, mask)).collect();
+        let item_feats: Vec<Vec<u32>> = (0..dataset.n_items)
+            .map(|i| {
+                let full = dataset.feats(0, i as u32, mask);
+                item_slots.iter().map(|&s| full[s]).collect()
+            })
+            .collect();
+        Self { item_slots, user_templates, item_feats }
+    }
+
+    /// Number of users in the catalog.
+    pub fn n_users(&self) -> usize {
+        self.user_templates.len()
+    }
+
+    /// Number of items in the catalog.
+    pub fn n_items(&self) -> usize {
+        self.item_feats.len()
+    }
+
+    /// Template positions that vary per candidate item.
+    pub fn item_slots(&self) -> &[usize] {
+        &self.item_slots
+    }
+
+    /// The user's full feature template (item slots filled with item 0).
+    pub fn template(&self, user: u32) -> Option<&[u32]> {
+        self.user_templates.get(user as usize).map(Vec::as_slice)
+    }
+
+    /// The item's feature-group values, in [`Catalog::item_slots`] order.
+    pub fn item_features(&self, item: u32) -> Option<&[u32]> {
+        self.item_feats.get(item as usize).map(Vec::as_slice)
+    }
+
+    /// The full feature vector for a `(user, item)` pair — the user's
+    /// template with the item group spliced in.
+    pub fn feats(&self, user: u32, item: u32) -> Option<Vec<u32>> {
+        let mut out = self.template(user)?.to_vec();
+        let item_feats = self.item_features(item)?;
+        for (&slot, &f) in self.item_slots.iter().zip(item_feats) {
+            out[slot] = f;
+        }
+        Some(out)
+    }
+}
+
+/// A saved, versioned, servable model: spec + schema + frozen matrices
+/// (+ optional catalog) in one JSON document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Artifact {
+    /// Format version; checked before the body is decoded.
+    pub format_version: u32,
+    /// What the model is (restores with the artifact).
+    pub spec: ModelSpec,
+    pub(crate) schema: SchemaRepr,
+    pub(crate) frozen: FrozenRepr,
+    /// Serving catalog, when the recommender was fit from a dataset.
+    pub catalog: Option<Catalog>,
+}
+
+impl Artifact {
+    /// Assembles an artifact from a frozen model and its provenance.
+    /// [`crate::Recommender::artifact`] is the usual entry point; this
+    /// constructor serves custom pipelines that freeze models themselves.
+    pub fn new(spec: ModelSpec, schema: &Schema, frozen: &FrozenModel, catalog: Option<Catalog>) -> Self {
+        Self {
+            format_version: ARTIFACT_VERSION,
+            spec,
+            schema: SchemaRepr::from_schema(schema),
+            frozen: FrozenRepr::from_frozen(frozen),
+            catalog,
+        }
+    }
+
+    /// Serialises to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("artifact serialisation is infallible")
+    }
+
+    /// Parses an artifact, validating `format_version` before decoding
+    /// the body.
+    pub fn from_json(text: &str) -> Result<Self, EngineError> {
+        let value = json::parse(text).map_err(EngineError::Json)?;
+        let raw = value
+            .get("format_version")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| EngineError::BadArtifact("missing format_version".into()))?;
+        if raw.fract() != 0.0 || !(0.0..=u32::MAX as f64).contains(&raw) {
+            return Err(EngineError::BadArtifact(format!("format_version {raw} is not a u32")));
+        }
+        let version = raw as u32;
+        if version != ARTIFACT_VERSION {
+            return Err(EngineError::UnsupportedVersion { found: version, supported: ARTIFACT_VERSION });
+        }
+        Artifact::deserialize_json(&value).map_err(EngineError::Json)
+    }
+
+    /// Writes the artifact as JSON, creating parent directories.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), EngineError> {
+        if let Some(parent) = path.as_ref().parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_json())?;
+        Ok(())
+    }
+
+    /// Reads an artifact saved by [`Artifact::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, EngineError> {
+        Self::from_json(&fs::read_to_string(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bumped_version_is_a_typed_error() {
+        let err = Artifact::from_json("{\"format_version\": 99}").unwrap_err();
+        assert!(matches!(err, EngineError::UnsupportedVersion { found: 99, supported: ARTIFACT_VERSION }));
+    }
+
+    #[test]
+    fn missing_version_is_a_typed_error() {
+        let err = Artifact::from_json("{\"spec\": {}}").unwrap_err();
+        assert!(matches!(err, EngineError::BadArtifact(_)));
+    }
+
+    #[test]
+    fn fractional_version_is_rejected_not_truncated() {
+        // 1.5 must not be truncated to the supported version 1 in the
+        // error report.
+        let err = Artifact::from_json("{\"format_version\": 1.5}").unwrap_err();
+        assert!(matches!(err, EngineError::BadArtifact(_)), "{err}");
+    }
+
+    #[test]
+    fn malformed_json_is_a_typed_error() {
+        let err = Artifact::from_json("{not json").unwrap_err();
+        assert!(matches!(err, EngineError::Json(_)));
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = Artifact::load("/nonexistent/dir/artifact.json").unwrap_err();
+        assert!(matches!(err, EngineError::Io(_)));
+    }
+
+    #[test]
+    fn schema_round_trips() {
+        let schema = Schema::from_specs(&[
+            ("user", 7, FieldKind::User),
+            ("item", 9, FieldKind::Item),
+            ("cat", 3, FieldKind::Category),
+        ]);
+        let repr = SchemaRepr::from_schema(&schema);
+        let json = serde_json::to_string(&repr).unwrap();
+        let back: SchemaRepr = serde_json::from_str(&json).unwrap();
+        let restored = back.into_schema().unwrap();
+        assert_eq!(restored.total_dim(), schema.total_dim());
+        assert_eq!(restored.fields()[2].kind, FieldKind::Category);
+        assert_eq!(restored.fields()[1].name, "item");
+    }
+}

@@ -1,0 +1,415 @@
+//! The fluent engine pipeline: dataset → split → spec → train config →
+//! [`Recommender`], and artifact load on the serving side.
+//!
+//! ```
+//! use gmlfm_engine::{Engine, ModelSpec, SplitPlan};
+//! use gmlfm_data::{generate, DatasetSpec};
+//!
+//! let dataset = generate(&DatasetSpec::AmazonAuto.config(42).scaled(0.15));
+//! let rec = Engine::builder()
+//!     .dataset(dataset)
+//!     .split(SplitPlan::rating(7))
+//!     .spec(ModelSpec::gml_fm_dnn(8, 1))
+//!     .fit()
+//!     .expect("pipeline");
+//! let metrics = rec.evaluate_rating().expect("rating holdout");
+//! assert!(metrics.rmse.is_finite());
+//! ```
+
+use crate::artifact::{Artifact, Catalog};
+use crate::error::EngineError;
+use crate::estimator::{Estimator, FitData};
+use crate::spec::ModelSpec;
+use gmlfm_data::{loo_split, rating_split, Dataset, FieldMask, Instance, LooTestCase, Schema};
+use gmlfm_eval::{evaluate_rating, hit_ratio_at, ndcg_at, RatingMetrics, TopnMetrics};
+use gmlfm_serve::FrozenModel;
+use gmlfm_train::{Scorer, TrainConfig, TrainReport};
+use std::path::Path;
+
+/// How the engine splits a dataset before training.
+#[derive(Debug, Clone, Copy)]
+pub enum SplitPlan {
+    /// The paper's rating protocol: ±1 implicit targets, sampled
+    /// negatives, 70/20/10 split (Section 4.3.1).
+    Rating {
+        /// Sampled negatives per positive (2 in the paper).
+        neg_per_pos: usize,
+        /// Split seed.
+        seed: u64,
+    },
+    /// The paper's leave-one-out top-n protocol (Section 4.3.2).
+    TopN {
+        /// Sampled training negatives per positive (2 in the paper).
+        neg_per_pos: usize,
+        /// Candidate negatives per test case (99 in the paper).
+        n_candidates: usize,
+        /// Split seed.
+        seed: u64,
+    },
+}
+
+impl SplitPlan {
+    /// Rating protocol with the paper's defaults (2 negatives per
+    /// positive).
+    pub fn rating(seed: u64) -> Self {
+        SplitPlan::Rating { neg_per_pos: 2, seed }
+    }
+
+    /// Leave-one-out protocol with the paper's defaults (2 training
+    /// negatives per positive, 99 candidates).
+    pub fn topn(seed: u64) -> Self {
+        SplitPlan::TopN { neg_per_pos: 2, n_candidates: 99, seed }
+    }
+}
+
+impl Default for SplitPlan {
+    fn default() -> Self {
+        SplitPlan::rating(7)
+    }
+}
+
+/// Entry points of the unified pipeline.
+pub struct Engine;
+
+impl Engine {
+    /// Starts the fluent config → train → freeze pipeline.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder {
+            dataset: None,
+            mask: None,
+            split: SplitPlan::default(),
+            spec: None,
+            train: TrainConfig::default(),
+        }
+    }
+
+    /// Restores a servable [`Recommender`] from an [`Artifact`] file.
+    /// Only the frozen matrices are touched — no autograd, no trainers.
+    pub fn load(path: impl AsRef<Path>) -> Result<Recommender, EngineError> {
+        Recommender::from_artifact(Artifact::load(path)?)
+    }
+
+    /// [`Engine::load`] from an in-memory JSON string.
+    pub fn load_json(text: &str) -> Result<Recommender, EngineError> {
+        Recommender::from_artifact(Artifact::from_json(text)?)
+    }
+}
+
+/// Fluent builder returned by [`Engine::builder`].
+pub struct EngineBuilder {
+    dataset: Option<Dataset>,
+    mask: Option<FieldMask>,
+    split: SplitPlan,
+    spec: Option<ModelSpec>,
+    train: TrainConfig,
+}
+
+impl EngineBuilder {
+    /// The dataset to split, train and build the serving catalog from.
+    pub fn dataset(mut self, dataset: Dataset) -> Self {
+        self.dataset = Some(dataset);
+        self
+    }
+
+    /// Restricts training and serving to an attribute subset (defaults
+    /// to every field).
+    pub fn mask(mut self, mask: FieldMask) -> Self {
+        self.mask = Some(mask);
+        self
+    }
+
+    /// The split protocol (defaults to [`SplitPlan::rating`] with seed 7).
+    pub fn split(mut self, split: SplitPlan) -> Self {
+        self.split = split;
+        self
+    }
+
+    /// Which model to construct and train.
+    pub fn spec(mut self, spec: ModelSpec) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// Training-loop hyper-parameters for the autograd trainers
+    /// (hand-derived SGD models carry their own in the spec).
+    pub fn train_config(mut self, train: TrainConfig) -> Self {
+        self.train = train;
+        self
+    }
+
+    /// Runs the pipeline: split, construct, train, freeze (when
+    /// supported), and wrap into a [`Recommender`] with its serving
+    /// catalog and evaluation holdout.
+    pub fn fit(self) -> Result<Recommender, EngineError> {
+        let dataset = self.dataset.ok_or(EngineError::BuilderIncomplete { field: "dataset" })?;
+        let spec = self.spec.ok_or(EngineError::BuilderIncomplete { field: "spec" })?;
+        let mask = self.mask.unwrap_or_else(|| FieldMask::all(&dataset.schema));
+        let mut estimator = spec.build(&dataset.schema, &mask);
+        let (report, holdout) = match self.split {
+            SplitPlan::Rating { neg_per_pos, seed } => {
+                if !spec.supports_rating() {
+                    return Err(EngineError::UnsupportedTask {
+                        model: spec.display_name().to_string(),
+                        task: "rating",
+                    });
+                }
+                let split = rating_split(&dataset, &mask, neg_per_pos, seed);
+                let report = estimator.fit(&FitData::rating(&split), &self.train)?;
+                (report, Holdout::Rating(split.test))
+            }
+            SplitPlan::TopN { neg_per_pos, n_candidates, seed } => {
+                if !spec.supports_topn() {
+                    return Err(EngineError::UnsupportedTask {
+                        model: spec.display_name().to_string(),
+                        task: "top-n",
+                    });
+                }
+                let split = loo_split(&dataset, &mask, neg_per_pos, n_candidates, seed);
+                let report = estimator.fit(&FitData::topn(&split), &self.train)?;
+                (report, Holdout::TopN(split.test))
+            }
+        };
+        let catalog = Catalog::from_dataset(&dataset, &mask);
+        let serving = match estimator.freeze_if_supported() {
+            Some(frozen) => Serving::Frozen(frozen),
+            None => Serving::Live(estimator),
+        };
+        Ok(Recommender {
+            spec,
+            schema: dataset.schema,
+            serving,
+            catalog: Some(catalog),
+            holdout: Some(holdout),
+            report: Some(report),
+        })
+    }
+}
+
+/// How a recommender answers scoring requests.
+enum Serving {
+    /// Tape-free frozen matrices (GML-FM, FM, TransFM).
+    Frozen(FrozenModel),
+    /// The trained estimator itself (models without a frozen form).
+    Live(Box<dyn Estimator>),
+}
+
+/// The held-out test portion of the fitted split.
+enum Holdout {
+    Rating(Vec<Instance>),
+    TopN(Vec<LooTestCase>),
+}
+
+/// A trained, servable model: scoring, catalog-wide top-n ranking,
+/// holdout evaluation and artifact persistence behind one handle.
+pub struct Recommender {
+    spec: ModelSpec,
+    schema: Schema,
+    serving: Serving,
+    catalog: Option<Catalog>,
+    holdout: Option<Holdout>,
+    report: Option<TrainReport>,
+}
+
+impl Recommender {
+    pub(crate) fn from_artifact(artifact: Artifact) -> Result<Self, EngineError> {
+        Ok(Self {
+            spec: artifact.spec,
+            schema: artifact.schema.into_schema()?,
+            serving: Serving::Frozen(artifact.frozen.into_frozen()?),
+            catalog: artifact.catalog,
+            holdout: None,
+            report: None,
+        })
+    }
+
+    /// The spec this recommender was built from (or restored with).
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// The one-hot feature schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The serving catalog, when present.
+    pub fn catalog(&self) -> Option<&Catalog> {
+        self.catalog.as_ref()
+    }
+
+    /// The training report, when this handle came out of a fit.
+    pub fn report(&self) -> Option<&TrainReport> {
+        self.report.as_ref()
+    }
+
+    /// The frozen serving model, when the spec supports freezing.
+    pub fn frozen(&self) -> Option<&FrozenModel> {
+        match &self.serving {
+            Serving::Frozen(f) => Some(f),
+            Serving::Live(_) => None,
+        }
+    }
+
+    /// Scores one instance.
+    pub fn score(&self, instance: &Instance) -> f64 {
+        self.score_feats(&instance.feats)
+    }
+
+    /// Scores raw active feature indices.
+    pub fn score_feats(&self, feats: &[u32]) -> f64 {
+        match &self.serving {
+            Serving::Frozen(frozen) => frozen.predict_feats(feats),
+            Serving::Live(est) => est.scorer().score_one(&Instance::new(feats.to_vec(), 0.0)),
+        }
+    }
+
+    /// Scores a `(user, item)` pair through the catalog.
+    pub fn score_pair(&self, user: u32, item: u32) -> Result<f64, EngineError> {
+        let catalog = self.catalog.as_ref().ok_or(EngineError::MissingCatalog)?;
+        Ok(self.score_feats(&checked_feats(catalog, user, item)?))
+    }
+
+    /// Ranks the entire item catalogue for `user` and returns the top
+    /// `n` `(item, score)` pairs, best first. Frozen models rank through
+    /// the [`gmlfm_serve::TopNRanker`] item-delta path; live models score
+    /// every candidate instance.
+    pub fn top_n(&self, user: u32, n: usize) -> Result<Vec<(u32, f64)>, EngineError> {
+        let catalog = self.catalog.as_ref().ok_or(EngineError::MissingCatalog)?;
+        let template = catalog
+            .template(user)
+            .ok_or(EngineError::UnknownUser { user, n_users: catalog.n_users() })?;
+        let n_items = catalog.n_items();
+        let mut scored: Vec<(u32, f64)> = Vec::with_capacity(n_items);
+        match &self.serving {
+            Serving::Frozen(frozen) => {
+                let mut ranker = frozen.ranker(template, catalog.item_slots());
+                for item in 0..n_items as u32 {
+                    let group = catalog.item_features(item).expect("item enumerated from the catalog");
+                    scored.push((item, ranker.score(group)));
+                }
+            }
+            Serving::Live(est) => {
+                let instances: Vec<Instance> = (0..n_items as u32)
+                    .map(|item| Instance::new(catalog.feats(user, item).expect("user checked above"), 0.0))
+                    .collect();
+                let refs: Vec<&Instance> = instances.iter().collect();
+                let scores = est.scorer().scores(&refs);
+                scored.extend((0..n_items as u32).zip(scores));
+            }
+        }
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.truncate(n);
+        Ok(scored)
+    }
+
+    /// RMSE/MAE on the rating holdout this recommender was fit with.
+    pub fn evaluate_rating(&self) -> Result<RatingMetrics, EngineError> {
+        match &self.holdout {
+            Some(Holdout::Rating(test)) => Ok(evaluate_rating(self, test)),
+            _ => Err(EngineError::MissingHoldout { expected: "rating" }),
+        }
+    }
+
+    /// HR@k / NDCG@k on the leave-one-out holdout this recommender was
+    /// fit with.
+    pub fn evaluate_topn(&self, k: usize) -> Result<TopnMetrics, EngineError> {
+        match &self.holdout {
+            Some(Holdout::TopN(cases)) => self.topn_metrics(cases, k),
+            _ => Err(EngineError::MissingHoldout { expected: "top-n" }),
+        }
+    }
+
+    fn topn_metrics(&self, cases: &[LooTestCase], k: usize) -> Result<TopnMetrics, EngineError> {
+        let catalog = self.catalog.as_ref().ok_or(EngineError::MissingCatalog)?;
+        if cases.is_empty() {
+            // Align with gmlfm_eval's protocols, which reject empty test
+            // sets — but as a typed error instead of a panic.
+            return Err(EngineError::MissingHoldout { expected: "top-n" });
+        }
+        let mut per_user_hr = Vec::with_capacity(cases.len());
+        let mut per_user_ndcg = Vec::with_capacity(cases.len());
+        let mut scores: Vec<f64> = Vec::new();
+        for case in cases {
+            scores.clear();
+            match &self.serving {
+                Serving::Frozen(frozen) => {
+                    let template = checked_feats(catalog, case.user, case.pos_item)?;
+                    let mut ranker = frozen.ranker(&template, catalog.item_slots());
+                    for &item in std::iter::once(&case.pos_item).chain(&case.negatives) {
+                        let group = catalog
+                            .item_features(item)
+                            .ok_or(EngineError::UnknownItem { item, n_items: catalog.n_items() })?;
+                        scores.push(ranker.score(group));
+                    }
+                }
+                Serving::Live(est) => {
+                    let mut instances = Vec::with_capacity(1 + case.negatives.len());
+                    for &item in std::iter::once(&case.pos_item).chain(&case.negatives) {
+                        instances.push(Instance::new(checked_feats(catalog, case.user, item)?, 0.0));
+                    }
+                    let refs: Vec<&Instance> = instances.iter().collect();
+                    scores = est.scorer().scores(&refs);
+                }
+            }
+            per_user_hr.push(hit_ratio_at(&scores, k));
+            per_user_ndcg.push(ndcg_at(&scores, k));
+        }
+        let hr = per_user_hr.iter().sum::<f64>() / per_user_hr.len() as f64;
+        let ndcg = per_user_ndcg.iter().sum::<f64>() / per_user_ndcg.len() as f64;
+        Ok(TopnMetrics { hr, ndcg, per_user_hr, per_user_ndcg })
+    }
+
+    /// Captures the current frozen state as a versioned [`Artifact`].
+    /// Fails with [`EngineError::NotFreezable`] for models without a
+    /// frozen serving form.
+    pub fn artifact(&self) -> Result<Artifact, EngineError> {
+        let frozen = match &self.serving {
+            Serving::Frozen(frozen) => frozen.clone(),
+            Serving::Live(est) => est
+                .freeze_if_supported()
+                .ok_or_else(|| EngineError::NotFreezable { model: self.spec.display_name().to_string() })?,
+        };
+        Ok(Artifact::new(self.spec.clone(), &self.schema, &frozen, self.catalog.clone()))
+    }
+
+    /// Saves the artifact as JSON (see [`Recommender::artifact`]).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), EngineError> {
+        self.artifact()?.save(path)
+    }
+}
+
+/// [`Catalog::feats`] with the user/item bound reported distinctly, so
+/// an out-of-range item is never misdiagnosed as an unknown user.
+fn checked_feats(catalog: &Catalog, user: u32, item: u32) -> Result<Vec<u32>, EngineError> {
+    let template = catalog
+        .template(user)
+        .ok_or(EngineError::UnknownUser { user, n_users: catalog.n_users() })?;
+    let group = catalog
+        .item_features(item)
+        .ok_or(EngineError::UnknownItem { item, n_items: catalog.n_items() })?;
+    let mut out = template.to_vec();
+    for (&slot, &f) in catalog.item_slots().iter().zip(group) {
+        out[slot] = f;
+    }
+    Ok(out)
+}
+
+impl std::fmt::Debug for Recommender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recommender")
+            .field("spec", &self.spec)
+            .field("frozen", &matches!(self.serving, Serving::Frozen(_)))
+            .field("has_catalog", &self.catalog.is_some())
+            .field("has_holdout", &self.holdout.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Scorer for Recommender {
+    fn scores(&self, instances: &[&Instance]) -> Vec<f64> {
+        match &self.serving {
+            Serving::Frozen(frozen) => frozen.scores(instances),
+            Serving::Live(est) => est.scorer().scores(instances),
+        }
+    }
+}

@@ -3,7 +3,8 @@
 //! Two top-n paths are provided: the generic [`evaluate_topn`], which
 //! scores every candidate through whatever [`Scorer`] it is given, and
 //! [`evaluate_topn_frozen`], which exploits a frozen model's
-//! [`TopNRanker`] to compute each user's context partial sums once and
+//! [`gmlfm_serve::TopNRanker`] to compute each user's context partial
+//! sums once and
 //! score candidates by item delta only. Both produce identical metrics
 //! for the same model (pinned by tests here); the frozen path is the one
 //! the experiment runners use.

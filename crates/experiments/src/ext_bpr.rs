@@ -6,8 +6,9 @@ use crate::datasets::make;
 use crate::runner::{default_dnn_cfg, ExpConfig};
 use gmlfm_core::GmlFm;
 use gmlfm_data::{loo_split, DatasetSpec, FieldMask, NegativeSampler};
+use gmlfm_engine::{FitData, ModelSpec};
 use gmlfm_eval::{evaluate_topn, Table};
-use gmlfm_train::{fit_bpr, fit_regression, TrainConfig};
+use gmlfm_train::{fit_bpr, TrainConfig};
 
 /// Runs the point-wise vs pairwise comparison on two datasets; writes
 /// `ext_bpr.csv`.
@@ -21,23 +22,23 @@ pub fn run(cfg: &ExpConfig) {
         let mask = FieldMask::all(&dataset.schema);
         let split = loo_split(&dataset, &mask, 2, 99, cfg.seed ^ 0xe1);
         let n = dataset.schema.total_dim();
-        let tc = TrainConfig {
-            lr: 0.01,
-            epochs: cfg.epochs,
-            batch_size: 256,
-            weight_decay: 1e-5,
-            patience: 0,
-            seed: cfg.seed ^ 0xe2,
-        };
+        let tc = TrainConfig { patience: 0, seed: cfg.seed ^ 0xe2, ..cfg.train_config() };
         eprintln!("[ext-bpr] {}", spec.name());
 
         // Point-wise (the paper's objective): train on positives + the
-        // pre-sampled negatives.
-        let mut pointwise = GmlFm::new(n, &default_dnn_cfg(cfg.k, cfg.seed ^ 0xe3));
-        fit_regression(&mut pointwise, &split.train, None, &tc);
-        let pw = evaluate_topn(&pointwise, &dataset, &mask, &split.test, 10);
+        // pre-sampled negatives, through the unified spec pipeline.
+        let mut pointwise =
+            ModelSpec::gml_fm(default_dnn_cfg(cfg.k, cfg.seed ^ 0xe3)).build(&dataset.schema, &mask);
+        pointwise
+            .fit(&FitData::instances(&split.train), &tc)
+            .expect("point-wise training set");
+        let pw = evaluate_topn(pointwise.scorer(), &dataset, &mask, &split.test, 10);
 
         // Pairwise BPR: positives only; negatives resampled each epoch.
+        // This graph-level pairwise objective is the Section 7 extension
+        // — it needs a dataset-aware negative-sampling closure, which is
+        // beyond the Estimator fit contract, so it drives the GmlFm
+        // graph model directly.
         let positives: Vec<_> = split.train.iter().filter(|i| i.label > 0.0).cloned().collect();
         let user_sets = dataset.user_item_sets();
         let sampler = NegativeSampler::new(dataset.n_items);

@@ -11,15 +11,15 @@
 //! W-W, W-C, C-W, C-C.
 
 use crate::runner::{default_dnn_cfg, ExpConfig};
-use gmlfm_core::GmlFm;
 use gmlfm_data::{generate, DatasetSpec, FieldMask, Instance, NegativeSampler};
+use gmlfm_engine::{FitData, ModelSpec};
 use gmlfm_eval::Table;
 use gmlfm_models::{
     mamo::{MamoConfig, MamoTask},
     MamoLite,
 };
 use gmlfm_tensor::seeded_rng;
-use gmlfm_train::{fit_regression, Scorer, TrainConfig};
+use gmlfm_train::TrainConfig;
 use std::collections::{HashMap, HashSet};
 
 const WARM_USER_MIN: usize = 6;
@@ -117,16 +117,11 @@ pub fn run(cfg: &ExpConfig) {
             }
         }
     }
-    let mut gml = GmlFm::new(d.schema.total_dim(), &default_dnn_cfg(cfg.k, cfg.seed ^ 0x8b));
-    let tc = TrainConfig {
-        lr: 0.01,
-        epochs: cfg.epochs,
-        batch_size: 256,
-        weight_decay: 1e-5,
-        patience: 0,
-        seed: cfg.seed ^ 0x8c,
-    };
-    fit_regression(&mut gml, &train, None, &tc);
+    let spec = ModelSpec::gml_fm(default_dnn_cfg(cfg.k, cfg.seed ^ 0x8b));
+    let mut gml = spec.build(&d.schema, &mask);
+    let tc = TrainConfig { patience: 0, seed: cfg.seed ^ 0x8c, ..cfg.train_config() };
+    gml.fit(&FitData::instances(&train), &tc)
+        .expect("cold-start support set is non-empty");
 
     // --- Meta-train MAMO-lite on warm users' support tasks ----------------
     let profile_cards: Vec<usize> =
@@ -174,7 +169,7 @@ pub fn run(cfg: &ExpConfig) {
             .map(|&(item, label)| d.instance_masked(u as u32, item, label, &mask))
             .collect();
         let refs: Vec<&Instance> = instances.iter().collect();
-        let gml_preds = gml.scores(&refs);
+        let gml_preds = gml.scorer().scores(&refs);
         // MAMO predictions (adapting on the user's support).
         let support: Vec<(usize, f64)> = data.support[u].iter().map(|&i| (i as usize, 1.0)).collect();
         let items: Vec<usize> = query_items.iter().map(|&(i, _)| i as usize).collect();

@@ -12,14 +12,12 @@
 
 use crate::datasets::make;
 use crate::runner::{default_dnn_cfg, ExpConfig};
-use gmlfm_core::GmlFm;
 use gmlfm_data::{loo_split, DatasetSpec, FieldMask, NegativeSampler};
+use gmlfm_engine::{FitData, ModelSpec};
 use gmlfm_eval::Table;
-use gmlfm_models::{
-    fm::FmConfig, nfm::NfmConfig, transfm::TransFmConfig, FactorizationMachine, Nfm, TransFm,
-};
+use gmlfm_models::{fm::FmConfig, nfm::NfmConfig, transfm::TransFmConfig};
 use gmlfm_tensor::{seeded_rng, Matrix};
-use gmlfm_train::{fit_regression, TrainConfig};
+use gmlfm_train::TrainConfig;
 use gmlfm_tsne::{separation_score, tsne, TsneConfig};
 
 /// Runs the case study for the `rank`-th most active user (0 for Fig. 5,
@@ -48,46 +46,42 @@ pub fn run(cfg: &ExpConfig, rank: usize) {
     let negatives = sampler.sample(&mut rng, &dataset.user_item_sets()[user], positives.len());
     let item_offset = dataset.schema.offset(1);
 
-    let tc = TrainConfig {
-        lr: 0.01,
-        epochs: cfg.epochs,
-        batch_size: 256,
-        weight_decay: 1e-5,
-        patience: 0,
-        seed: cfg.seed ^ 0x9b,
-    };
-    let n = dataset.schema.total_dim();
+    let tc = TrainConfig { patience: 0, seed: cfg.seed ^ 0x9b, ..cfg.train_config() };
 
-    // Train the four case-study models and extract item-ID factor rows.
+    // The four case-study models as declarative specs; training and
+    // factor extraction go through the unified Estimator interface.
+    let case_specs: [(&str, ModelSpec); 4] = [
+        (
+            "FM",
+            ModelSpec::Fm {
+                config: FmConfig {
+                    k: cfg.k,
+                    lr: 0.01,
+                    reg: 0.01,
+                    epochs: cfg.epochs * 2,
+                    seed: cfg.seed ^ 0x9c,
+                },
+            },
+        ),
+        (
+            "NFM",
+            ModelSpec::Nfm { config: NfmConfig { k: cfg.k, layers: 1, dropout: 0.2, seed: cfg.seed ^ 0x9d } },
+        ),
+        ("TransFM", ModelSpec::TransFm { config: TransFmConfig { k: cfg.k, seed: cfg.seed ^ 0x9e } }),
+        ("GML-FM", ModelSpec::gml_fm(default_dnn_cfg(cfg.k, cfg.seed ^ 0x9f))),
+    ];
+
     let mut summary = Table::new(&["model", "separation (inter/intra)"]);
     let mut scores: Vec<(String, f64)> = Vec::new();
-    for model_name in ["FM", "NFM", "TransFM", "GML-FM"] {
-        let factors: Matrix = match model_name {
-            "FM" => {
-                let mut m = FactorizationMachine::new(
-                    n,
-                    FmConfig { k: cfg.k, lr: 0.01, reg: 0.01, epochs: cfg.epochs * 2, seed: cfg.seed ^ 0x9c },
-                );
-                m.fit(&split.train);
-                m.factors().clone()
-            }
-            "NFM" => {
-                let mut m =
-                    Nfm::new(n, &NfmConfig { k: cfg.k, layers: 1, dropout: 0.2, seed: cfg.seed ^ 0x9d });
-                fit_regression(&mut m, &split.train, None, &tc);
-                m.factors().clone()
-            }
-            "TransFM" => {
-                let mut m = TransFm::new(n, &TransFmConfig { k: cfg.k, seed: cfg.seed ^ 0x9e });
-                fit_regression(&mut m, &split.train, None, &tc);
-                m.factors().clone()
-            }
-            _ => {
-                let mut m = GmlFm::new(n, &default_dnn_cfg(cfg.k, cfg.seed ^ 0x9f));
-                fit_regression(&mut m, &split.train, None, &tc);
-                m.factors().clone()
-            }
-        };
+    for (model_name, spec) in case_specs {
+        let mut estimator = spec.build(&dataset.schema, &mask);
+        estimator
+            .fit(&FitData::instances(&split.train), &tc)
+            .expect("case-study training set");
+        let factors: Matrix = estimator
+            .factors()
+            .expect("case-study models expose their factor table")
+            .clone();
 
         // Gather item-ID embedding rows: positives then negatives.
         let mut rows = Vec::with_capacity(positives.len() * 2);

@@ -1,7 +1,146 @@
-//! The paper's reported numbers, embedded verbatim so every experiment
-//! can print "paper vs measured" side by side (absolute values are not
-//! expected to match — the substrate is synthetic — but the *shape*
-//! should: see DESIGN.md §4).
+//! The paper's reported numbers and model roster, embedded verbatim so
+//! every experiment can print "paper vs measured" side by side (absolute
+//! values are not expected to match — the substrate is synthetic — but
+//! the *shape* should: see DESIGN.md §4).
+//!
+//! [`ModelKind`] is the paper-facing identity of each table row; its
+//! [`ModelKind::spec`] table is the only place the per-model
+//! hyper-parameters of the grids live — everything downstream dispatches
+//! through [`gmlfm_engine::ModelSpec`].
+
+use crate::runner::ExpConfig;
+use gmlfm_engine::ModelSpec;
+use gmlfm_models::afm::AfmConfig;
+use gmlfm_models::deepfm::DeepFmConfig;
+use gmlfm_models::fm::FmConfig;
+use gmlfm_models::mf::MfConfig;
+use gmlfm_models::ncf::NcfConfig;
+use gmlfm_models::nfm::NfmConfig;
+use gmlfm_models::transfm::TransFmConfig;
+use gmlfm_models::xdeepfm::XDeepFmConfig;
+
+/// Every model that appears in the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Biased matrix factorization (rating only).
+    Mf,
+    /// Probabilistic MF (rating only).
+    Pmf,
+    /// NCF / NeuMF (top-n only in the paper).
+    Ncf,
+    /// BPR-MF (top-n only).
+    BprMf,
+    /// NGCF, simplified propagation (top-n only).
+    Ngcf,
+    /// LibFM-style vanilla FM.
+    LibFm,
+    /// Neural FM.
+    Nfm,
+    /// Attentional FM.
+    Afm,
+    /// Translation-based FM.
+    TransFm,
+    /// DeepFM.
+    DeepFm,
+    /// xDeepFM.
+    XDeepFm,
+    /// GML-FM with Mahalanobis distance.
+    GmlFmMd,
+    /// GML-FM with the DNN distance (1 layer by default).
+    GmlFmDnn,
+}
+
+impl ModelKind {
+    /// Paper's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Mf => "MF",
+            ModelKind::Pmf => "PMF",
+            ModelKind::Ncf => "NCF",
+            ModelKind::BprMf => "BPR-MF",
+            ModelKind::Ngcf => "NGCF",
+            ModelKind::LibFm => "LibFM",
+            ModelKind::Nfm => "NFM",
+            ModelKind::Afm => "AFM",
+            ModelKind::TransFm => "TransFM",
+            ModelKind::DeepFm => "DeepFM",
+            ModelKind::XDeepFm => "xDeepFM",
+            ModelKind::GmlFmMd => "GML-FM_md",
+            ModelKind::GmlFmDnn => "GML-FM_dnn",
+        }
+    }
+
+    /// The paper-grid [`ModelSpec`] for this row: one declarative table
+    /// of hyper-parameters; construction and training happen behind the
+    /// engine's `Estimator`.
+    pub fn spec(&self, cfg: &ExpConfig) -> ModelSpec {
+        let (k, seed) = (cfg.k, cfg.seed);
+        let mf = MfConfig { k, lr: 0.02, reg: 0.02, epochs: cfg.epochs * 2, seed: seed ^ 0xa1 };
+        match self {
+            ModelKind::Mf => ModelSpec::Mf { config: mf },
+            ModelKind::Pmf => ModelSpec::Pmf { config: mf },
+            ModelKind::Ncf => {
+                ModelSpec::Ncf { config: NcfConfig { k, layers: 2, dropout: 0.2, seed: seed ^ 0x4a } }
+            }
+            ModelKind::BprMf => ModelSpec::BprMf { config: MfConfig { lr: 0.05, ..mf } },
+            ModelKind::Ngcf => ModelSpec::Ngcf { config: MfConfig { lr: 0.02, ..mf } },
+            ModelKind::LibFm => ModelSpec::Fm {
+                config: FmConfig { k, lr: 0.01, reg: 0.01, epochs: cfg.epochs * 2, seed: seed ^ 0xb2 },
+            },
+            ModelKind::Nfm => {
+                ModelSpec::Nfm { config: NfmConfig { k, layers: 1, dropout: 0.2, seed: seed ^ 0xc3 } }
+            }
+            ModelKind::Afm => {
+                ModelSpec::Afm { config: AfmConfig { k, attention_size: k, dropout: 0.2, seed: seed ^ 0xd4 } }
+            }
+            ModelKind::TransFm => ModelSpec::TransFm { config: TransFmConfig { k, seed: seed ^ 0xe5 } },
+            ModelKind::DeepFm => {
+                ModelSpec::DeepFm { config: DeepFmConfig { k, layers: 2, dropout: 0.2, seed: seed ^ 0xf6 } }
+            }
+            ModelKind::XDeepFm => ModelSpec::XDeepFm {
+                config: XDeepFmConfig {
+                    k,
+                    cin_maps: 4,
+                    cin_depth: 2,
+                    layers: 2,
+                    dropout: 0.2,
+                    seed: seed ^ 0x17,
+                },
+            },
+            ModelKind::GmlFmMd => ModelSpec::gml_fm(crate::runner::default_md_cfg(k, seed ^ 0x28)),
+            ModelKind::GmlFmDnn => ModelSpec::gml_fm(crate::runner::default_dnn_cfg(k, seed ^ 0x39)),
+        }
+    }
+
+    /// Models in Table 3 (rating prediction), paper row order.
+    pub const RATING: [ModelKind; 10] = [
+        ModelKind::Mf,
+        ModelKind::Pmf,
+        ModelKind::LibFm,
+        ModelKind::Nfm,
+        ModelKind::Afm,
+        ModelKind::TransFm,
+        ModelKind::DeepFm,
+        ModelKind::XDeepFm,
+        ModelKind::GmlFmMd,
+        ModelKind::GmlFmDnn,
+    ];
+
+    /// Models in Table 4 (top-n), paper row order.
+    pub const TOPN: [ModelKind; 11] = [
+        ModelKind::Ncf,
+        ModelKind::BprMf,
+        ModelKind::Ngcf,
+        ModelKind::LibFm,
+        ModelKind::Nfm,
+        ModelKind::Afm,
+        ModelKind::TransFm,
+        ModelKind::DeepFm,
+        ModelKind::XDeepFm,
+        ModelKind::GmlFmMd,
+        ModelKind::GmlFmDnn,
+    ];
+}
 
 /// Table 2: dataset statistics, `(name, users, items, attr_dim, instances, sparsity)`.
 pub const TABLE2: [(&str, usize, usize, usize, usize, f64); 6] = [

@@ -1,17 +1,20 @@
-//! The model zoo: constructs, trains and evaluates every model on either
-//! task with one call, so each table/figure module stays declarative.
+//! Spec-driven experiment runner: constructs, trains and evaluates any
+//! [`ModelSpec`] on either task with one call, so each table/figure
+//! module stays declarative.
+//!
+//! There is no per-model dispatch here: the paper's model roster lives
+//! in [`crate::paper`] as a [`ModelKind`] → [`ModelSpec`] table, and
+//! everything trains through the engine's unified
+//! [`Estimator`](gmlfm_engine::Estimator) interface — autograd
+//! regression, hand-derived SGD and pairwise BPR included.
 
-use gmlfm_core::{GmlFm, GmlFmConfig};
-use gmlfm_data::{Dataset, FieldMask, LooSplit, RatingSplit};
+use gmlfm_core::GmlFmConfig;
+use gmlfm_data::{Dataset, FieldMask, Instance, LooSplit, RatingSplit};
+use gmlfm_engine::{FitData, ModelSpec};
 use gmlfm_eval::{evaluate_rating, evaluate_topn, evaluate_topn_frozen, RatingMetrics, TopnMetrics};
-use gmlfm_models::{
-    afm::AfmConfig, deepfm::DeepFmConfig, mf::MfConfig, ncf::NcfConfig, nfm::NfmConfig,
-    transfm::TransFmConfig, xdeepfm::XDeepFmConfig, Afm, BprMf, DeepFm, FactorizationMachine, Ncf, Nfm, Ngcf,
-    PairCodec, Pmf, TransFm, XDeepFm,
-};
-use gmlfm_models::{fm::FmConfig, MatrixFactorization};
-use gmlfm_serve::Freeze;
-use gmlfm_train::{fit_regression, Scorer, TrainConfig};
+use gmlfm_train::{Scorer, TrainConfig};
+
+pub use crate::paper::ModelKind;
 
 /// Global experiment knobs, shared by every table/figure.
 #[derive(Debug, Clone)]
@@ -34,105 +37,27 @@ impl Default for ExpConfig {
     }
 }
 
-/// Every model that appears in the paper's tables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ModelKind {
-    /// Biased matrix factorization (rating only).
-    Mf,
-    /// Probabilistic MF (rating only).
-    Pmf,
-    /// NCF / NeuMF (top-n only in the paper).
-    Ncf,
-    /// BPR-MF (top-n only).
-    BprMf,
-    /// NGCF, simplified propagation (top-n only).
-    Ngcf,
-    /// LibFM-style vanilla FM.
-    LibFm,
-    /// Neural FM.
-    Nfm,
-    /// Attentional FM.
-    Afm,
-    /// Translation-based FM.
-    TransFm,
-    /// DeepFM.
-    DeepFm,
-    /// xDeepFM.
-    XDeepFm,
-    /// GML-FM with Mahalanobis distance.
-    GmlFmMd,
-    /// GML-FM with the DNN distance (1 layer by default).
-    GmlFmDnn,
-}
-
-impl ModelKind {
-    /// Paper's display name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            ModelKind::Mf => "MF",
-            ModelKind::Pmf => "PMF",
-            ModelKind::Ncf => "NCF",
-            ModelKind::BprMf => "BPR-MF",
-            ModelKind::Ngcf => "NGCF",
-            ModelKind::LibFm => "LibFM",
-            ModelKind::Nfm => "NFM",
-            ModelKind::Afm => "AFM",
-            ModelKind::TransFm => "TransFM",
-            ModelKind::DeepFm => "DeepFM",
-            ModelKind::XDeepFm => "xDeepFM",
-            ModelKind::GmlFmMd => "GML-FM_md",
-            ModelKind::GmlFmDnn => "GML-FM_dnn",
+impl ExpConfig {
+    /// The shared autograd training configuration every experiment
+    /// derives from (figure modules override `patience`/`seed` via
+    /// struct-update syntax instead of re-assembling the whole struct).
+    pub fn train_config(&self) -> TrainConfig {
+        TrainConfig {
+            lr: 0.01,
+            epochs: self.epochs,
+            batch_size: 256,
+            weight_decay: 1e-5,
+            patience: 3,
+            seed: self.seed ^ 0x5f5f,
         }
     }
-
-    /// Models in Table 3 (rating prediction), paper row order.
-    pub const RATING: [ModelKind; 10] = [
-        ModelKind::Mf,
-        ModelKind::Pmf,
-        ModelKind::LibFm,
-        ModelKind::Nfm,
-        ModelKind::Afm,
-        ModelKind::TransFm,
-        ModelKind::DeepFm,
-        ModelKind::XDeepFm,
-        ModelKind::GmlFmMd,
-        ModelKind::GmlFmDnn,
-    ];
-
-    /// Models in Table 4 (top-n), paper row order.
-    pub const TOPN: [ModelKind; 11] = [
-        ModelKind::Ncf,
-        ModelKind::BprMf,
-        ModelKind::Ngcf,
-        ModelKind::LibFm,
-        ModelKind::Nfm,
-        ModelKind::Afm,
-        ModelKind::TransFm,
-        ModelKind::DeepFm,
-        ModelKind::XDeepFm,
-        ModelKind::GmlFmMd,
-        ModelKind::GmlFmDnn,
-    ];
-}
-
-fn train_cfg(cfg: &ExpConfig) -> TrainConfig {
-    TrainConfig {
-        lr: 0.01,
-        epochs: cfg.epochs,
-        batch_size: 256,
-        weight_decay: 1e-5,
-        patience: 3,
-        seed: cfg.seed ^ 0x5f5f,
-    }
-}
-
-fn mf_cfg(cfg: &ExpConfig) -> MfConfig {
-    MfConfig { k: cfg.k, lr: 0.02, reg: 0.02, epochs: cfg.epochs * 2, seed: cfg.seed ^ 0xa1 }
 }
 
 /// Trains `kind` on a rating split and returns the test metrics, plus the
-/// per-instance absolute errors' source (predictions) for significance
-/// testing.
+/// per-instance squared errors for significance testing.
+///
+/// # Panics
+/// Panics when `kind` is a top-n-only baseline (NCF, BPR-MF, NGCF).
 pub fn run_rating(
     kind: ModelKind,
     dataset: &Dataset,
@@ -140,9 +65,47 @@ pub fn run_rating(
     split: &RatingSplit,
     cfg: &ExpConfig,
 ) -> (RatingMetrics, Vec<f64>) {
-    let scorer = fit_rating_model(kind, dataset, mask, split, cfg);
-    let metrics = evaluate_rating(scorer.as_ref(), &split.test);
-    let refs: Vec<&gmlfm_data::Instance> = split.test.iter().collect();
+    let spec = kind.spec(cfg);
+    assert!(spec.supports_rating(), "{} is a top-n-only baseline in the paper", kind.name());
+    run_rating_spec(&spec, dataset, mask, split, cfg)
+}
+
+/// Trains `kind` for top-n and evaluates leave-one-out HR/NDCG at 10.
+///
+/// # Panics
+/// Panics when `kind` is a rating-only baseline (MF, PMF).
+pub fn run_topn(
+    kind: ModelKind,
+    dataset: &Dataset,
+    mask: &FieldMask,
+    split: &LooSplit,
+    cfg: &ExpConfig,
+) -> TopnMetrics {
+    let spec = kind.spec(cfg);
+    assert!(spec.supports_topn(), "{} is a rating-only baseline in the paper", kind.name());
+    run_topn_spec(&spec, dataset, mask, split, cfg)
+}
+
+/// Trains any spec on a rating split and returns the test metrics plus
+/// per-instance squared errors. Freezable models are served frozen.
+pub fn run_rating_spec(
+    spec: &ModelSpec,
+    dataset: &Dataset,
+    mask: &FieldMask,
+    split: &RatingSplit,
+    cfg: &ExpConfig,
+) -> (RatingMetrics, Vec<f64>) {
+    let mut estimator = spec.build(&dataset.schema, mask);
+    estimator
+        .fit(&FitData::rating(split), &cfg.train_config())
+        .unwrap_or_else(|e| panic!("{}: {e}", spec.display_name()));
+    let frozen = estimator.freeze_if_supported();
+    let scorer: &dyn Scorer = match &frozen {
+        Some(frozen) => frozen,
+        None => estimator.scorer(),
+    };
+    let metrics = evaluate_rating(scorer, &split.test);
+    let refs: Vec<&Instance> = split.test.iter().collect();
     let preds = scorer.scores(&refs);
     let sq_errors: Vec<f64> = preds
         .iter()
@@ -152,19 +115,29 @@ pub fn run_rating(
     (metrics, sq_errors)
 }
 
-/// Trains `kind` for top-n and evaluates leave-one-out HR/NDCG at 10.
-pub fn run_topn(
-    kind: ModelKind,
+/// Trains any spec for top-n and evaluates leave-one-out HR/NDCG at 10.
+/// Freezable models rank through the frozen serving path (context
+/// partials once per user, item delta per candidate — identical metrics,
+/// no tape); the rest score candidates through their own scorer.
+pub fn run_topn_spec(
+    spec: &ModelSpec,
     dataset: &Dataset,
     mask: &FieldMask,
     split: &LooSplit,
     cfg: &ExpConfig,
 ) -> TopnMetrics {
-    let scorer = fit_topn_model(kind, dataset, mask, split, cfg);
-    evaluate_topn(scorer.as_ref(), dataset, mask, &split.test, 10)
+    let mut estimator = spec.build(&dataset.schema, mask);
+    estimator
+        .fit(&FitData::topn(split), &cfg.train_config())
+        .unwrap_or_else(|e| panic!("{}: {e}", spec.display_name()));
+    match estimator.freeze_if_supported() {
+        Some(frozen) => evaluate_topn_frozen(&frozen, dataset, mask, &split.test, 10),
+        None => evaluate_topn(estimator.scorer(), dataset, mask, &split.test, 10),
+    }
 }
 
-/// GML-FM with a custom configuration (ablations, sweeps).
+/// GML-FM with a custom configuration on the top-n task (ablations,
+/// sweeps).
 pub fn run_topn_gmlfm(
     gml_cfg: &GmlFmConfig,
     dataset: &Dataset,
@@ -172,11 +145,7 @@ pub fn run_topn_gmlfm(
     split: &LooSplit,
     cfg: &ExpConfig,
 ) -> TopnMetrics {
-    let mut model = GmlFm::new(dataset.schema.total_dim(), gml_cfg);
-    fit_regression(&mut model, &split.train, None, &train_cfg(cfg));
-    // Rank through the frozen serving path: context partials once per
-    // user, item delta per candidate (identical metrics, no tape).
-    evaluate_topn_frozen(&model.freeze(), dataset, mask, &split.test, 10)
+    run_topn_spec(&ModelSpec::gml_fm(gml_cfg.clone()), dataset, mask, split, cfg)
 }
 
 /// GML-FM with a custom configuration on the rating task.
@@ -186,9 +155,8 @@ pub fn run_rating_gmlfm(
     split: &RatingSplit,
     cfg: &ExpConfig,
 ) -> RatingMetrics {
-    let mut model = GmlFm::new(dataset.schema.total_dim(), gml_cfg);
-    fit_regression(&mut model, &split.train, Some(&split.val), &train_cfg(cfg));
-    evaluate_rating(&model.freeze(), &split.test)
+    let mask = FieldMask::all(&dataset.schema);
+    run_rating_spec(&ModelSpec::gml_fm(gml_cfg.clone()), dataset, &mask, split, cfg).0
 }
 
 /// The default GML-FM_dnn configuration used across experiments.
@@ -199,186 +167,6 @@ pub fn default_dnn_cfg(k: usize, seed: u64) -> GmlFmConfig {
 /// The default GML-FM_md configuration.
 pub fn default_md_cfg(k: usize, seed: u64) -> GmlFmConfig {
     GmlFmConfig::mahalanobis(k).with_seed(seed)
-}
-
-fn fit_rating_model(
-    kind: ModelKind,
-    dataset: &Dataset,
-    mask: &FieldMask,
-    split: &RatingSplit,
-    cfg: &ExpConfig,
-) -> Box<dyn Scorer> {
-    let n = dataset.schema.total_dim();
-    let m = mask.n_active();
-    let codec = PairCodec::from_schema(&dataset.schema);
-    let tc = train_cfg(cfg);
-    match kind {
-        ModelKind::Mf => {
-            let mut model = MatrixFactorization::new(codec, mf_cfg(cfg));
-            model.fit(&split.train);
-            Box::new(model)
-        }
-        ModelKind::Pmf => {
-            let mut model = Pmf::new(codec, mf_cfg(cfg));
-            model.fit(&split.train);
-            Box::new(model)
-        }
-        ModelKind::LibFm => {
-            let mut model = FactorizationMachine::new(
-                n,
-                FmConfig { k: cfg.k, lr: 0.01, reg: 0.01, epochs: cfg.epochs * 2, seed: cfg.seed ^ 0xb2 },
-            );
-            model.fit(&split.train);
-            Box::new(model.freeze())
-        }
-        ModelKind::Nfm => {
-            let mut model =
-                Nfm::new(n, &NfmConfig { k: cfg.k, layers: 1, dropout: 0.2, seed: cfg.seed ^ 0xc3 });
-            fit_regression(&mut model, &split.train, Some(&split.val), &tc);
-            Box::new(model)
-        }
-        ModelKind::Afm => {
-            let mut model = Afm::new(
-                n,
-                &AfmConfig { k: cfg.k, attention_size: cfg.k, dropout: 0.2, seed: cfg.seed ^ 0xd4 },
-            );
-            fit_regression(&mut model, &split.train, Some(&split.val), &tc);
-            Box::new(model)
-        }
-        ModelKind::TransFm => {
-            let mut model = TransFm::new(n, &TransFmConfig { k: cfg.k, seed: cfg.seed ^ 0xe5 });
-            fit_regression(&mut model, &split.train, Some(&split.val), &tc);
-            Box::new(model.freeze())
-        }
-        ModelKind::DeepFm => {
-            let mut model =
-                DeepFm::new(n, m, &DeepFmConfig { k: cfg.k, layers: 2, dropout: 0.2, seed: cfg.seed ^ 0xf6 });
-            fit_regression(&mut model, &split.train, Some(&split.val), &tc);
-            Box::new(model)
-        }
-        ModelKind::XDeepFm => {
-            let mut model = XDeepFm::new(
-                n,
-                m,
-                &XDeepFmConfig {
-                    k: cfg.k,
-                    cin_maps: 4,
-                    cin_depth: 2,
-                    layers: 2,
-                    dropout: 0.2,
-                    seed: cfg.seed ^ 0x17,
-                },
-            );
-            fit_regression(&mut model, &split.train, Some(&split.val), &tc);
-            Box::new(model)
-        }
-        ModelKind::GmlFmMd => {
-            let mut model = GmlFm::new(n, &default_md_cfg(cfg.k, cfg.seed ^ 0x28));
-            fit_regression(&mut model, &split.train, Some(&split.val), &tc);
-            Box::new(model.freeze())
-        }
-        ModelKind::GmlFmDnn => {
-            let mut model = GmlFm::new(n, &default_dnn_cfg(cfg.k, cfg.seed ^ 0x39));
-            fit_regression(&mut model, &split.train, Some(&split.val), &tc);
-            Box::new(model.freeze())
-        }
-        ModelKind::Ncf | ModelKind::BprMf | ModelKind::Ngcf => {
-            panic!("{} is a top-n-only baseline in the paper", kind.name())
-        }
-    }
-}
-
-fn fit_topn_model(
-    kind: ModelKind,
-    dataset: &Dataset,
-    mask: &FieldMask,
-    split: &LooSplit,
-    cfg: &ExpConfig,
-) -> Box<dyn Scorer> {
-    let n = dataset.schema.total_dim();
-    let m = mask.n_active();
-    let codec = PairCodec::from_schema(&dataset.schema);
-    let tc = train_cfg(cfg);
-    match kind {
-        ModelKind::Ncf => {
-            let mut model =
-                Ncf::new(codec, &NcfConfig { k: cfg.k, layers: 2, dropout: 0.2, seed: cfg.seed ^ 0x4a });
-            fit_regression(&mut model, &split.train, None, &tc);
-            Box::new(model)
-        }
-        ModelKind::BprMf => {
-            let mut model = BprMf::new(codec, MfConfig { lr: 0.05, ..mf_cfg(cfg) });
-            model.fit(&split.train_pairs, &split.train_user_items);
-            Box::new(model)
-        }
-        ModelKind::Ngcf => {
-            let mut model = Ngcf::new(codec, MfConfig { lr: 0.02, ..mf_cfg(cfg) });
-            model.fit(&split.train_pairs, &split.train_user_items);
-            Box::new(model)
-        }
-        ModelKind::LibFm => {
-            let mut model = FactorizationMachine::new(
-                n,
-                FmConfig { k: cfg.k, lr: 0.01, reg: 0.01, epochs: cfg.epochs * 2, seed: cfg.seed ^ 0xb2 },
-            );
-            model.fit(&split.train);
-            Box::new(model.freeze())
-        }
-        ModelKind::Nfm => {
-            let mut model =
-                Nfm::new(n, &NfmConfig { k: cfg.k, layers: 1, dropout: 0.2, seed: cfg.seed ^ 0xc3 });
-            fit_regression(&mut model, &split.train, None, &tc);
-            Box::new(model)
-        }
-        ModelKind::Afm => {
-            let mut model = Afm::new(
-                n,
-                &AfmConfig { k: cfg.k, attention_size: cfg.k, dropout: 0.2, seed: cfg.seed ^ 0xd4 },
-            );
-            fit_regression(&mut model, &split.train, None, &tc);
-            Box::new(model)
-        }
-        ModelKind::TransFm => {
-            let mut model = TransFm::new(n, &TransFmConfig { k: cfg.k, seed: cfg.seed ^ 0xe5 });
-            fit_regression(&mut model, &split.train, None, &tc);
-            Box::new(model.freeze())
-        }
-        ModelKind::DeepFm => {
-            let mut model =
-                DeepFm::new(n, m, &DeepFmConfig { k: cfg.k, layers: 2, dropout: 0.2, seed: cfg.seed ^ 0xf6 });
-            fit_regression(&mut model, &split.train, None, &tc);
-            Box::new(model)
-        }
-        ModelKind::XDeepFm => {
-            let mut model = XDeepFm::new(
-                n,
-                m,
-                &XDeepFmConfig {
-                    k: cfg.k,
-                    cin_maps: 4,
-                    cin_depth: 2,
-                    layers: 2,
-                    dropout: 0.2,
-                    seed: cfg.seed ^ 0x17,
-                },
-            );
-            fit_regression(&mut model, &split.train, None, &tc);
-            Box::new(model)
-        }
-        ModelKind::GmlFmMd => {
-            let mut model = GmlFm::new(n, &default_md_cfg(cfg.k, cfg.seed ^ 0x28));
-            fit_regression(&mut model, &split.train, None, &tc);
-            Box::new(model.freeze())
-        }
-        ModelKind::GmlFmDnn => {
-            let mut model = GmlFm::new(n, &default_dnn_cfg(cfg.k, cfg.seed ^ 0x39));
-            fit_regression(&mut model, &split.train, None, &tc);
-            Box::new(model.freeze())
-        }
-        ModelKind::Mf | ModelKind::Pmf => {
-            panic!("{} is a rating-only baseline in the paper", kind.name())
-        }
-    }
 }
 
 #[cfg(test)]
@@ -425,5 +213,18 @@ mod tests {
         let mask = FieldMask::all(&dataset.schema);
         let split = rating_split(&dataset, &mask, 2, 3);
         let _ = run_rating(ModelKind::Ncf, &dataset, &mask, &split, &cfg);
+    }
+
+    /// Every paper-grid spec serialises and round-trips — the property
+    /// the saved-artifact provenance rests on.
+    #[test]
+    fn paper_grid_specs_round_trip_through_json() {
+        let cfg = ExpConfig::default();
+        for kind in ModelKind::TOPN.iter().chain(&ModelKind::RATING) {
+            let spec = kind.spec(&cfg);
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: ModelSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(json, serde_json::to_string(&back).unwrap(), "{}", kind.name());
+        }
     }
 }

@@ -36,7 +36,10 @@ pub struct DeepFm {
     base: FmBase,
     deep: Mlp,
     out: ParamId,
-    n_fields_hint: std::cell::Cell<Option<usize>>,
+    /// Field count the deep tower was sized for; checked against every
+    /// batch. Plain data (not a `Cell`) so the model stays `Sync` for
+    /// multi-threaded serving.
+    n_fields_hint: Option<usize>,
 }
 
 impl DeepFm {
@@ -49,7 +52,7 @@ impl DeepFm {
         let deep =
             Mlp::new(&mut params, "deep", n_fields * cfg.k, cfg.k, cfg.layers, cfg.dropout, true, &mut rng);
         let out = params.add("deep.out", normal(&mut rng, cfg.k, 1, 0.0, 0.1));
-        Self { params, base, deep, out, n_fields_hint: std::cell::Cell::new(Some(n_fields)) }
+        Self { params, base, deep, out, n_fields_hint: Some(n_fields) }
     }
 }
 
@@ -71,7 +74,7 @@ impl GraphModel for DeepFm {
         rng: &mut StdRng,
     ) -> Var {
         let cols = FmBase::columns(batch);
-        if let Some(expected) = self.n_fields_hint.get() {
+        if let Some(expected) = self.n_fields_hint {
             assert_eq!(cols.len(), expected, "DeepFm built for {expected} fields, got {}", cols.len());
         }
         let linear = self.base.linear(g, params, &cols);

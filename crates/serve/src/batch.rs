@@ -8,12 +8,15 @@
 
 use crate::frozen::FrozenModel;
 use gmlfm_data::Instance;
+use std::num::NonZeroUsize;
 
-/// Scores `instances` in chunks of `chunk_size`, in order.
-pub fn score_chunked(model: &FrozenModel, instances: &[&Instance], chunk_size: usize) -> Vec<f64> {
-    assert!(chunk_size > 0, "score_chunked: chunk size must be positive");
+/// Scores `instances` in chunks of `chunk_size`, in order. The chunk
+/// size is a [`NonZeroUsize`], matching
+/// [`gmlfm_train::GraphModel::predict_chunked`], so an empty chunk is
+/// unrepresentable rather than a runtime panic.
+pub fn score_chunked(model: &FrozenModel, instances: &[&Instance], chunk_size: NonZeroUsize) -> Vec<f64> {
     let mut out = Vec::with_capacity(instances.len());
-    for chunk in instances.chunks(chunk_size) {
+    for chunk in instances.chunks(chunk_size.get()) {
         for inst in chunk {
             out.push(model.predict(inst));
         }
@@ -36,16 +39,10 @@ mod tests {
         let model = FrozenModel::from_parts(0.5, w, v, SecondOrder::Dot);
         let insts: Vec<Instance> = (0..37).map(|i| Instance::new(vec![i % 12, (i + 5) % 12], 1.0)).collect();
         let refs: Vec<&Instance> = insts.iter().collect();
-        let whole = score_chunked(&model, &refs, usize::MAX);
+        let whole = score_chunked(&model, &refs, NonZeroUsize::new(usize::MAX).unwrap());
         for chunk_size in [1, 2, 7, 37, 64] {
+            let chunk_size = NonZeroUsize::new(chunk_size).unwrap();
             assert_eq!(score_chunked(&model, &refs, chunk_size), whole, "chunk {chunk_size}");
         }
-    }
-
-    #[test]
-    #[should_panic(expected = "chunk size must be positive")]
-    fn zero_chunk_size_is_rejected() {
-        let model = FrozenModel::from_parts(0.0, vec![], gmlfm_tensor::Matrix::zeros(0, 2), SecondOrder::Dot);
-        let _ = score_chunked(&model, &[], 0);
     }
 }

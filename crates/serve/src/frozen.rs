@@ -104,6 +104,21 @@ impl FrozenModel {
         &self.second
     }
 
+    /// Global bias `w₀` (artifact serialisation).
+    pub fn bias(&self) -> f64 {
+        self.w0
+    }
+
+    /// First-order weights, one per feature (artifact serialisation).
+    pub fn linear_weights(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// The factor table `V ∈ R^{n×k}` (artifact serialisation).
+    pub fn factors(&self) -> &Matrix {
+        &self.v
+    }
+
     /// Scores one instance: `w₀ + Σ_f w[x_f] + second-order`.
     pub fn predict(&self, inst: &Instance) -> f64 {
         self.predict_feats(&inst.feats)

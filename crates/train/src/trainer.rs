@@ -7,6 +7,7 @@ use gmlfm_data::Instance;
 use gmlfm_tensor::seeded_rng;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
+use std::num::NonZeroUsize;
 
 /// Number of instances scored per evaluation graph in
 /// [`GraphModel::predict`], and the batching unit reused by the
@@ -14,8 +15,12 @@ use rand::seq::SliceRandom;
 ///
 /// Chunking keeps each eval tape small (bounded peak memory) without
 /// paying per-instance graph setup. Override per call with
-/// [`GraphModel::predict_chunked`].
-pub const EVAL_CHUNK_SIZE: usize = 512;
+/// [`GraphModel::predict_chunked`]. The type is [`NonZeroUsize`] so a
+/// zero chunk size is unrepresentable rather than a runtime panic.
+pub const EVAL_CHUNK_SIZE: NonZeroUsize = match NonZeroUsize::new(512) {
+    Some(n) => n,
+    None => unreachable!(),
+};
 
 /// A model trainable by [`fit_regression`]: it owns a [`ParamSet`] and can
 /// build the prediction column for a batch of instances as an autograd
@@ -45,15 +50,16 @@ pub trait GraphModel {
     }
 
     /// [`GraphModel::predict`] with an explicit chunk size (larger chunks
-    /// trade peak memory for fewer graph setups).
-    fn predict_chunked(&self, instances: &[&Instance], chunk_size: usize) -> Vec<f64> {
-        assert!(chunk_size > 0, "predict_chunked: chunk size must be positive");
+    /// trade peak memory for fewer graph setups). Taking [`NonZeroUsize`]
+    /// makes the zero-chunk misuse a compile-time impossibility instead
+    /// of a runtime panic.
+    fn predict_chunked(&self, instances: &[&Instance], chunk_size: NonZeroUsize) -> Vec<f64> {
         if instances.is_empty() {
             return Vec::new();
         }
         let mut rng = seeded_rng(0);
         let mut out = Vec::with_capacity(instances.len());
-        for chunk in instances.chunks(chunk_size) {
+        for chunk in instances.chunks(chunk_size.get()) {
             let mut g = Graph::new();
             let pred = self.forward_batch(&mut g, self.params(), chunk, false, &mut rng);
             out.extend_from_slice(g.value(pred).as_slice());

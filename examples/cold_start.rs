@@ -2,16 +2,20 @@
 //! GML-FM score users with very few training interactions, and how does a
 //! meta-learning baseline (MAMO-lite) compare?
 //!
+//! GML-FM trains through the engine's spec-driven estimator; MAMO-lite
+//! keeps its bespoke meta-learning loop (per-user adaptation is outside
+//! the point-wise/pairwise fit contract).
+//!
 //! ```sh
 //! cargo run --release --example cold_start
 //! ```
 
-use gml_fm::core::{GmlFm, GmlFmConfig};
 use gml_fm::data::{generate, DatasetSpec, FieldMask, NegativeSampler};
+use gml_fm::engine::{FitData, ModelSpec};
 use gml_fm::models::mamo::{MamoConfig, MamoTask};
 use gml_fm::models::MamoLite;
 use gml_fm::tensor::seeded_rng;
-use gml_fm::train::{fit_regression, Scorer, TrainConfig};
+use gml_fm::train::TrainConfig;
 
 fn main() {
     // MovieLens-like data with users down to a single interaction.
@@ -42,9 +46,10 @@ fn main() {
         }
     }
 
-    // GML-FM trained once on everything.
-    let mut gml = GmlFm::new(dataset.schema.total_dim(), &GmlFmConfig::dnn(16, 1));
-    fit_regression(&mut gml, &train, None, &TrainConfig { epochs: 12, ..TrainConfig::default() });
+    // GML-FM trained once on everything, via the spec-driven estimator.
+    let mut gml = ModelSpec::gml_fm_dnn(16, 1).build(&dataset.schema, &mask);
+    gml.fit(&FitData::instances(&train), &TrainConfig { epochs: 12, ..TrainConfig::default() })
+        .expect("support interactions exist");
 
     // MAMO-lite meta-trained on per-user tasks.
     let profile_cards: Vec<usize> = dataset
@@ -84,7 +89,7 @@ fn main() {
             .map(|&i| dataset.instance_masked(u as u32, i, 0.0, &mask))
             .collect();
         let refs: Vec<&_> = instances.iter().collect();
-        let gml_scores = gml.scores(&refs);
+        let gml_scores = gml.scorer().scores(&refs);
         if gml_scores[1..].iter().filter(|&&s| s >= gml_scores[0]).count() < 5 {
             hits[0][b] += 1;
         }

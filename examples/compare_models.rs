@@ -1,20 +1,20 @@
 //! Head-to-head: GML-FM against the FM-family baselines on one sparse
 //! dataset (the Mercari-Ticket scenario the paper's introduction
 //! motivates: second-hand items, most purchased once, rich side
-//! information).
+//! information). Every model runs through the same declarative
+//! spec-driven pipeline — one loop, no per-model code.
 //!
 //! ```sh
 //! cargo run --release --example compare_models
 //! ```
 
-use gml_fm::core::{GmlFm, GmlFmConfig};
-use gml_fm::data::{generate, loo_split, DatasetSpec, FieldMask};
-use gml_fm::eval::{evaluate_topn, evaluate_topn_frozen};
-use gml_fm::models::{
-    fm::FmConfig, nfm::NfmConfig, transfm::TransFmConfig, FactorizationMachine, Nfm, TransFm,
-};
-use gml_fm::serve::Freeze;
-use gml_fm::train::{fit_regression, TrainConfig};
+use gml_fm::core::GmlFmConfig;
+use gml_fm::data::{generate, DatasetSpec};
+use gml_fm::engine::{Engine, ModelSpec, SplitPlan};
+use gml_fm::models::fm::FmConfig;
+use gml_fm::models::nfm::NfmConfig;
+use gml_fm::models::transfm::TransFmConfig;
+use gml_fm::train::TrainConfig;
 
 fn main() {
     let dataset = generate(&DatasetSpec::MercariTicket.config(42).scaled(0.4));
@@ -26,42 +26,29 @@ fn main() {
         stats.n_items,
         stats.sparsity * 100.0
     );
-    let mask = FieldMask::all(&dataset.schema);
-    let split = loo_split(&dataset, &mask, 2, 99, 3);
-    let n = dataset.schema.total_dim();
-    let tc = TrainConfig { epochs: 15, ..TrainConfig::default() };
+
+    let contenders: [(&str, ModelSpec); 5] = [
+        ("FM (inner product)", ModelSpec::fm(FmConfig { epochs: 30, ..FmConfig::default() })),
+        ("NFM (Bi-Interaction)", ModelSpec::Nfm { config: NfmConfig::default() }),
+        ("TransFM (Euclidean)", ModelSpec::trans_fm(TransFmConfig::default())),
+        ("GML-FM_md (Mahalanobis)", ModelSpec::gml_fm(GmlFmConfig::mahalanobis(16))),
+        ("GML-FM_dnn (deep metric)", ModelSpec::gml_fm(GmlFmConfig::dnn(16, 1))),
+    ];
 
     let mut results: Vec<(&str, f64, f64)> = Vec::new();
-
-    // Vanilla FM (inner product, LibFM-style SGD), served frozen.
-    let mut fm = FactorizationMachine::new(n, FmConfig { epochs: 30, ..FmConfig::default() });
-    fm.fit(&split.train);
-    let m = evaluate_topn_frozen(&fm.freeze(), &dataset, &mask, &split.test, 10);
-    results.push(("FM (inner product)", m.hr, m.ndcg));
-
-    // NFM (inner product + MLP).
-    let mut nfm = Nfm::new(n, &NfmConfig::default());
-    fit_regression(&mut nfm, &split.train, None, &tc);
-    let m = evaluate_topn(&nfm, &dataset, &mask, &split.test, 10);
-    results.push(("NFM (Bi-Interaction)", m.hr, m.ndcg));
-
-    // TransFM (plain Euclidean metric), served frozen.
-    let mut transfm = TransFm::new(n, &TransFmConfig::default());
-    fit_regression(&mut transfm, &split.train, None, &tc);
-    let m = evaluate_topn_frozen(&transfm.freeze(), &dataset, &mask, &split.test, 10);
-    results.push(("TransFM (Euclidean)", m.hr, m.ndcg));
-
-    // GML-FM_md (learned Mahalanobis metric), served frozen.
-    let mut md = GmlFm::new(n, &GmlFmConfig::mahalanobis(16));
-    fit_regression(&mut md, &split.train, None, &tc);
-    let m = evaluate_topn_frozen(&md.freeze(), &dataset, &mask, &split.test, 10);
-    results.push(("GML-FM_md (Mahalanobis)", m.hr, m.ndcg));
-
-    // GML-FM_dnn (learned deep metric), served frozen.
-    let mut dnn = GmlFm::new(n, &GmlFmConfig::dnn(16, 1));
-    fit_regression(&mut dnn, &split.train, None, &tc);
-    let m = evaluate_topn_frozen(&dnn.freeze(), &dataset, &mask, &split.test, 10);
-    results.push(("GML-FM_dnn (deep metric)", m.hr, m.ndcg));
+    for (name, spec) in contenders {
+        let frozen = if spec.supports_freezing() { "frozen" } else { "live" };
+        let rec = Engine::builder()
+            .dataset(dataset.clone())
+            .split(SplitPlan::TopN { neg_per_pos: 2, n_candidates: 99, seed: 3 })
+            .spec(spec)
+            .train_config(TrainConfig { epochs: 15, ..TrainConfig::default() })
+            .fit()
+            .expect("top-n pipeline");
+        let m = rec.evaluate_topn(10).expect("top-n holdout");
+        eprintln!("  [{frozen}] {name}: HR@10 {:.4}", m.hr);
+        results.push((name, m.hr, m.ndcg));
+    }
 
     println!("{:<26} {:>8} {:>8}", "model", "HR@10", "NDCG@10");
     for (name, hr, ndcg) in &results {

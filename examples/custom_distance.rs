@@ -1,32 +1,37 @@
 //! The generalized-distance API (paper Section 3.5): swapping the distance
-//! family and transform of GML-FM, plus the efficient O(k²n) evaluation of
-//! the second-order term on dense real-valued inputs (Section 3.3).
+//! family of GML-FM through the spec-driven engine pipeline, plus the
+//! efficient O(k²n) evaluation of the second-order term on dense
+//! real-valued inputs (Section 3.3).
 //!
 //! ```sh
 //! cargo run --release --example custom_distance
 //! ```
 
-use gml_fm::core::{DenseGmlFm, DenseTransform, Distance, DnnTransform, GmlFm, GmlFmConfig};
-use gml_fm::data::{generate, rating_split, DatasetSpec, FieldMask};
-use gml_fm::eval::evaluate_rating;
+use gml_fm::core::{DenseGmlFm, DenseTransform, Distance, DnnTransform, GmlFmConfig};
+use gml_fm::data::{generate, DatasetSpec};
+use gml_fm::engine::{Engine, ModelSpec, SplitPlan};
 use gml_fm::tensor::init::normal;
 use gml_fm::tensor::seeded_rng;
-use gml_fm::train::{fit_regression, TrainConfig};
+use gml_fm::train::TrainConfig;
 use std::time::Instant;
 
 fn main() {
     // --- Part 1: the Minkowski family on a real training run --------------
+    // The distance is just a field of the spec: the pipeline, training
+    // loop and frozen serving path are identical across the family.
     let dataset = generate(&DatasetSpec::AmazonOffice.config(42).scaled(0.4));
-    let mask = FieldMask::all(&dataset.schema);
-    let split = rating_split(&dataset, &mask, 2, 5);
-    let tc = TrainConfig { epochs: 10, ..TrainConfig::default() };
 
     println!("{:<22} {:>8}", "distance", "RMSE");
     for distance in Distance::ALL {
-        let cfg = GmlFmConfig::dnn(16, 1).with_distance(distance);
-        let mut model = GmlFm::new(dataset.schema.total_dim(), &cfg);
-        fit_regression(&mut model, &split.train, Some(&split.val), &tc);
-        let m = evaluate_rating(&model, &split.test);
+        let spec = ModelSpec::gml_fm(GmlFmConfig::dnn(16, 1).with_distance(distance));
+        let rec = Engine::builder()
+            .dataset(dataset.clone())
+            .split(SplitPlan::rating(5))
+            .spec(spec)
+            .train_config(TrainConfig { epochs: 10, ..TrainConfig::default() })
+            .fit()
+            .expect("rating pipeline");
+        let m = rec.evaluate_rating().expect("rating holdout");
         println!("{:<22} {:>8.4}", distance.name(), m.rmse);
     }
 

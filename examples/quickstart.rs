@@ -1,15 +1,14 @@
-//! Quickstart: train GML-FM on a synthetic Amazon-like dataset and
-//! evaluate both of the paper's tasks.
+//! Quickstart: the unified engine pipeline — declare a model spec, fit
+//! it on a synthetic Amazon-like dataset, evaluate both of the paper's
+//! tasks, and round-trip the trained model through a servable artifact.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use gml_fm::core::{GmlFm, GmlFmConfig};
-use gml_fm::data::{generate, loo_split, rating_split, DatasetSpec, FieldMask};
-use gml_fm::eval::{evaluate_rating, evaluate_topn_frozen};
-use gml_fm::serve::Freeze;
-use gml_fm::train::{fit_regression, TrainConfig};
+use gml_fm::data::{generate, DatasetSpec};
+use gml_fm::engine::{Engine, ModelSpec, SplitPlan};
+use gml_fm::train::TrainConfig;
 
 fn main() {
     // 1. A seeded synthetic dataset calibrated to the paper's Table 2
@@ -25,20 +24,18 @@ fn main() {
         stats.sparsity * 100.0
     );
 
-    // 2. The paper's rating-prediction protocol: +-1 implicit targets,
-    //    2 sampled negatives per positive, 70/20/10 split.
-    let mask = FieldMask::all(&dataset.schema);
-    let split = rating_split(&dataset, &mask, 2, 7);
-
-    // 3. GML-FM with the DNN distance (1 layer) — the paper's strongest
-    //    variant — trained with Adam on the squared loss.
-    let mut model = GmlFm::new(dataset.schema.total_dim(), &GmlFmConfig::dnn(16, 1));
-    let report = fit_regression(
-        &mut model,
-        &split.train,
-        Some(&split.val),
-        &TrainConfig { epochs: 15, ..TrainConfig::default() },
-    );
+    // 2. GML-FM with the DNN distance (1 layer) — the paper's strongest
+    //    variant — on the rating protocol (+-1 implicit targets,
+    //    2 sampled negatives per positive, 70/20/10 split), trained with
+    //    Adam on the squared loss. One fluent pipeline.
+    let rec = Engine::builder()
+        .dataset(dataset.clone())
+        .split(SplitPlan::rating(7))
+        .spec(ModelSpec::gml_fm_dnn(16, 1))
+        .train_config(TrainConfig { epochs: 15, ..TrainConfig::default() })
+        .fit()
+        .expect("rating pipeline");
+    let report = rec.report().expect("fit keeps its training report");
     println!(
         "trained {} epochs; train loss {:.4} -> {:.4}, best val RMSE {:.4}",
         report.epochs_run,
@@ -47,17 +44,33 @@ fn main() {
         report.best_val_rmse
     );
 
-    // 4. Freeze for serving: all evaluation runs tape-free through the
-    //    Eq. 10/11 decoupled form.
-    let rating = evaluate_rating(&model.freeze(), &split.test);
+    // 3. Evaluation runs tape-free through the frozen serving path.
+    let rating = rec.evaluate_rating().expect("rating holdout");
     println!("rating prediction: test RMSE {:.4}, MAE {:.4}", rating.rmse, rating.mae);
 
-    // 5. The top-n protocol: leave-one-out, 99 sampled negatives,
-    //    truncate at 10 — ranked via the frozen top-N scorer (context
-    //    partial sums once per user, item delta per candidate).
-    let loo = loo_split(&dataset, &mask, 2, 99, 11);
-    let mut ranker = GmlFm::new(dataset.schema.total_dim(), &GmlFmConfig::dnn(16, 1));
-    fit_regression(&mut ranker, &loo.train, None, &TrainConfig { epochs: 15, ..TrainConfig::default() });
-    let topn = evaluate_topn_frozen(&ranker.freeze(), &dataset, &mask, &loo.test, 10);
+    // 4. The top-n protocol (leave-one-out, 99 sampled negatives,
+    //    truncate at 10) is the same pipeline with a different split plan.
+    let ranker = Engine::builder()
+        .dataset(dataset)
+        .split(SplitPlan::topn(11))
+        .spec(ModelSpec::gml_fm_dnn(16, 1))
+        .train_config(TrainConfig { epochs: 15, ..TrainConfig::default() })
+        .fit()
+        .expect("top-n pipeline");
+    let topn = ranker.evaluate_topn(10).expect("top-n holdout");
     println!("top-n recommendation: HR@10 {:.4}, NDCG@10 {:.4}", topn.hr, topn.ndcg);
+
+    // 5. Save → load → serve: the versioned artifact restores a servable
+    //    recommender without touching the training crates.
+    let path = std::env::temp_dir().join("gmlfm_quickstart_artifact.json");
+    ranker.save(&path).expect("save artifact");
+    let served = Engine::load(&path).expect("load artifact");
+    let top = served.top_n(0, 5).expect("rank the catalogue for user 0");
+    println!("\ntop-5 items for user 0 from the reloaded artifact:");
+    for (rank, (item, score)) in top.iter().enumerate() {
+        println!("  #{:<2} item {:<5} score {:.4}", rank + 1, item, score);
+    }
+    let probe = ranker.top_n(0, 5).expect("rank in memory");
+    assert_eq!(probe, top, "artifact round trip must preserve rankings exactly");
+    let _ = std::fs::remove_file(path);
 }

@@ -1,54 +1,63 @@
-//! Persistence: train a GML-FM model, save it to JSON, reload it, and
-//! verify the reloaded model scores identically — the workflow a serving
-//! deployment would use.
+//! Persistence: train through the engine, save the versioned artifact,
+//! reload it on the "serving side", and verify the restored recommender
+//! scores bit-identically — the deployment workflow. Works for every
+//! freezable spec (GML-FM, FM, TransFM), not just GML-FM.
 //!
 //! ```sh
 //! cargo run --release --example save_load
 //! ```
 
-use gml_fm::core::{GmlFm, GmlFmConfig};
-use gml_fm::data::{generate, rating_split, DatasetSpec, FieldMask};
-use gml_fm::eval::evaluate_rating;
-use gml_fm::serve::Freeze;
-use gml_fm::train::{fit_regression, Scorer, TrainConfig};
+use gml_fm::data::{generate, DatasetSpec};
+use gml_fm::engine::{Engine, ModelSpec, SplitPlan};
+use gml_fm::models::fm::FmConfig;
+use gml_fm::models::transfm::TransFmConfig;
+use gml_fm::train::TrainConfig;
 
 fn main() {
     let dataset = generate(&DatasetSpec::AmazonAuto.config(42).scaled(0.4));
-    let mask = FieldMask::all(&dataset.schema);
-    let split = rating_split(&dataset, &mask, 2, 7);
 
-    let mut model = GmlFm::new(dataset.schema.total_dim(), &GmlFmConfig::dnn(16, 1));
-    fit_regression(
-        &mut model,
-        &split.train,
-        Some(&split.val),
-        &TrainConfig { epochs: 10, ..TrainConfig::default() },
-    );
-    let before = evaluate_rating(&model, &split.test);
-    println!("trained model: test RMSE {:.4}", before.rmse);
+    // Every spec with a frozen serving form persists through the same
+    // artifact format — persistence is no longer a GML-FM-only feature.
+    let specs = [
+        ModelSpec::gml_fm_dnn(16, 1),
+        ModelSpec::fm(FmConfig { epochs: 20, ..FmConfig::default() }),
+        ModelSpec::trans_fm(TransFmConfig::default()),
+    ];
 
-    let path = std::env::temp_dir().join("gmlfm_example_model.json");
-    model.save_json(&path).expect("save");
-    let bytes = std::fs::metadata(&path).expect("metadata").len();
-    println!("saved to {} ({} KiB)", path.display(), bytes / 1024);
+    for spec in specs {
+        let name = spec.display_name();
+        let rec = Engine::builder()
+            .dataset(dataset.clone())
+            .split(SplitPlan::rating(7))
+            .spec(spec)
+            .train_config(TrainConfig { epochs: 10, ..TrainConfig::default() })
+            .fit()
+            .expect("rating pipeline");
+        let before = rec.evaluate_rating().expect("rating holdout");
 
-    // A deployment would reload and immediately freeze: the frozen model
-    //  serves without any autograd machinery.
-    let restored = GmlFm::load_json(&path).expect("load");
-    let frozen = restored.freeze();
-    let after = evaluate_rating(&frozen, &split.test);
-    println!("restored + frozen model: test RMSE {:.4}", after.rmse);
+        let path = std::env::temp_dir().join(format!("gmlfm_example_artifact_{name}.json"));
+        rec.save(&path).expect("save");
+        let bytes = std::fs::metadata(&path).expect("metadata").len();
 
-    // Bit-identical predictions through the tape path, not just close.
-    let probe = &split.test[0];
-    assert_eq!(
-        model.score_one(probe).to_bits(),
-        restored.score_one(probe).to_bits(),
-        "round trip must be exact"
-    );
-    let served = frozen.predict(probe);
-    let graph = model.score_one(probe);
-    assert!((served - graph).abs() <= 1e-9 * graph.abs().max(1.0), "frozen serving must match");
-    println!("round trip verified: graph path bit-identical, frozen path within 1e-9");
-    let _ = std::fs::remove_file(path);
+        // The serving side: restore without the autograd/training crates
+        // ever being touched.
+        let served = Engine::load(&path).expect("load");
+        let probe = served.score_pair(0, 1).expect("catalog travels with the artifact");
+        let original = rec.score_pair(0, 1).expect("catalog");
+        assert_eq!(original.to_bits(), probe.to_bits(), "{name}: round trip must be bit-exact");
+        assert_eq!(
+            rec.top_n(0, 10).expect("rank"),
+            served.top_n(0, 10).expect("rank"),
+            "{name}: rankings must survive the round trip"
+        );
+
+        println!(
+            "{name:<12} test RMSE {:.4} | artifact {:>5} KiB | reload score {:+.4} (bit-exact)",
+            before.rmse,
+            bytes / 1024,
+            probe
+        );
+        let _ = std::fs::remove_file(path);
+    }
+    println!("\nall freezable specs round-trip through the versioned artifact format");
 }

@@ -1,51 +1,47 @@
-//! Serving walkthrough: train once, freeze, then rank the full item
-//! catalogue for a user — the all-item scoring workload a production
-//! recommender runs per request — and compare wall-clock against the
-//! autograd evaluation path.
+//! Serving walkthrough: train once through the spec-driven estimator,
+//! freeze, then rank the full item catalogue for a user — the all-item
+//! scoring workload a production recommender runs per request — and
+//! compare wall-clock against the autograd evaluation path. Finally, do
+//! the same request through a reloaded artifact, which is what an actual
+//! serving process would hold.
 //!
 //! ```sh
 //! cargo run --release --example serve_rank
 //! ```
 
-use gml_fm::core::{GmlFm, GmlFmConfig};
 use gml_fm::data::{generate, loo_split, DatasetSpec, FieldMask, Instance};
-use gml_fm::eval::item_side_slots;
-use gml_fm::serve::Freeze;
-use gml_fm::train::{fit_regression, GraphModel, TrainConfig};
+use gml_fm::engine::{Artifact, Catalog, Engine, FitData, ModelSpec};
+use gml_fm::train::TrainConfig;
 use std::time::Instant;
 
 fn main() {
-    // Train GML-FM_dnn on the Mercari-like scenario.
+    // Train GML-FM_dnn on the Mercari-like scenario, via the unified
+    // estimator (the autograd trainer is an implementation detail).
     let dataset = generate(&DatasetSpec::MercariTicket.config(42).scaled(0.4));
     let mask = FieldMask::all(&dataset.schema);
     let split = loo_split(&dataset, &mask, 2, 99, 3);
-    let mut model = GmlFm::new(dataset.schema.total_dim(), &GmlFmConfig::dnn(16, 1));
-    fit_regression(&mut model, &split.train, None, &TrainConfig { epochs: 10, ..TrainConfig::default() });
-    println!("trained GML-FM_dnn on {} ({} items)", dataset.name, dataset.n_items);
+    let spec = ModelSpec::gml_fm_dnn(16, 1);
+    let mut estimator = spec.build(&dataset.schema, &mask);
+    estimator
+        .fit(&FitData::topn(&split), &TrainConfig { epochs: 10, ..TrainConfig::default() })
+        .expect("training set");
+    println!("trained {} on {} ({} items)", spec.display_name(), dataset.name, dataset.n_items);
 
     // Freeze: copy the parameters out of the autograd world. From here on
-    // no graph is ever built.
-    let frozen = model.freeze();
+    // no graph is ever built. The catalog holds each user's template and
+    // each item's feature group (id + attributes).
+    let frozen = estimator.freeze_if_supported().expect("GML-FM freezes");
+    let catalog = Catalog::from_dataset(&dataset, &mask);
 
     // Rank every item for one user. The ranker computes the user-side
     // partial sums (a, b, C of Eq. 10/11) once, then each candidate costs
     // only the item-side delta.
     let user = 0u32;
-    let all_items: Vec<u32> = (0..dataset.n_items as u32).collect();
-    let template = dataset.feats(user, 0, &mask);
-    // Item-side slots = the positions whose value changes with the
-    // candidate (the item id and every item attribute), mask-aware.
-    let item_slots = item_side_slots(&dataset, &mask);
-
     let t0 = Instant::now();
-    let mut ranker = frozen.ranker(&template, &item_slots);
-    let mut scored: Vec<(u32, f64)> = all_items
-        .iter()
-        .map(|&item| {
-            let feats = dataset.feats(user, item, &mask);
-            let item_feats: Vec<u32> = item_slots.iter().map(|&s| feats[s]).collect();
-            (item, ranker.score(&item_feats))
-        })
+    let template = catalog.template(user).expect("user in catalog");
+    let mut ranker = frozen.ranker(template, catalog.item_slots());
+    let mut scored: Vec<(u32, f64)> = (0..dataset.n_items as u32)
+        .map(|item| (item, ranker.score(catalog.item_features(item).expect("item in catalog"))))
         .collect();
     let frozen_time = t0.elapsed();
     scored.sort_by(|a, b| b.1.total_cmp(&a.1));
@@ -58,12 +54,11 @@ fn main() {
     // The same workload through the autograd path: every candidate is a
     // full forward pass through a fresh tape.
     let t1 = Instant::now();
-    let instances: Vec<Instance> = all_items
-        .iter()
-        .map(|&item| dataset.instance_masked(user, item, 0.0, &mask))
+    let instances: Vec<Instance> = (0..dataset.n_items as u32)
+        .map(|item| dataset.instance_masked(user, item, 0.0, &mask))
         .collect();
     let refs: Vec<&Instance> = instances.iter().collect();
-    let graph_scores = model.predict(&refs);
+    let graph_scores = estimator.scorer().scores(&refs);
     let graph_time = t1.elapsed();
 
     // Same ranking, to the last ulp that matters.
@@ -71,11 +66,19 @@ fn main() {
         .iter()
         .enumerate()
         .max_by(|a, b| a.1.total_cmp(b.1))
-        .map(|(i, _)| all_items[i])
+        .map(|(i, _)| i as u32)
         .unwrap();
     assert_eq!(best_graph, scored[0].0, "both paths must agree on the top item");
 
     let speedup = graph_time.as_secs_f64() / frozen_time.as_secs_f64().max(1e-12);
-    println!("\nautograd path over the same {} items: {graph_time:?}", all_items.len());
+    println!("\nautograd path over the same {} items: {graph_time:?}", dataset.n_items);
     println!("frozen serving speedup: {speedup:.1}x");
+
+    // Production handoff: ship the artifact; the serving process loads it
+    // and answers the identical request without any training machinery.
+    let artifact = Artifact::new(spec, &dataset.schema, &frozen, Some(catalog));
+    let served = Engine::load_json(&artifact.to_json()).expect("load artifact");
+    let top = served.top_n(user, 10).expect("rank from the artifact");
+    assert_eq!(top[0].0, scored[0].0, "artifact serving must agree on the top item");
+    println!("reloaded artifact agrees: top item {}", top[0].0);
 }

@@ -16,41 +16,51 @@
 //! | [`models`] | `gmlfm-models` | the twelve baselines the paper compares against |
 //! | [`core`] | `gmlfm-core` | **GML-FM** itself: distances, transforms, efficient evaluation, persistence |
 //! | [`serve`] | `gmlfm-serve` | autograd-free serving: `Freeze`, `FrozenModel`, top-N ranking via Eq. 10/11 |
+//! | [`engine`] | `gmlfm-engine` | **unified pipeline**: `ModelSpec` → `Engine::builder()` → `Recommender` → versioned `Artifact` |
 //! | [`eval`] | `gmlfm-eval` | RMSE/HR/NDCG/MRR/AUC, protocols, significance tests |
 //! | [`tsne`] | `gmlfm-tsne` | exact t-SNE for the embedding case study |
 //!
 //! ## Minimal end-to-end example
 //!
-//! ```
-//! use gml_fm::core::{GmlFm, GmlFmConfig};
-//! use gml_fm::data::{generate, rating_split, DatasetSpec, FieldMask};
-//! use gml_fm::eval::evaluate_rating;
-//! use gml_fm::train::{fit_regression, TrainConfig};
+//! The engine is the front door: declare a model as a [`engine::ModelSpec`],
+//! run the fluent pipeline, and get back a servable
+//! [`engine::Recommender`] that scores, ranks, evaluates and persists
+//! itself as a versioned artifact.
 //!
-//! // A tiny seeded dataset and the paper's rating protocol.
+//! ```
+//! use gml_fm::data::{generate, DatasetSpec};
+//! use gml_fm::engine::{Engine, ModelSpec, SplitPlan};
+//!
+//! // A tiny seeded dataset, the paper's rating protocol, and GML-FM
+//! // with the deep (1-layer) distance — one declarative pipeline.
 //! let dataset = generate(&DatasetSpec::AmazonAuto.config(42).scaled(0.15));
-//! let mask = FieldMask::all(&dataset.schema);
-//! let split = rating_split(&dataset, &mask, 2, 7);
+//! let rec = Engine::builder()
+//!     .dataset(dataset)
+//!     .split(SplitPlan::rating(7))
+//!     .spec(ModelSpec::gml_fm_dnn(8, 1))
+//!     .fit()
+//!     .expect("pipeline");
 //!
-//! // GML-FM with the deep (1-layer) distance, trained with Adam.
-//! let mut model = GmlFm::new(dataset.schema.total_dim(), &GmlFmConfig::dnn(8, 1));
-//! let cfg = TrainConfig { epochs: 2, ..TrainConfig::default() };
-//! fit_regression(&mut model, &split.train, Some(&split.val), &cfg);
-//!
-//! // Freeze for serving: evaluation runs tape-free through the paper's
-//! // Eq. 10/11 decoupled form (see `gml_fm::serve`).
-//! use gml_fm::serve::Freeze;
-//! let metrics = evaluate_rating(&model.freeze(), &split.test);
+//! // Evaluation runs tape-free through the frozen serving path.
+//! let metrics = rec.evaluate_rating().expect("rating holdout");
 //! assert!(metrics.rmse.is_finite());
+//!
+//! // The same handle persists as a versioned, servable artifact.
+//! let artifact = rec.artifact().expect("GML-FM freezes").to_json();
+//! let served = Engine::load_json(&artifact).expect("restore");
+//! assert_eq!(served.top_n(0, 5).expect("rank").len(), 5);
 //! ```
 //!
-//! See `examples/` for complete scenarios and the `repro` binary
-//! (`gmlfm-experiments`) for regenerating every table and figure of the
-//! paper.
+//! The crate-level APIs (`core::GmlFm`, `train::fit_regression`,
+//! `serve::Freeze`, ...) remain available as the engine's internals for
+//! custom protocols. See `examples/` for complete scenarios and the
+//! `repro` binary (`gmlfm-experiments`) for regenerating every table and
+//! figure of the paper.
 
 pub use gmlfm_autograd as autograd;
 pub use gmlfm_core as core;
 pub use gmlfm_data as data;
+pub use gmlfm_engine as engine;
 pub use gmlfm_eval as eval;
 pub use gmlfm_models as models;
 pub use gmlfm_serve as serve;
