@@ -53,7 +53,6 @@ fn bench(c: &mut Criterion) {
         .iter()
         .map(|&i| d.instance_masked(case.user, i, 0.0, &f.mask))
         .collect();
-    let refs: Vec<&Instance> = instances.iter().collect();
 
     let mut group = c.benchmark_group("fig4_coldstart");
     group
@@ -63,7 +62,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("mamo_adapt_and_score", |b| {
         b.iter(|| black_box(mamo.predict(&d.user_attrs[user], &support, &query_items)))
     });
-    group.bench_function("gmlfm_score", |b| b.iter(|| black_box(gml.scores(&refs))));
+    group.bench_function("gmlfm_score", |b| b.iter(|| black_box(gml.scores(&instances))));
     group.finish();
 }
 

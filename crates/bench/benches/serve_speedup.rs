@@ -46,13 +46,12 @@ fn bench_batch_scoring(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(1));
     for (name, cfg) in [("md", GmlFmConfig::mahalanobis(16)), ("dnn1", GmlFmConfig::dnn(16, 1))] {
         let w = workload(&cfg);
-        let refs: Vec<&Instance> = w.test_instances.iter().collect();
         let frozen = w.model.freeze();
-        group.bench_with_input(BenchmarkId::new("graph_predict", name), &refs, |b, refs| {
-            b.iter(|| black_box(w.model.predict(refs)))
+        group.bench_with_input(BenchmarkId::new("graph_predict", name), &w.test_instances, |b, insts| {
+            b.iter(|| black_box(w.model.predict(insts)))
         });
-        group.bench_with_input(BenchmarkId::new("frozen_scores", name), &refs, |b, refs| {
-            b.iter(|| black_box(frozen.scores(refs)))
+        group.bench_with_input(BenchmarkId::new("frozen_scores", name), &w.test_instances, |b, insts| {
+            b.iter(|| black_box(frozen.scores(insts)))
         });
     }
     group.finish();
@@ -80,7 +79,6 @@ fn bench_topn_ranking(c: &mut Criterion) {
 /// (the number the acceptance criterion reads).
 fn speedup_summary(_c: &mut Criterion) {
     let w = workload(&GmlFmConfig::dnn(16, 1));
-    let refs: Vec<&Instance> = w.test_instances.iter().collect();
     let frozen = w.model.freeze();
     let f = &w.fixture;
 
@@ -95,10 +93,10 @@ fn speedup_summary(_c: &mut Criterion) {
     }
 
     let graph_batch = time(|| {
-        black_box(w.model.predict(&refs));
+        black_box(w.model.predict(&w.test_instances));
     });
     let frozen_batch = time(|| {
-        black_box(frozen.scores(&refs));
+        black_box(frozen.scores(&w.test_instances));
     });
     let graph_rank = time(|| {
         black_box(evaluate_topn(&w.model, &f.dataset, &f.mask, &f.loo.test, 10));
@@ -109,7 +107,7 @@ fn speedup_summary(_c: &mut Criterion) {
 
     println!(
         "\n== frozen-vs-graph head-to-head ({} test instances, {} loo cases) ==",
-        refs.len(),
+        w.test_instances.len(),
         f.loo.test.len()
     );
     println!(

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gmlfm_autograd::{Graph, ParamSet};
 use gmlfm_bench::fixture;
-use gmlfm_data::{DatasetSpec, Instance};
+use gmlfm_data::DatasetSpec;
 use gmlfm_models::{fm::FmConfig, FactorizationMachine};
 use gmlfm_tensor::init::normal;
 use gmlfm_tensor::seeded_rng;
@@ -104,8 +104,7 @@ fn bench_fm_paths(c: &mut Criterion) {
         m.fit(&f.rating.train);
         m
     };
-    let refs: Vec<&Instance> = f.rating.test.iter().collect();
-    group.bench_function("fm_predict_test_set", |b| b.iter(|| black_box(m.scores(&refs))));
+    group.bench_function("fm_predict_test_set", |b| b.iter(|| black_box(m.scores(&f.rating.test))));
     group.finish();
 }
 

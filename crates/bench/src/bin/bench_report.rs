@@ -1,0 +1,175 @@
+//! Serial-vs-parallel serving/eval throughput, machine-readable.
+//!
+//! Measures the three hot paths the `gmlfm-par` subsystem threads
+//! through — chunked batch scoring, full-catalogue top-N ranking, and
+//! leave-one-out frozen evaluation — at 1, 2 and 4 requested threads,
+//! verifies the parallel outputs are bit-identical to serial, and
+//! writes `BENCH_parallel.json` at the repository root so the perf
+//! trajectory is tracked in-repo.
+//!
+//! Run with `cargo run --release -p gmlfm-bench --bin bench_report`.
+//! Thread counts above the machine's available parallelism still run
+//! (blocks queue on the pool) but cannot speed up wall-clock; the
+//! report records `available_parallelism` so a 1-core CI box's ~1x
+//! numbers are legible as hardware-bound, not regression.
+
+use gmlfm_core::{Distance, GmlFm, GmlFmConfig};
+use gmlfm_data::{generate, loo_split, DatasetSpec, FieldMask, Instance};
+use gmlfm_eval::evaluate_topn_frozen_with;
+use gmlfm_par::Parallelism;
+use gmlfm_serve::{score_chunked_par, Freeze, FrozenModel, SecondOrder};
+use gmlfm_tensor::{init::normal, seeded_rng};
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+/// Thread counts the report compares.
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Times `job` adaptively (≥ 0.2 s per measurement), returning the best
+/// ops/second across three measurements.
+fn throughput(ops_per_call: usize, mut job: impl FnMut()) -> f64 {
+    job(); // warm
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let mut calls = 0usize;
+        let start = Instant::now();
+        while start.elapsed().as_secs_f64() < 0.2 {
+            job();
+            calls += 1;
+        }
+        let rate = (calls * ops_per_call) as f64 / start.elapsed().as_secs_f64();
+        best = best.max(rate);
+    }
+    best
+}
+
+/// A serving-scale frozen model: weighted squared-Euclidean metric
+/// (the GML-FM_md shape), `n` features, `k = 16`.
+fn serving_model(n: usize, k: usize) -> FrozenModel {
+    let mut rng = seeded_rng(2024);
+    let v = normal(&mut rng, n, k, 0.0, 0.3);
+    let v_hat = normal(&mut rng, n, k, 0.0, 0.3);
+    let q: Vec<f64> = (0..n).map(|r| v_hat.row(r).iter().map(|x| x * x).sum()).collect();
+    let h = Some(normal(&mut rng, 1, k, 0.0, 0.3).into_vec());
+    let w = normal(&mut rng, 1, n, 0.0, 0.1).into_vec();
+    FrozenModel::from_parts(0.1, w, v, SecondOrder::metric(v_hat, q, h, Distance::SquaredEuclidean))
+}
+
+fn json_threads(rates: &[(usize, f64)]) -> String {
+    let fields: Vec<String> = rates.iter().map(|(t, r)| format!("\"{t}\": {r:.1}")).collect();
+    format!("{{{}}}", fields.join(", "))
+}
+
+fn speedup(rates: &[(usize, f64)], hi: usize) -> f64 {
+    let base = rates.iter().find(|(t, _)| *t == 1).map(|(_, r)| *r).unwrap_or(f64::NAN);
+    let top = rates.iter().find(|(t, _)| *t == hi).map(|(_, r)| *r).unwrap_or(f64::NAN);
+    top / base
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("bench_report: available_parallelism = {cores}");
+
+    // -- 1. chunked batch scoring ------------------------------------
+    let n_features = 4096;
+    let model = serving_model(n_features, 16);
+    let mut rng = seeded_rng(7);
+    use rand::Rng;
+    let instances: Vec<Instance> = (0..40_000)
+        .map(|_| {
+            let mut feats: Vec<u32> = (0..4).map(|_| rng.gen_range(0..n_features as u32)).collect();
+            feats.sort_unstable();
+            feats.dedup();
+            Instance::new(feats, 1.0)
+        })
+        .collect();
+    let chunk = NonZeroUsize::new(512).expect("non-zero");
+    let serial = score_chunked_par(&model, &instances, chunk, Parallelism::serial());
+    let mut batch_rates = Vec::new();
+    for t in THREADS {
+        let par = Parallelism::threads(t);
+        let got = score_chunked_par(&model, &instances, chunk, par);
+        assert_eq!(got, serial, "parallel batch scoring diverged at {t} threads");
+        let rate = throughput(instances.len(), || {
+            std::hint::black_box(score_chunked_par(&model, &instances, chunk, par));
+        });
+        println!("batch_scoring   threads={t}: {rate:>12.0} instances/s");
+        batch_rates.push((t, rate));
+    }
+
+    // -- 2. full-catalogue top-N ranking ------------------------------
+    // One ranker per worker block of users; 2 000 candidate items each.
+    let n_items = 2_000u32;
+    let n_users = 64u32;
+    let rank_users = |par: Parallelism| -> Vec<f64> {
+        gmlfm_par::par_blocks(par, n_users as usize, |range| {
+            let mut out = Vec::with_capacity(range.len() * n_items as usize);
+            for user in range {
+                let template = [user as u32 % 64, 64];
+                let mut ranker = model.ranker(&template, &[1]);
+                for item in 0..n_items {
+                    out.push(ranker.score(&[64 + item % 3000]));
+                }
+            }
+            out
+        })
+    };
+    let serial_rank = rank_users(Parallelism::serial());
+    let mut topn_rates = Vec::new();
+    for t in THREADS {
+        let par = Parallelism::threads(t);
+        assert_eq!(rank_users(par), serial_rank, "parallel top-N diverged at {t} threads");
+        let rate = throughput((n_users * n_items) as usize, || {
+            std::hint::black_box(rank_users(par));
+        });
+        println!("topn_ranking    threads={t}: {rate:>12.0} candidates/s");
+        topn_rates.push((t, rate));
+    }
+
+    // -- 3. leave-one-out frozen evaluation ---------------------------
+    let dataset = generate(&DatasetSpec::AmazonAuto.config(2023).scaled(0.3));
+    let mask = FieldMask::all(&dataset.schema);
+    let split = loo_split(&dataset, &mask, 2, 50, 8);
+    let gml = GmlFm::new(dataset.schema.total_dim(), &GmlFmConfig::mahalanobis(16).with_seed(3));
+    let frozen = gml.freeze();
+    let serial_eval =
+        evaluate_topn_frozen_with(&frozen, &dataset, &mask, &split.test, 10, Parallelism::serial());
+    let mut eval_rates = Vec::new();
+    for t in THREADS {
+        let par = Parallelism::threads(t);
+        let got = evaluate_topn_frozen_with(&frozen, &dataset, &mask, &split.test, 10, par);
+        assert_eq!(got.per_user_hr, serial_eval.per_user_hr, "parallel eval diverged at {t} threads");
+        assert_eq!(got.per_user_ndcg, serial_eval.per_user_ndcg);
+        let rate = throughput(split.test.len(), || {
+            std::hint::black_box(evaluate_topn_frozen_with(&frozen, &dataset, &mask, &split.test, 10, par));
+        });
+        println!("eval_topn       threads={t}: {rate:>12.0} test cases/s");
+        eval_rates.push((t, rate));
+    }
+
+    // -- report -------------------------------------------------------
+    let json = format!(
+        "{{\n  \"available_parallelism\": {cores},\n  \"gmlfm_threads_env\": {env},\n  \
+         \"note\": \"throughput in ops/s, best of 3; parallel outputs asserted bit-identical to serial; \
+         speedups are hardware-bound by available_parallelism\",\n  \
+         \"batch_scoring\": {{\"unit\": \"instances/s\", \"n\": {n_inst}, \"threads\": {batch}, \"speedup_4v1\": {b4:.2}}},\n  \
+         \"topn_ranking\": {{\"unit\": \"candidates/s\", \"n\": {n_cand}, \"threads\": {topn}, \"speedup_4v1\": {t4:.2}}},\n  \
+         \"eval_topn_frozen\": {{\"unit\": \"cases/s\", \"n\": {n_cases}, \"threads\": {eval}, \"speedup_4v1\": {e4:.2}}}\n}}\n",
+        env = match std::env::var(gmlfm_par::THREADS_ENV) {
+            Ok(v) => format!("\"{v}\""),
+            Err(_) => "null".to_string(),
+        },
+        n_inst = instances.len(),
+        batch = json_threads(&batch_rates),
+        b4 = speedup(&batch_rates, 4),
+        n_cand = (n_users * n_items) as usize,
+        topn = json_threads(&topn_rates),
+        t4 = speedup(&topn_rates, 4),
+        n_cases = split.test.len(),
+        eval = json_threads(&eval_rates),
+        e4 = speedup(&eval_rates, 4),
+    );
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    std::fs::write(out_path, &json).expect("write BENCH_parallel.json");
+    println!("\nwrote {out_path}:\n{json}");
+}

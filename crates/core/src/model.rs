@@ -329,8 +329,9 @@ mod tests {
             let model = GmlFm::new(30, &cfg.with_seed(11));
             let a = Instance::new(vec![0, 11, 23], 1.0);
             let b = Instance::new(vec![5, 17, 29], -1.0);
-            let batch_pred = model.scores(&[&a, &b]);
-            for (inst, got) in [&a, &b].iter().zip(&batch_pred) {
+            let batch = [a, b];
+            let batch_pred = model.scores(&batch);
+            for (inst, got) in batch.iter().zip(&batch_pred) {
                 let want = model.predict_reference(inst);
                 assert!((got - want).abs() < 1e-9, "{name}: graph {got} vs reference {want}");
             }
@@ -350,7 +351,7 @@ mod tests {
             prop_assume!(feats.len() >= 2);
             let model = GmlFm::new(30, &GmlFmConfig::dnn(4, 2).with_seed(seed));
             let inst = Instance::new(feats, 1.0);
-            let got = model.scores(&[&inst])[0];
+            let got = model.score_one(&inst);
             let want = model.predict_reference(&inst);
             prop_assert!((got - want).abs() < 1e-9, "{got} vs {want}");
         }
@@ -362,7 +363,7 @@ mod tests {
         // starts at zero, so predictions are non-negative.
         let model = GmlFm::new(20, &GmlFmConfig::euclidean_plain(4).with_seed(3));
         let inst = Instance::new(vec![1, 8, 15], 1.0);
-        assert!(model.scores(&[&inst])[0] >= 0.0);
+        assert!(model.score_one(&inst) >= 0.0);
     }
 
     #[test]
@@ -373,7 +374,7 @@ mod tests {
         for seed in 0..20 {
             let model = GmlFm::new(20, &GmlFmConfig::mahalanobis(4).with_seed(seed));
             let inst = Instance::new(vec![1, 8, 15], 1.0);
-            if model.scores(&[&inst])[0] < 0.0 {
+            if model.score_one(&inst) < 0.0 {
                 saw_negative = true;
                 break;
             }
@@ -412,7 +413,7 @@ mod tests {
                 seed: 7,
             },
         );
-        assert!((a.scores(&[&inst])[0] - b.scores(&[&inst])[0]).abs() < 1e-12);
+        assert!((a.score_one(&inst) - b.score_one(&inst)).abs() < 1e-12);
     }
 
     #[test]
@@ -433,6 +434,6 @@ mod tests {
             },
         );
         let inst = Instance::new(vec![0, 7, 13], 1.0);
-        assert!((md.scores(&[&inst])[0] - id.scores(&[&inst])[0]).abs() < 1e-12);
+        assert!((md.score_one(&inst) - id.score_one(&inst)).abs() < 1e-12);
     }
 }

@@ -228,8 +228,8 @@ mod tests {
         let restored = GmlFm::from_snapshot(&model.snapshot()).expect("round trip");
         let inst = Instance::new(vec![2, 11, 27], 1.0);
         assert_eq!(
-            model.scores(&[&inst])[0].to_bits(),
-            restored.scores(&[&inst])[0].to_bits(),
+            model.score_one(&inst).to_bits(),
+            restored.score_one(&inst).to_bits(),
             "loaded model must be bit-identical"
         );
     }
@@ -242,7 +242,7 @@ mod tests {
         model.save_json(&path).expect("save");
         let restored = GmlFm::load_json(&path).expect("load");
         let inst = Instance::new(vec![0, 15, 29], 1.0);
-        assert_eq!(model.scores(&[&inst])[0].to_bits(), restored.scores(&[&inst])[0].to_bits());
+        assert_eq!(model.score_one(&inst).to_bits(), restored.score_one(&inst).to_bits());
         let _ = std::fs::remove_dir_all(dir);
     }
 
@@ -262,7 +262,7 @@ mod tests {
             let model = GmlFm::new(12, &cfg);
             let restored = GmlFm::from_snapshot(&model.snapshot()).expect("round trip");
             let inst = Instance::new(vec![1, 7], 1.0);
-            assert_eq!(model.scores(&[&inst])[0].to_bits(), restored.scores(&[&inst])[0].to_bits());
+            assert_eq!(model.score_one(&inst).to_bits(), restored.score_one(&inst).to_bits());
         }
     }
 

@@ -116,9 +116,11 @@ impl FrozenRepr {
     pub(crate) fn from_frozen(frozen: &FrozenModel) -> Self {
         let second = match frozen.second_order_kind() {
             SecondOrder::Dot => SecondRepr::Dot,
-            SecondOrder::Metric { v_hat, q, h, distance } => SecondRepr::Metric {
-                v_hat: MatrixRepr::from_matrix(v_hat),
-                q: q.clone(),
+            SecondOrder::Metric { hat, h, distance } => SecondRepr::Metric {
+                // The artifact keeps V̂ and q as separate fields (stable
+                // format); the packed serving layout is rebuilt on load.
+                v_hat: MatrixRepr::from_matrix(&hat.v_hat_matrix()),
+                q: hat.q_vec(),
                 h: h.clone(),
                 distance: distance_name(*distance).to_string(),
             },
@@ -162,7 +164,7 @@ impl FrozenRepr {
                     }
                 }
                 let distance = distance_from_name(&distance)?;
-                SecondOrder::Metric { v_hat, q, h, distance }
+                SecondOrder::metric(v_hat, q, h, distance)
             }
             SecondRepr::Translated { v_trans } => {
                 let v_trans = v_trans.into_matrix()?;

@@ -78,7 +78,9 @@ impl<'a> FitData<'a> {
 pub trait Estimator: Send + Sync {
     /// Trains the model in place. `cfg` drives the autograd trainers;
     /// hand-derived SGD models carry their own optimisation
-    /// hyper-parameters in their spec and ignore it.
+    /// hyper-parameters in their spec and read only
+    /// [`TrainConfig::hogwild_threads`] from it (their opt-in lock-free
+    /// parallel epoch mode; `1` keeps the exact serial loop).
     fn fit(&mut self, data: &FitData<'_>, cfg: &TrainConfig) -> Result<TrainReport, EngineError>;
 
     /// The trained model as a scorer (the autograd path for graph
@@ -192,11 +194,11 @@ pub(crate) mod adapters {
     }
 
     impl Estimator for FmEstimator {
-        fn fit(&mut self, data: &FitData<'_>, _cfg: &TrainConfig) -> Result<TrainReport, EngineError> {
+        fn fit(&mut self, data: &FitData<'_>, cfg: &TrainConfig) -> Result<TrainReport, EngineError> {
             if data.train.is_empty() {
                 return Err(EngineError::EmptyTrainingSet);
             }
-            Ok(sgd_report(self.model.fit(data.train)))
+            Ok(sgd_report(self.model.fit_hogwild(data.train, cfg.hogwild_threads)))
         }
         fn scorer(&self) -> &dyn Scorer {
             &self.model
@@ -233,11 +235,11 @@ pub(crate) mod adapters {
     }
 
     impl Estimator for MfEstimator {
-        fn fit(&mut self, data: &FitData<'_>, _cfg: &TrainConfig) -> Result<TrainReport, EngineError> {
+        fn fit(&mut self, data: &FitData<'_>, cfg: &TrainConfig) -> Result<TrainReport, EngineError> {
             if data.train.is_empty() {
                 return Err(EngineError::EmptyTrainingSet);
             }
-            Ok(sgd_report(self.model.fit(data.train)))
+            Ok(sgd_report(self.model.fit_hogwild(data.train, cfg.hogwild_threads)))
         }
         fn scorer(&self) -> &dyn Scorer {
             &self.model
@@ -252,11 +254,11 @@ pub(crate) mod adapters {
     }
 
     impl Estimator for PmfEstimator {
-        fn fit(&mut self, data: &FitData<'_>, _cfg: &TrainConfig) -> Result<TrainReport, EngineError> {
+        fn fit(&mut self, data: &FitData<'_>, cfg: &TrainConfig) -> Result<TrainReport, EngineError> {
             if data.train.is_empty() {
                 return Err(EngineError::EmptyTrainingSet);
             }
-            Ok(sgd_report(self.model.fit(data.train)))
+            Ok(sgd_report(self.model.fit_hogwild(data.train, cfg.hogwild_threads)))
         }
         fn scorer(&self) -> &dyn Scorer {
             &self.model
@@ -271,9 +273,9 @@ pub(crate) mod adapters {
     }
 
     impl Estimator for BprMfEstimator {
-        fn fit(&mut self, data: &FitData<'_>, _cfg: &TrainConfig) -> Result<TrainReport, EngineError> {
+        fn fit(&mut self, data: &FitData<'_>, cfg: &TrainConfig) -> Result<TrainReport, EngineError> {
             let (pairs, user_items) = pair_data(data, "BPR-MF")?;
-            Ok(sgd_report(self.model.fit(pairs, user_items)))
+            Ok(sgd_report(self.model.fit_hogwild(pairs, user_items, cfg.hogwild_threads)))
         }
         fn scorer(&self) -> &dyn Scorer {
             &self.model

@@ -22,6 +22,7 @@ use crate::estimator::{Estimator, FitData};
 use crate::spec::ModelSpec;
 use gmlfm_data::{loo_split, rating_split, Dataset, FieldMask, Instance, LooTestCase, Schema};
 use gmlfm_eval::{evaluate_rating, hit_ratio_at, ndcg_at, RatingMetrics, TopnMetrics};
+use gmlfm_par::Parallelism;
 use gmlfm_serve::FrozenModel;
 use gmlfm_train::{Scorer, TrainConfig, TrainReport};
 use std::path::Path;
@@ -80,6 +81,7 @@ impl Engine {
             split: SplitPlan::default(),
             spec: None,
             train: TrainConfig::default(),
+            par: Parallelism::auto(),
         }
     }
 
@@ -102,6 +104,7 @@ pub struct EngineBuilder {
     split: SplitPlan,
     spec: Option<ModelSpec>,
     train: TrainConfig,
+    par: Parallelism,
 }
 
 impl EngineBuilder {
@@ -131,9 +134,22 @@ impl EngineBuilder {
     }
 
     /// Training-loop hyper-parameters for the autograd trainers
-    /// (hand-derived SGD models carry their own in the spec).
+    /// (hand-derived SGD models carry their own in the spec; the
+    /// `hogwild_threads` field opts them into parallel epochs).
     pub fn train_config(mut self, train: TrainConfig) -> Self {
         self.train = train;
+        self
+    }
+
+    /// Serving/eval parallelism for the resulting [`Recommender`]:
+    /// batch scoring, `top_n` and holdout evaluation partition their
+    /// work across this many pool workers. Defaults to
+    /// [`Parallelism::auto`] (`GMLFM_THREADS` or the machine's core
+    /// count); `threads(1)` is the deterministic serial escape hatch —
+    /// though parallel results are bit-identical to serial anyway,
+    /// pinned by the `parallel_parity` tests.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.par = Parallelism::threads(n);
         self
     }
 
@@ -181,6 +197,7 @@ impl EngineBuilder {
             catalog: Some(catalog),
             holdout: Some(holdout),
             report: Some(report),
+            par: self.par,
         })
     }
 }
@@ -208,6 +225,8 @@ pub struct Recommender {
     catalog: Option<Catalog>,
     holdout: Option<Holdout>,
     report: Option<TrainReport>,
+    /// Worker count for batch scoring, `top_n` and holdout evaluation.
+    par: Parallelism,
 }
 
 impl Recommender {
@@ -219,7 +238,19 @@ impl Recommender {
             catalog: artifact.catalog,
             holdout: None,
             report: None,
+            par: Parallelism::auto(),
         })
+    }
+
+    /// Overrides the serving/eval parallelism (loaded artifacts start at
+    /// [`Parallelism::auto`]); `1` forces the serial path.
+    pub fn set_threads(&mut self, n: usize) {
+        self.par = Parallelism::threads(n);
+    }
+
+    /// The serving/eval worker count this recommender uses.
+    pub fn threads(&self) -> usize {
+        self.par.get()
     }
 
     /// The spec this recommender was built from (or restored with).
@@ -271,30 +302,41 @@ impl Recommender {
 
     /// Ranks the entire item catalogue for `user` and returns the top
     /// `n` `(item, score)` pairs, best first. Frozen models rank through
-    /// the [`gmlfm_serve::TopNRanker`] item-delta path; live models score
-    /// every candidate instance.
+    /// the [`gmlfm_serve::TopNRanker`] item-delta path, partitioning the
+    /// catalogue across the builder's [`EngineBuilder::threads`] workers
+    /// (one ranker per worker, scores merged in item order — identical
+    /// to serial); live models score every candidate instance.
     pub fn top_n(&self, user: u32, n: usize) -> Result<Vec<(u32, f64)>, EngineError> {
         let catalog = self.catalog.as_ref().ok_or(EngineError::MissingCatalog)?;
         let template = catalog
             .template(user)
             .ok_or(EngineError::UnknownUser { user, n_users: catalog.n_users() })?;
         let n_items = catalog.n_items();
-        let mut scored: Vec<(u32, f64)> = Vec::with_capacity(n_items);
+        let mut scored: Vec<(u32, f64)>;
         match &self.serving {
             Serving::Frozen(frozen) => {
-                let mut ranker = frozen.ranker(template, catalog.item_slots());
-                for item in 0..n_items as u32 {
-                    let group = catalog.item_features(item).expect("item enumerated from the catalog");
-                    scored.push((item, ranker.score(group)));
-                }
+                let item_slots = catalog.item_slots();
+                scored = gmlfm_par::par_blocks(self.par, n_items, |range| {
+                    // One ranker per worker block: the context partial
+                    // sums are computed once and reused for every item
+                    // in the block.
+                    let mut ranker = frozen.ranker(template, item_slots);
+                    range
+                        .map(|item| {
+                            let item = item as u32;
+                            let group =
+                                catalog.item_features(item).expect("item enumerated from the catalog");
+                            (item, ranker.score(group))
+                        })
+                        .collect()
+                });
             }
             Serving::Live(est) => {
                 let instances: Vec<Instance> = (0..n_items as u32)
                     .map(|item| Instance::new(catalog.feats(user, item).expect("user checked above"), 0.0))
                     .collect();
-                let refs: Vec<&Instance> = instances.iter().collect();
-                let scores = est.scorer().scores(&refs);
-                scored.extend((0..n_items as u32).zip(scores));
+                let scores = est.scorer().scores(&instances);
+                scored = (0..n_items as u32).zip(scores).collect();
             }
         }
         scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -326,33 +368,36 @@ impl Recommender {
             // sets — but as a typed error instead of a panic.
             return Err(EngineError::MissingHoldout { expected: "top-n" });
         }
-        let mut per_user_hr = Vec::with_capacity(cases.len());
-        let mut per_user_ndcg = Vec::with_capacity(cases.len());
-        let mut scores: Vec<f64> = Vec::new();
-        for case in cases {
-            scores.clear();
-            match &self.serving {
-                Serving::Frozen(frozen) => {
-                    let template = checked_feats(catalog, case.user, case.pos_item)?;
-                    let mut ranker = frozen.ranker(&template, catalog.item_slots());
-                    for &item in std::iter::once(&case.pos_item).chain(&case.negatives) {
-                        let group = catalog
-                            .item_features(item)
-                            .ok_or(EngineError::UnknownItem { item, n_items: catalog.n_items() })?;
-                        scores.push(ranker.score(group));
-                    }
+        let per_user: Vec<Result<(f64, f64), EngineError>> = match &self.serving {
+            // Frozen: fan the test cases out across the pool, one
+            // ranker + scratch per case, merged in case order (identical
+            // per-user vectors at every thread count).
+            Serving::Frozen(frozen) => gmlfm_par::par_blocks(self.par, cases.len(), |range| {
+                let mut out = Vec::with_capacity(range.len());
+                let mut scores: Vec<f64> = Vec::new();
+                for case in &cases[range] {
+                    out.push(frozen_case_metrics(frozen, catalog, case, k, &mut scores));
                 }
-                Serving::Live(est) => {
+                out
+            }),
+            Serving::Live(est) => cases
+                .iter()
+                .map(|case| {
                     let mut instances = Vec::with_capacity(1 + case.negatives.len());
                     for &item in std::iter::once(&case.pos_item).chain(&case.negatives) {
                         instances.push(Instance::new(checked_feats(catalog, case.user, item)?, 0.0));
                     }
-                    let refs: Vec<&Instance> = instances.iter().collect();
-                    scores = est.scorer().scores(&refs);
-                }
-            }
-            per_user_hr.push(hit_ratio_at(&scores, k));
-            per_user_ndcg.push(ndcg_at(&scores, k));
+                    let scores = est.scorer().scores(&instances);
+                    Ok((hit_ratio_at(&scores, k), ndcg_at(&scores, k)))
+                })
+                .collect(),
+        };
+        let mut per_user_hr = Vec::with_capacity(cases.len());
+        let mut per_user_ndcg = Vec::with_capacity(cases.len());
+        for result in per_user {
+            let (hr, ndcg) = result?;
+            per_user_hr.push(hr);
+            per_user_ndcg.push(ndcg);
         }
         let hr = per_user_hr.iter().sum::<f64>() / per_user_hr.len() as f64;
         let ndcg = per_user_ndcg.iter().sum::<f64>() / per_user_ndcg.len() as f64;
@@ -376,6 +421,27 @@ impl Recommender {
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), EngineError> {
         self.artifact()?.save(path)
     }
+}
+
+/// One leave-one-out case through the frozen ranker: context partials
+/// once, item delta per candidate, reusing the caller's score buffer.
+fn frozen_case_metrics(
+    frozen: &FrozenModel,
+    catalog: &Catalog,
+    case: &LooTestCase,
+    k: usize,
+    scores: &mut Vec<f64>,
+) -> Result<(f64, f64), EngineError> {
+    scores.clear();
+    let template = checked_feats(catalog, case.user, case.pos_item)?;
+    let mut ranker = frozen.ranker(&template, catalog.item_slots());
+    for &item in std::iter::once(&case.pos_item).chain(&case.negatives) {
+        let group = catalog
+            .item_features(item)
+            .ok_or(EngineError::UnknownItem { item, n_items: catalog.n_items() })?;
+        scores.push(ranker.score(group));
+    }
+    Ok((hit_ratio_at(scores, k), ndcg_at(scores, k)))
 }
 
 /// [`Catalog::feats`] with the user/item bound reported distinctly, so
@@ -406,9 +472,11 @@ impl std::fmt::Debug for Recommender {
 }
 
 impl Scorer for Recommender {
-    fn scores(&self, instances: &[&Instance]) -> Vec<f64> {
+    fn scores(&self, instances: &[Instance]) -> Vec<f64> {
         match &self.serving {
-            Serving::Frozen(frozen) => frozen.scores(instances),
+            Serving::Frozen(frozen) => {
+                gmlfm_serve::score_chunked_par(frozen, instances, gmlfm_train::EVAL_CHUNK_SIZE, self.par)
+            }
             Serving::Live(est) => est.scorer().scores(instances),
         }
     }

@@ -11,6 +11,7 @@
 
 use crate::metrics::{hit_ratio_at, mae, ndcg_at, rmse};
 use gmlfm_data::{Dataset, FieldKind, FieldMask, Instance, LooTestCase};
+use gmlfm_par::Parallelism;
 use gmlfm_serve::FrozenModel;
 use gmlfm_train::Scorer;
 
@@ -26,10 +27,15 @@ pub struct RatingMetrics {
 }
 
 /// Evaluates a scorer on held-out rating instances.
+///
+/// The test set is handed to the scorer in one call, so scorers with a
+/// parallel batch path (notably [`FrozenModel::scores`], which fans its
+/// chunks out across the `gmlfm-par` pool) parallelise the whole
+/// evaluation; the metrics are computed from the ordered score vector
+/// and are bit-identical at every thread count.
 pub fn evaluate_rating<S: Scorer + ?Sized>(scorer: &S, test: &[Instance]) -> RatingMetrics {
     assert!(!test.is_empty(), "evaluate_rating: empty test set");
-    let refs: Vec<&Instance> = test.iter().collect();
-    let preds = scorer.scores(&refs);
+    let preds = scorer.scores(test);
     let targets: Vec<f64> = test.iter().map(|i| i.label).collect();
     RatingMetrics { rmse: rmse(&preds, &targets), mae: mae(&preds, &targets), n: test.len() }
 }
@@ -67,8 +73,7 @@ pub fn evaluate_topn<S: Scorer + ?Sized>(
         for &neg in &case.negatives {
             candidates.push(dataset.instance_masked(case.user, neg, 0.0, mask));
         }
-        let refs: Vec<&Instance> = candidates.iter().collect();
-        let scores = scorer.scores(&refs);
+        let scores = scorer.scores(&candidates);
         per_user_hr.push(hit_ratio_at(&scores, k));
         per_user_ndcg.push(ndcg_at(&scores, k));
     }
@@ -100,6 +105,9 @@ pub fn item_side_slots(dataset: &Dataset, mask: &FieldMask) -> Vec<usize> {
 /// partial sums once and scores the positive plus its sampled negatives
 /// by item delta only. Metrics match [`evaluate_topn`] on the same
 /// frozen model.
+///
+/// Runs with [`Parallelism::auto`]; see [`evaluate_topn_frozen_with`]
+/// for an explicit thread count.
 pub fn evaluate_topn_frozen(
     model: &FrozenModel,
     dataset: &Dataset,
@@ -107,29 +115,49 @@ pub fn evaluate_topn_frozen(
     cases: &[LooTestCase],
     k: usize,
 ) -> TopnMetrics {
+    evaluate_topn_frozen_with(model, dataset, mask, cases, k, Parallelism::auto())
+}
+
+/// [`evaluate_topn_frozen`] with an explicit [`Parallelism`]: the test
+/// cases are split into one contiguous block per requested thread, each
+/// worker evaluates its block with its own scratch buffers and
+/// [`gmlfm_serve::TopNRanker`] state, and the per-user metric vectors
+/// are merged in input order — so the result is **bit-identical** to the
+/// serial evaluation at every thread count.
+pub fn evaluate_topn_frozen_with(
+    model: &FrozenModel,
+    dataset: &Dataset,
+    mask: &FieldMask,
+    cases: &[LooTestCase],
+    k: usize,
+    par: Parallelism,
+) -> TopnMetrics {
     assert!(!cases.is_empty(), "evaluate_topn_frozen: no test cases");
     let item_slots = item_side_slots(dataset, mask);
-    let mut per_user_hr = Vec::with_capacity(cases.len());
-    let mut per_user_ndcg = Vec::with_capacity(cases.len());
-    let mut scores: Vec<f64> = Vec::new();
-    let mut feats: Vec<u32> = Vec::new();
-    let mut item_feats: Vec<u32> = Vec::new();
-    for case in cases {
-        let template = dataset.feats(case.user, case.pos_item, mask);
-        let mut ranker = model.ranker(&template, &item_slots);
-        scores.clear();
-        item_feats.clear();
-        item_feats.extend(item_slots.iter().map(|&s| template[s]));
-        scores.push(ranker.score(&item_feats));
-        for &neg in &case.negatives {
-            dataset.feats_into(case.user, neg, mask, &mut feats);
+    let per_user: Vec<(f64, f64)> = gmlfm_par::par_blocks(par, cases.len(), |range| {
+        // Per-worker scratch, reused across the whole block.
+        let mut out = Vec::with_capacity(range.len());
+        let mut scores: Vec<f64> = Vec::new();
+        let mut feats: Vec<u32> = Vec::new();
+        let mut item_feats: Vec<u32> = Vec::new();
+        for case in &cases[range] {
+            let template = dataset.feats(case.user, case.pos_item, mask);
+            let mut ranker = model.ranker(&template, &item_slots);
+            scores.clear();
             item_feats.clear();
-            item_feats.extend(item_slots.iter().map(|&s| feats[s]));
+            item_feats.extend(item_slots.iter().map(|&s| template[s]));
             scores.push(ranker.score(&item_feats));
+            for &neg in &case.negatives {
+                dataset.feats_into(case.user, neg, mask, &mut feats);
+                item_feats.clear();
+                item_feats.extend(item_slots.iter().map(|&s| feats[s]));
+                scores.push(ranker.score(&item_feats));
+            }
+            out.push((hit_ratio_at(&scores, k), ndcg_at(&scores, k)));
         }
-        per_user_hr.push(hit_ratio_at(&scores, k));
-        per_user_ndcg.push(ndcg_at(&scores, k));
-    }
+        out
+    });
+    let (per_user_hr, per_user_ndcg): (Vec<f64>, Vec<f64>) = per_user.into_iter().unzip();
     let hr = per_user_hr.iter().sum::<f64>() / per_user_hr.len() as f64;
     let ndcg = per_user_ndcg.iter().sum::<f64>() / per_user_ndcg.len() as f64;
     TopnMetrics { hr, ndcg, per_user_hr, per_user_ndcg }
@@ -148,7 +176,7 @@ mod tests {
     }
 
     impl Scorer for Oracle {
-        fn scores(&self, instances: &[&Instance]) -> Vec<f64> {
+        fn scores(&self, instances: &[Instance]) -> Vec<f64> {
             instances
                 .iter()
                 .map(|inst| {
@@ -166,7 +194,7 @@ mod tests {
 
     struct Antioracle(Oracle);
     impl Scorer for Antioracle {
-        fn scores(&self, instances: &[&Instance]) -> Vec<f64> {
+        fn scores(&self, instances: &[Instance]) -> Vec<f64> {
             self.0.scores(instances).into_iter().map(|s| -s).collect()
         }
     }
@@ -195,7 +223,7 @@ mod tests {
     fn rating_metrics_for_constant_scorer() {
         struct Zero;
         impl Scorer for Zero {
-            fn scores(&self, instances: &[&Instance]) -> Vec<f64> {
+            fn scores(&self, instances: &[Instance]) -> Vec<f64> {
                 vec![0.0; instances.len()]
             }
         }
@@ -235,7 +263,7 @@ mod tests {
         let split = loo_split(&d, &mask, 2, 20, 5);
         struct Rand;
         impl Scorer for Rand {
-            fn scores(&self, instances: &[&Instance]) -> Vec<f64> {
+            fn scores(&self, instances: &[Instance]) -> Vec<f64> {
                 instances
                     .iter()
                     .map(|i| {

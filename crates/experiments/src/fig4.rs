@@ -168,8 +168,7 @@ pub fn run(cfg: &ExpConfig) {
             .iter()
             .map(|&(item, label)| d.instance_masked(u as u32, item, label, &mask))
             .collect();
-        let refs: Vec<&Instance> = instances.iter().collect();
-        let gml_preds = gml.scorer().scores(&refs);
+        let gml_preds = gml.scorer().scores(&instances);
         // MAMO predictions (adapting on the user's support).
         let support: Vec<(usize, f64)> = data.support[u].iter().map(|&i| (i as usize, 1.0)).collect();
         let items: Vec<usize> = query_items.iter().map(|&(i, _)| i as usize).collect();

@@ -9,7 +9,7 @@
 //! regression, hand-derived SGD and pairwise BPR included.
 
 use gmlfm_core::GmlFmConfig;
-use gmlfm_data::{Dataset, FieldMask, Instance, LooSplit, RatingSplit};
+use gmlfm_data::{Dataset, FieldMask, LooSplit, RatingSplit};
 use gmlfm_engine::{FitData, ModelSpec};
 use gmlfm_eval::{evaluate_rating, evaluate_topn, evaluate_topn_frozen, RatingMetrics, TopnMetrics};
 use gmlfm_train::{Scorer, TrainConfig};
@@ -49,6 +49,7 @@ impl ExpConfig {
             weight_decay: 1e-5,
             patience: 3,
             seed: self.seed ^ 0x5f5f,
+            ..TrainConfig::default()
         }
     }
 }
@@ -105,8 +106,7 @@ pub fn run_rating_spec(
         None => estimator.scorer(),
     };
     let metrics = evaluate_rating(scorer, &split.test);
-    let refs: Vec<&Instance> = split.test.iter().collect();
-    let preds = scorer.scores(&refs);
+    let preds = scorer.scores(&split.test);
     let sq_errors: Vec<f64> = preds
         .iter()
         .zip(&split.test)

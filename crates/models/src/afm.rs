@@ -184,7 +184,7 @@ mod tests {
     fn predictions_are_deterministic_in_eval_mode() {
         let model = Afm::new(15, &AfmConfig { k: 4, attention_size: 4, dropout: 0.5, seed: 9 });
         let inst = Instance::new(vec![1, 6, 11], 1.0);
-        let refs = [&inst];
+        let refs = [inst];
         assert_eq!(model.scores(&refs), model.scores(&refs));
     }
 }

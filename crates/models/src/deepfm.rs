@@ -117,8 +117,7 @@ mod tests {
             "losses {:?}",
             report.train_losses
         );
-        let refs: Vec<&Instance> = s.test.iter().collect();
-        assert!(model.scores(&refs).iter().all(|p| p.is_finite()));
+        assert!(model.scores(&s.test).iter().all(|p| p.is_finite()));
     }
 
     #[test]
@@ -126,6 +125,6 @@ mod tests {
     fn field_count_mismatch_is_detected() {
         let model = DeepFm::new(20, 3, &DeepFmConfig::default());
         let inst = Instance::new(vec![0, 5], 1.0); // only 2 fields
-        let _ = model.scores(&[&inst]);
+        let _ = model.score_one(&inst);
     }
 }

@@ -126,7 +126,7 @@ mod tests {
         let case = &split.test[0];
         let pos = d.instance_masked(case.user, case.pos_item, 1.0, &mask);
         let neg = d.instance_masked(case.user, case.negatives[0], -1.0, &mask);
-        let scores = model.scores(&[&pos, &neg]);
+        let scores = model.scores(&[pos, neg]);
         assert!(scores.iter().all(|s| s.is_finite()));
     }
 
@@ -136,7 +136,7 @@ mod tests {
         let model = Ncf::new(codec, &NcfConfig { k: 4, layers: 1, dropout: 0.0, seed: 3 });
         let a = Instance::new(vec![2, 5 + 1], 1.0);
         let b = Instance::new(vec![2, 5 + 4], 1.0);
-        let scores = model.scores(&[&a, &b]);
+        let scores = model.scores(&[a, b]);
         assert_ne!(scores[0], scores[1]);
     }
 }

@@ -104,8 +104,7 @@ mod tests {
             "losses {:?}",
             report.train_losses
         );
-        let refs: Vec<&Instance> = s.test.iter().collect();
-        assert!(model.scores(&refs).iter().all(|p| p.is_finite()));
+        assert!(model.scores(&s.test).iter().all(|p| p.is_finite()));
     }
 
     #[test]
@@ -114,8 +113,7 @@ mod tests {
         // h^T f_BI — checkable against a hand computation.
         let model = Nfm::new(12, &NfmConfig { k: 4, layers: 0, dropout: 0.0, seed: 5 });
         let inst = Instance::new(vec![1, 6, 10], 1.0);
-        let refs = [&inst];
-        let pred = model.scores(&refs)[0];
+        let pred = model.score_one(&inst);
         assert!(pred.is_finite());
         // Hand computation.
         let v = model.params.get(model.base.v);

@@ -200,7 +200,7 @@ impl Ngcf {
 }
 
 impl Scorer for Ngcf {
-    fn scores(&self, instances: &[&Instance]) -> Vec<f64> {
+    fn scores(&self, instances: &[Instance]) -> Vec<f64> {
         instances
             .iter()
             .map(|inst| {

@@ -122,7 +122,7 @@ mod tests {
     fn transfm_matches_hand_computed_distance_sum() {
         let model = TransFm::new(9, &TransFmConfig { k: 3, seed: 2 });
         let inst = Instance::new(vec![0, 4, 8], 1.0);
-        let pred = model.scores(&[&inst])[0];
+        let pred = model.score_one(&inst);
         let v = model.params.get(model.base.v);
         let vt = model.params.get(model.v_trans);
         let rows = [0usize, 4, 8];
@@ -160,7 +160,7 @@ mod tests {
         let mut model = TransFm::new(9, &TransFmConfig { k: 3, seed: 4 });
         model.params.get_mut(model.v_trans).fill_zero();
         let inst = Instance::new(vec![0, 4, 8], 1.0);
-        let pred = model.scores(&[&inst])[0];
+        let pred = model.score_one(&inst);
         assert!(pred >= 0.0, "squared distances must be non-negative, got {pred}");
     }
 }

@@ -201,7 +201,6 @@ mod tests {
             "losses {:?}",
             report.train_losses
         );
-        let refs: Vec<&Instance> = s.test.iter().collect();
-        assert!(model.scores(&refs).iter().all(|p| p.is_finite()));
+        assert!(model.scores(&s.test).iter().all(|p| p.is_finite()));
     }
 }

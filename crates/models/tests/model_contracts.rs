@@ -38,29 +38,26 @@ fn models(seed: u64) -> Vec<(&'static str, Box<dyn Scorer>)> {
 #[test]
 fn identical_seeds_build_identical_models() {
     let insts = instances();
-    let refs: Vec<&Instance> = insts.iter().collect();
     for ((name_a, a), (_, b)) in models(123).into_iter().zip(models(123)) {
-        assert_eq!(a.scores(&refs), b.scores(&refs), "{name_a} not seed-deterministic");
+        assert_eq!(a.scores(&insts), b.scores(&insts), "{name_a} not seed-deterministic");
     }
 }
 
 #[test]
 fn different_seeds_build_different_models() {
     let insts = instances();
-    let refs: Vec<&Instance> = insts.iter().collect();
     for ((name_a, a), (_, b)) in models(123).into_iter().zip(models(456)) {
-        assert_ne!(a.scores(&refs), b.scores(&refs), "{name_a} ignores its seed");
+        assert_ne!(a.scores(&insts), b.scores(&insts), "{name_a} ignores its seed");
     }
 }
 
 #[test]
 fn batch_scoring_equals_individual_scoring() {
     let insts = instances();
-    let refs: Vec<&Instance> = insts.iter().collect();
     for (name, model) in models(7) {
-        let batched = model.scores(&refs);
-        for (inst, &expected) in refs.iter().zip(&batched) {
-            let single = model.scores(&[inst])[0];
+        let batched = model.scores(&insts);
+        for (inst, &expected) in insts.iter().zip(&batched) {
+            let single = model.score_one(inst);
             assert!((single - expected).abs() < 1e-12, "{name}: batch {expected} vs single {single}");
         }
     }
@@ -69,9 +66,8 @@ fn batch_scoring_equals_individual_scoring() {
 #[test]
 fn untrained_scores_are_finite_and_small() {
     let insts = instances();
-    let refs: Vec<&Instance> = insts.iter().collect();
     for (name, model) in models(9) {
-        for s in model.scores(&refs) {
+        for s in model.scores(&insts) {
             assert!(s.is_finite(), "{name} produced a non-finite score");
             assert!(s.abs() < 10.0, "{name} init scores should be near zero, got {s}");
         }
@@ -85,7 +81,7 @@ fn ncf_contracts_hold_too() {
     let a = Ncf::new(codec, &NcfConfig { seed: 3, ..NcfConfig::default() });
     let b = Ncf::new(codec, &NcfConfig { seed: 3, ..NcfConfig::default() });
     let inst = Instance::new(vec![4, 10 + 22], 1.0);
-    assert_eq!(a.scores(&[&inst]), b.scores(&[&inst]));
+    assert_eq!(a.score_one(&inst), b.score_one(&inst));
     let c = Ncf::new(codec, &NcfConfig { seed: 4, ..NcfConfig::default() });
-    assert_ne!(a.scores(&[&inst]), c.scores(&[&inst]));
+    assert_ne!(a.score_one(&inst), c.score_one(&inst));
 }

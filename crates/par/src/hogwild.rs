@@ -1,0 +1,221 @@
+//! Shared-parameter cells for Hogwild!-style lock-free SGD.
+//!
+//! Hogwild! (Recht et al., NeurIPS 2011) runs SGD workers over shared
+//! parameters *without locks*: when updates are sparse, collisions are
+//! rare and the occasional lost update is statistically benign, so
+//! throughput scales with cores while the optimiser still converges.
+//! [`RacySlice`] is the workspace's building block for that mode: a
+//! bounds-checked shared-mutable view of an `f64` parameter buffer.
+//!
+//! All access goes through relaxed atomics on the `u64` bit patterns —
+//! never torn, never language-level undefined behaviour, and compiled
+//! to plain loads/stores on x86-64 and AArch64 — so the only "race" is
+//! the *semantic* one Hogwild embraces:
+//!
+//! * [`RacySlice::add`] is a non-atomic read-modify-write (an atomic
+//!   load, an add, an atomic store): two workers updating the same
+//!   index concurrently may lose one delta. Acceptable **only** for
+//!   sparse optimiser updates where collisions are rare.
+//! * [`RacySlice::fetch_add`] is a lossless CAS loop for *dense* cells
+//!   (global intercepts), which every worker touches on every instance
+//!   — outside the sparse-collision regime, so lost updates there would
+//!   bias the parameter rather than add noise.
+//! * No control flow may depend on two reads agreeing; values drift
+//!   under concurrent writers and results are not reproducible run to
+//!   run.
+//!
+//! The wrapper is the sole way the buffer is touched for the duration
+//! of the borrow (guaranteed by construction: [`RacySlice::new`] takes
+//! `&mut`, so the borrow checker excludes every safe alias). Trainers
+//! expose this as an **opt-in** epoch mode (off by default) and
+//! document that opting in trades bit-for-bit reproducibility for
+//! parallel throughput.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// The cells reinterpret `f64` slots as `AtomicU64` in place, which is
+// only sound when the layouts agree. Holds on every 64-bit platform the
+// workspace targets; a 32-bit target with 4-byte `f64` alignment fails
+// here at compile time instead of misbehaving at run time.
+const _: () = assert!(
+    std::mem::size_of::<f64>() == std::mem::size_of::<AtomicU64>()
+        && std::mem::align_of::<f64>() == std::mem::align_of::<AtomicU64>(),
+    "RacySlice requires f64 and AtomicU64 to share size and alignment"
+);
+
+/// A shared-mutable view of an `f64` parameter buffer for Hogwild
+/// workers. See the [module docs](self) for the benign-race contract.
+pub struct RacySlice<'a> {
+    ptr: *mut f64,
+    len: usize,
+    _borrow: PhantomData<&'a mut [f64]>,
+}
+
+// SAFETY: the whole point of the type — shared mutation across worker
+// threads. All access is bounds checked and goes through relaxed
+// atomics; the `&mut` constructor borrow rules out safe aliases.
+unsafe impl Send for RacySlice<'_> {}
+unsafe impl Sync for RacySlice<'_> {}
+
+impl<'a> RacySlice<'a> {
+    /// Wraps a parameter buffer. The exclusive borrow keeps every other
+    /// (safe) access out for the wrapper's lifetime.
+    pub fn new(data: &'a mut [f64]) -> Self {
+        Self { ptr: data.as_mut_ptr(), len: data.len(), _borrow: PhantomData }
+    }
+
+    /// Number of elements in the underlying buffer.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the underlying buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The element's storage as an atomic word.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of bounds.
+    #[inline]
+    fn cell(&self, i: usize) -> &AtomicU64 {
+        assert!(i < self.len, "RacySlice: index {i} out of bounds for length {}", self.len);
+        // SAFETY: `i` is bounds-checked above, `ptr` covers `len`
+        // elements for the duration of the exclusive borrow, and the
+        // const assertion pins the f64/AtomicU64 layout match.
+        unsafe { &*(self.ptr.add(i) as *const AtomicU64) }
+    }
+
+    /// Relaxed read of element `i`.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of bounds.
+    #[inline]
+    pub fn load(&self, i: usize) -> f64 {
+        f64::from_bits(self.cell(i).load(Ordering::Relaxed))
+    }
+
+    /// Relaxed write of element `i`.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of bounds.
+    #[inline]
+    pub fn store(&self, i: usize, value: f64) {
+        self.cell(i).store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// `buf[i] += delta` as a load-add-store (NOT an atomic
+    /// read-modify-write: a concurrent `add` on the same index may be
+    /// lost). The Hogwild fast path for *sparse* updates, where
+    /// collisions are rare.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of bounds.
+    #[inline]
+    pub fn add(&self, i: usize, delta: f64) {
+        let cell = self.cell(i);
+        let cur = f64::from_bits(cell.load(Ordering::Relaxed));
+        cell.store((cur + delta).to_bits(), Ordering::Relaxed);
+    }
+
+    /// `buf[i] += delta` as a lossless compare-exchange loop: no delta
+    /// is ever dropped, only the accumulation order is nondeterministic.
+    /// Use for *dense* cells every worker hits (global intercepts),
+    /// where the sparse-collision argument behind [`RacySlice::add`]
+    /// does not apply.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of bounds.
+    #[inline]
+    pub fn fetch_add(&self, i: usize, delta: f64) {
+        let cell = self.cell(i);
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ThreadPool;
+    use std::num::NonZeroUsize;
+
+    #[test]
+    fn single_threaded_semantics_match_a_plain_slice() {
+        let mut data = vec![1.0, 2.0, 3.0];
+        {
+            let cell = RacySlice::new(&mut data);
+            assert_eq!(cell.len(), 3);
+            assert!(!cell.is_empty());
+            cell.add(0, 0.5);
+            cell.fetch_add(1, -0.25);
+            cell.store(2, -1.0);
+            assert_eq!(cell.load(0), 1.5);
+            assert_eq!(cell.load(1), 1.75);
+        }
+        assert_eq!(data, vec![1.5, 1.75, -1.0]);
+    }
+
+    #[test]
+    fn disjoint_parallel_updates_are_exact() {
+        // Workers writing disjoint index ranges race on nothing, so the
+        // result is exact — the "sparse updates rarely collide" regime
+        // Hogwild relies on, in its collision-free limit.
+        let pool = ThreadPool::new(NonZeroUsize::new(4).unwrap());
+        let mut data = vec![0.0; 64];
+        {
+            let cell = RacySlice::new(&mut data);
+            let cell = &cell;
+            pool.scoped(|s| {
+                for w in 0..4 {
+                    s.spawn(move || {
+                        for i in (w * 16)..((w + 1) * 16) {
+                            for _ in 0..10 {
+                                cell.add(i, 1.0);
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        assert!(data.iter().all(|&v| v == 10.0));
+    }
+
+    #[test]
+    fn fetch_add_on_one_contended_cell_loses_nothing() {
+        // Unlike `add`, the CAS loop must account for every delta even
+        // when all workers hammer the same index.
+        let pool = ThreadPool::new(NonZeroUsize::new(4).unwrap());
+        let mut data = vec![0.0];
+        {
+            let cell = RacySlice::new(&mut data);
+            let cell = &cell;
+            pool.scoped(|s| {
+                for _ in 0..4 {
+                    s.spawn(move || {
+                        for _ in 0..2_000 {
+                            cell.fetch_add(0, 1.0);
+                        }
+                    });
+                }
+            });
+        }
+        assert_eq!(data[0], 8_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_access_panics() {
+        let mut data = vec![0.0; 2];
+        let cell = RacySlice::new(&mut data);
+        let _ = cell.load(2);
+    }
+}

@@ -1,0 +1,327 @@
+//! # gmlfm-par
+//!
+//! Std-only parallel execution for the GML-FM workspace: a persistent
+//! [scoped thread pool](pool::ThreadPool), data-parallel helpers over
+//! slices and index ranges, and the [`hogwild::RacySlice`] cell that
+//! powers the trainers' opt-in Hogwild! epoch mode.
+//!
+//! The vendored dependency set has no rayon, so this crate provides the
+//! minimal primitives the serving/eval/training hot paths need:
+//!
+//! * [`par_map`] / [`par_chunks`] — order-preserving maps whose merged
+//!   output is **bit-identical** to the serial evaluation for pure
+//!   per-element functions, at every thread count. Serving and
+//!   evaluation ride on these, which is what lets the eval protocols
+//!   stay exactly reproducible while scaling across cores.
+//! * [`par_blocks`] — the indexed building block: splits `0..n` into
+//!   contiguous blocks (one per requested thread) and concatenates the
+//!   per-block outputs in input order. Use it when each worker wants its
+//!   own scratch state (e.g. a `TopNRanker` per block of users).
+//! * [`par_map_reduce`] — indexed map-reduce; partial results are
+//!   reduced in block order. Deterministic for a fixed [`Parallelism`],
+//!   but floating-point reductions re-associate across thread counts —
+//!   prefer the map helpers when bit-stability across counts matters.
+//!
+//! How many threads run is a per-call [`Parallelism`] value, defaulting
+//! to [`Parallelism::auto`]: the `GMLFM_THREADS` environment variable
+//! when set, otherwise [`std::thread::available_parallelism`]. Passing
+//! [`Parallelism::serial`] (or any count of 1) makes that call run
+//! inline on the calling thread without touching the pool. Setting
+//! `GMLFM_THREADS=1` serialises every *defaulted* call the same way and
+//! shrinks the global pool to one worker — but a caller that passes an
+//! explicit `Parallelism::threads(n > 1)` still partitions its work and
+//! dispatches to the (single-worker, hence sequentially draining) pool;
+//! the env var changes defaults, it does not override explicit
+//! requests. Results are unaffected either way: the order-preserving
+//! helpers are bit-identical at every thread count.
+
+pub mod hogwild;
+pub mod pool;
+
+pub use hogwild::RacySlice;
+pub use pool::{Scope, ThreadPool};
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Environment variable that sets the workspace's default parallelism
+/// — the [`Parallelism::auto`] value and the [`global`] pool size.
+/// `GMLFM_THREADS=1` makes every defaulted call run inline and leaves a
+/// one-worker pool for explicit requests; read once per process.
+pub const THREADS_ENV: &str = "GMLFM_THREADS";
+
+/// How many threads a parallel helper may use for one call.
+///
+/// This is a *request*, independent of the [`global`] pool's size: work
+/// is partitioned into this many blocks, and the pool schedules the
+/// blocks on however many workers it owns. Results of the order-
+/// preserving helpers do not depend on either number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism(NonZeroUsize);
+
+impl Parallelism {
+    /// The ambient default: `GMLFM_THREADS` when set to a positive
+    /// integer, otherwise [`std::thread::available_parallelism`]
+    /// (falling back to 1 when even that is unavailable).
+    ///
+    /// Resolved **once per process** and cached: `available_parallelism`
+    /// costs microseconds per call (affinity/cgroup inspection), which
+    /// would dominate small serving batches if paid per request. Set
+    /// `GMLFM_THREADS` before the process starts; later changes to the
+    /// environment are not observed.
+    pub fn auto() -> Self {
+        static AUTO: OnceLock<Parallelism> = OnceLock::new();
+        *AUTO.get_or_init(|| {
+            if let Ok(raw) = std::env::var(THREADS_ENV) {
+                if let Ok(n) = raw.trim().parse::<usize>() {
+                    return Self::threads(n);
+                }
+            }
+            let n = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+            Self::threads(n)
+        })
+    }
+
+    /// Exactly `n` threads; `0` is clamped to `1` (serial).
+    pub fn threads(n: usize) -> Self {
+        Self(NonZeroUsize::new(n.max(1)).expect("max(1) is non-zero"))
+    }
+
+    /// The single-threaded escape hatch: helpers run inline, no pool.
+    pub fn serial() -> Self {
+        Self::threads(1)
+    }
+
+    /// The requested thread count.
+    pub fn get(self) -> usize {
+        self.0.get()
+    }
+
+    /// True when this request runs inline on the calling thread.
+    pub fn is_serial(self) -> bool {
+        self.0.get() == 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+/// The process-wide pool the `par_*` helpers run on, built on first use
+/// with [`Parallelism::auto`] workers.
+pub fn global() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| ThreadPool::new(NonZeroUsize::new(Parallelism::auto().get()).expect("non-zero")))
+}
+
+/// Splits `0..n` into at most `blocks` contiguous, near-equal ranges in
+/// order (the first `n % blocks` ranges are one element longer).
+fn block_ranges(n: usize, blocks: usize) -> Vec<Range<usize>> {
+    let blocks = blocks.min(n).max(1);
+    let base = n / blocks;
+    let extra = n % blocks;
+    let mut out = Vec::with_capacity(blocks);
+    let mut start = 0;
+    for b in 0..blocks {
+        let len = base + usize::from(b < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Maps `f` over `items`, preserving order. The output is bit-identical
+/// to `items.iter().map(f).collect()` for pure `f`, at every
+/// [`Parallelism`]: items are split into contiguous blocks and the
+/// per-block outputs are concatenated in input order.
+pub fn par_map<T: Sync, R: Send>(par: Parallelism, items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    if par.is_serial() || items.len() < 2 {
+        return items.iter().map(f).collect();
+    }
+    let blocks = block_ranges(items.len(), par.get());
+    let mut outs: Vec<Vec<R>> = Vec::new();
+    outs.resize_with(blocks.len(), Vec::new);
+    let f = &f;
+    global().scoped(|s| {
+        for (range, out) in blocks.into_iter().zip(outs.iter_mut()) {
+            let block = &items[range];
+            s.spawn(move || *out = block.iter().map(f).collect());
+        }
+    });
+    outs.into_iter().flatten().collect()
+}
+
+/// Applies `f` to fixed-size chunks of `items` (the last chunk may be
+/// short) and concatenates the outputs in chunk order — the parallel
+/// counterpart of serving's chunked batch scoring. Chunks are scheduled
+/// dynamically, so uneven per-chunk cost balances across workers; the
+/// merged output is still bit-identical to the serial chunk loop for
+/// pure `f`.
+pub fn par_chunks<T: Sync, R: Send>(
+    par: Parallelism,
+    items: &[T],
+    chunk_size: NonZeroUsize,
+    f: impl Fn(&[T]) -> Vec<R> + Sync,
+) -> Vec<R> {
+    let n_chunks = items.len().div_ceil(chunk_size.get().max(1));
+    if par.is_serial() || n_chunks < 2 {
+        let mut out = Vec::with_capacity(items.len());
+        for chunk in items.chunks(chunk_size.get()) {
+            out.extend(f(chunk));
+        }
+        return out;
+    }
+    let mut outs: Vec<Vec<R>> = Vec::new();
+    outs.resize_with(n_chunks, Vec::new);
+    let f = &f;
+    global().scoped(|s| {
+        for (chunk, out) in items.chunks(chunk_size.get()).zip(outs.iter_mut()) {
+            s.spawn(move || *out = f(chunk));
+        }
+    });
+    outs.into_iter().flatten().collect()
+}
+
+/// Splits `0..n` into one contiguous block per requested thread, runs
+/// `f` on each block, and concatenates the outputs in block order.
+///
+/// This is the "per-worker scratch" primitive: each invocation of `f`
+/// owns its whole block, so it can build local state once (rankers,
+/// reusable buffers) and stream through its range. Output order — and
+/// therefore the merged result for pure `f` — matches the serial
+/// `f(0..n)` evaluation exactly.
+pub fn par_blocks<R: Send>(par: Parallelism, n: usize, f: impl Fn(Range<usize>) -> Vec<R> + Sync) -> Vec<R> {
+    if par.is_serial() || n < 2 {
+        return f(0..n);
+    }
+    let blocks = block_ranges(n, par.get());
+    let mut outs: Vec<Vec<R>> = Vec::new();
+    outs.resize_with(blocks.len(), Vec::new);
+    let f = &f;
+    global().scoped(|s| {
+        for (range, out) in blocks.into_iter().zip(outs.iter_mut()) {
+            s.spawn(move || *out = f(range));
+        }
+    });
+    outs.into_iter().flatten().collect()
+}
+
+/// Indexed map-reduce over `0..n`: each block folds `map(i)` with
+/// `reduce`, and the per-block partials are reduced in block order.
+/// Returns `None` for `n == 0`.
+///
+/// Deterministic for a fixed [`Parallelism`]; across *different* thread
+/// counts a floating-point `reduce` re-associates, so pin the thread
+/// count (or use [`par_map`]) where bit-stability matters.
+pub fn par_map_reduce<A: Send>(
+    par: Parallelism,
+    n: usize,
+    map: impl Fn(usize) -> A + Sync,
+    reduce: impl Fn(A, A) -> A + Sync,
+) -> Option<A> {
+    let fold_range = |range: Range<usize>| {
+        let mut acc: Option<A> = None;
+        for i in range {
+            let v = map(i);
+            acc = Some(match acc {
+                Some(a) => reduce(a, v),
+                None => v,
+            });
+        }
+        acc
+    };
+    if par.is_serial() || n < 2 {
+        return fold_range(0..n);
+    }
+    let blocks = block_ranges(n, par.get());
+    let mut outs: Vec<Option<A>> = Vec::new();
+    outs.resize_with(blocks.len(), || None);
+    let fold_range = &fold_range;
+    global().scoped(|s| {
+        for (range, out) in blocks.into_iter().zip(outs.iter_mut()) {
+            s.spawn(move || *out = fold_range(range));
+        }
+    });
+    outs.into_iter().flatten().reduce(reduce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_ranges_cover_the_input_in_order() {
+        for n in [0usize, 1, 2, 7, 16, 100] {
+            for blocks in [1usize, 2, 3, 5, 8] {
+                let ranges = block_ranges(n, blocks);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "n={n} blocks={blocks}");
+                    assert!(r.end >= r.start);
+                    next = r.end;
+                }
+                assert_eq!(next, n, "n={n} blocks={blocks}");
+                assert!(ranges.len() <= blocks.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_matches_serial_at_every_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for t in [1usize, 2, 3, 5, 16] {
+            let got = par_map(Parallelism::threads(t), &items, |x| x * 3 + 1);
+            assert_eq!(got, serial, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_matches_serial_chunking() {
+        let items: Vec<i64> = (0..1001).collect();
+        let chunk = NonZeroUsize::new(64).unwrap();
+        let serial: Vec<i64> = items.iter().map(|x| -x).collect();
+        for t in [1usize, 2, 4] {
+            let got = par_chunks(Parallelism::threads(t), &items, chunk, |c| c.iter().map(|x| -x).collect());
+            assert_eq!(got, serial, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn par_blocks_concatenates_in_input_order() {
+        for t in [1usize, 2, 5] {
+            let got = par_blocks(Parallelism::threads(t), 100, |range| range.collect());
+            let want: Vec<usize> = (0..100).collect();
+            assert_eq!(got, want, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn par_map_reduce_sums_and_handles_empty() {
+        assert_eq!(par_map_reduce(Parallelism::threads(4), 0, |i| i, |a, b| a + b), None);
+        for t in [1usize, 2, 5] {
+            let got = par_map_reduce(Parallelism::threads(t), 101, |i| i as u64, |a, b| a + b);
+            assert_eq!(got, Some(5050), "threads={t}");
+        }
+    }
+
+    #[test]
+    fn parallelism_clamps_and_reports() {
+        assert!(Parallelism::threads(0).is_serial());
+        assert!(Parallelism::serial().is_serial());
+        assert_eq!(Parallelism::threads(4).get(), 4);
+        assert!(!Parallelism::threads(4).is_serial());
+        assert!(Parallelism::auto().get() >= 1);
+    }
+
+    #[test]
+    fn global_pool_is_usable() {
+        let n = global().threads();
+        assert!(n >= 1);
+        let out = par_map(Parallelism::threads(2), &[1, 2, 3], |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+}

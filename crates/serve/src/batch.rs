@@ -1,27 +1,42 @@
-//! Chunked batch scoring for frozen models.
+//! Chunked batch scoring for frozen models, serial and parallel.
 //!
 //! The frozen path has no per-batch graph to amortise, but serving still
 //! processes requests in chunks — the same [`gmlfm_train::EVAL_CHUNK_SIZE`]
 //! unit the autograd eval path uses — so downstream consumers (request
-//! schedulers, progress reporting, future parallel sharding) see one
-//! consistent batching granularity across both paths.
+//! schedulers, progress reporting, parallel sharding) see one consistent
+//! batching granularity across both paths. The chunk is also the unit of
+//! parallel work: [`score_chunked_par`] hands whole chunks to pool
+//! workers and merges the per-chunk outputs in input order, so the
+//! result is **bit-identical** to the serial loop at every thread count
+//! (per-instance prediction is pure; only the schedule changes).
 
 use crate::frozen::FrozenModel;
 use gmlfm_data::Instance;
+use gmlfm_par::Parallelism;
 use std::num::NonZeroUsize;
 
-/// Scores `instances` in chunks of `chunk_size`, in order. The chunk
-/// size is a [`NonZeroUsize`], matching
+/// Scores `instances` in chunks of `chunk_size`, in order, on the
+/// calling thread. The chunk size is a [`NonZeroUsize`], matching
 /// [`gmlfm_train::GraphModel::predict_chunked`], so an empty chunk is
 /// unrepresentable rather than a runtime panic.
-pub fn score_chunked(model: &FrozenModel, instances: &[&Instance], chunk_size: NonZeroUsize) -> Vec<f64> {
-    let mut out = Vec::with_capacity(instances.len());
-    for chunk in instances.chunks(chunk_size.get()) {
-        for inst in chunk {
-            out.push(model.predict(inst));
-        }
-    }
-    out
+pub fn score_chunked(model: &FrozenModel, instances: &[Instance], chunk_size: NonZeroUsize) -> Vec<f64> {
+    score_chunked_par(model, instances, chunk_size, Parallelism::serial())
+}
+
+/// [`score_chunked`] with the chunks partitioned across `par` workers of
+/// the global [`gmlfm_par`] pool. Outputs are merged in input order and
+/// are bit-identical to the serial evaluation for every thread count;
+/// `Parallelism::serial()` (or `GMLFM_THREADS=1`) never touches the
+/// pool.
+pub fn score_chunked_par(
+    model: &FrozenModel,
+    instances: &[Instance],
+    chunk_size: NonZeroUsize,
+    par: Parallelism,
+) -> Vec<f64> {
+    gmlfm_par::par_chunks(par, instances, chunk_size, |chunk| {
+        chunk.iter().map(|inst| model.predict(inst)).collect()
+    })
 }
 
 #[cfg(test)]
@@ -31,18 +46,33 @@ mod tests {
     use gmlfm_tensor::init::normal;
     use gmlfm_tensor::seeded_rng;
 
-    #[test]
-    fn chunking_is_invisible_in_the_output() {
+    fn model_and_instances() -> (FrozenModel, Vec<Instance>) {
         let mut rng = seeded_rng(3);
         let v = normal(&mut rng, 12, 3, 0.0, 0.5);
         let w = normal(&mut rng, 1, 12, 0.0, 0.1).into_vec();
         let model = FrozenModel::from_parts(0.5, w, v, SecondOrder::Dot);
         let insts: Vec<Instance> = (0..37).map(|i| Instance::new(vec![i % 12, (i + 5) % 12], 1.0)).collect();
-        let refs: Vec<&Instance> = insts.iter().collect();
-        let whole = score_chunked(&model, &refs, NonZeroUsize::new(usize::MAX).unwrap());
+        (model, insts)
+    }
+
+    #[test]
+    fn chunking_is_invisible_in_the_output() {
+        let (model, insts) = model_and_instances();
+        let whole = score_chunked(&model, &insts, NonZeroUsize::new(usize::MAX).unwrap());
         for chunk_size in [1, 2, 7, 37, 64] {
             let chunk_size = NonZeroUsize::new(chunk_size).unwrap();
-            assert_eq!(score_chunked(&model, &refs, chunk_size), whole, "chunk {chunk_size}");
+            assert_eq!(score_chunked(&model, &insts, chunk_size), whole, "chunk {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn parallel_scoring_is_bit_identical_to_serial() {
+        let (model, insts) = model_and_instances();
+        let chunk = NonZeroUsize::new(5).unwrap();
+        let serial = score_chunked(&model, &insts, chunk);
+        for threads in [1usize, 2, 3, 5] {
+            let par = score_chunked_par(&model, &insts, chunk, Parallelism::threads(threads));
+            assert_eq!(par, serial, "threads {threads}");
         }
     }
 }

@@ -35,7 +35,7 @@ impl Freeze for GmlFm {
             self.bias(),
             self.linear_weights().col(0),
             v,
-            SecondOrder::Metric { v_hat, q, h, distance: self.distance() },
+            SecondOrder::metric(v_hat, q, h, self.distance()),
         )
     }
 }
@@ -82,7 +82,7 @@ mod tests {
             let model = GmlFm::new(30, &cfg.with_seed(13));
             let frozen = model.freeze();
             let inst = Instance::new(vec![2, 11, 27], 1.0);
-            let graph = model.scores(&[&inst])[0];
+            let graph = model.score_one(&inst);
             let served = frozen.predict(&inst);
             assert!(
                 (graph - served).abs() <= 1e-9 * graph.abs().max(1.0),
@@ -105,7 +105,7 @@ mod tests {
         let model = TransFm::new(24, &TransFmConfig { k: 5, seed: 21 });
         let frozen = model.freeze();
         let inst = Instance::new(vec![0, 9, 19], 1.0);
-        let graph = model.scores(&[&inst])[0];
+        let graph = model.score_one(&inst);
         let served = frozen.predict(&inst);
         assert!((graph - served).abs() <= 1e-9 * graph.abs().max(1.0), "{graph} vs {served}");
     }
@@ -122,6 +122,6 @@ mod tests {
             model.params_mut().get_mut(id).map_inplace(|x| x + 1.0);
         }
         assert_eq!(frozen.predict(&inst), before);
-        assert!((model.scores(&[&inst])[0] - before).abs() > 1e-6);
+        assert!((model.score_one(&inst) - before).abs() > 1e-6);
     }
 }

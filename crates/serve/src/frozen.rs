@@ -10,6 +10,13 @@
 //!   `(vᵢ−vⱼ)ᵀLLᵀ(vᵢ−vⱼ) = ‖v̂ᵢ−v̂ⱼ‖²` with `v̂ = vL`;
 //! * the per-feature squared norms `qᵢ = ‖v̂ᵢ‖²`.
 //!
+//! Both live in one packed [`HatQ`] table whose row `i` is `[v̂ᵢ | qᵢ]`:
+//! a candidate's transformed embedding and its norm sit on the same
+//! cache lines, so every per-candidate delta in the scoring hot loops is
+//! a single linear scan of contiguous memory. (Parallel serving workers
+//! stream these rows concurrently; the layout is what keeps them
+//! memory-bound instead of latency-bound.)
+//!
 //! Prediction over a sparse [`Instance`] with `m` active fields then
 //! evaluates the decoupled sums of Eq. 10/11 directly on the active
 //! features — `O(m·k²)` and allocation-light — instead of replaying the
@@ -26,6 +33,88 @@ use gmlfm_train::Scorer;
 
 use crate::rank::TopNRanker;
 
+/// The packed `V̂`/`q` table: row `i` holds the transformed embedding
+/// `v̂ᵢ` immediately followed by its squared norm `qᵢ = ‖v̂ᵢ‖²`, as one
+/// contiguous `n × (k+1)` row-major matrix.
+///
+/// Keeping the norm adjacent to its row means the scoring loops read
+/// each candidate's entire second-order state in one linear scan — no
+/// second indexed load into a separate `q` vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HatQ {
+    table: Matrix,
+}
+
+impl HatQ {
+    /// Packs a transformed embedding table and its per-row squared norms.
+    ///
+    /// # Panics
+    /// Panics when `q.len() != v_hat.rows()`.
+    pub fn new(v_hat: Matrix, q: Vec<f64>) -> Self {
+        assert_eq!(q.len(), v_hat.rows(), "HatQ: |q| != rows of V̂");
+        let (n, k) = v_hat.shape();
+        let mut table = Matrix::zeros(n, k + 1);
+        for (r, &qr) in q.iter().enumerate() {
+            let row = table.row_mut(r);
+            row[..k].copy_from_slice(v_hat.row(r));
+            row[k] = qr;
+        }
+        Self { table }
+    }
+
+    /// Packs a transformed embedding table, computing `qᵢ = ‖v̂ᵢ‖²`.
+    pub fn from_v_hat(v_hat: Matrix) -> Self {
+        let q: Vec<f64> = (0..v_hat.rows()).map(|r| dot(v_hat.row(r), v_hat.row(r))).collect();
+        Self::new(v_hat, q)
+    }
+
+    /// Number of features `n`.
+    pub fn n(&self) -> usize {
+        self.table.rows()
+    }
+
+    /// Embedding size `k` (the packed rows are `k + 1` wide).
+    pub fn k(&self) -> usize {
+        self.table.cols() - 1
+    }
+
+    /// The transformed embedding `v̂ᵢ` and its norm `qᵢ`, read from one
+    /// contiguous row.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[f64], f64) {
+        let row = self.table.row(i);
+        let (v_hat, q) = row.split_at(row.len() - 1);
+        (v_hat, q[0])
+    }
+
+    /// The transformed embedding `v̂ᵢ`.
+    #[inline]
+    pub fn v_hat(&self, i: usize) -> &[f64] {
+        self.row(i).0
+    }
+
+    /// The squared norm `qᵢ = ‖v̂ᵢ‖²`.
+    #[inline]
+    pub fn q(&self, i: usize) -> f64 {
+        self.row(i).1
+    }
+
+    /// Unpacks the `V̂` matrix (artifact serialisation).
+    pub fn v_hat_matrix(&self) -> Matrix {
+        let (n, k) = (self.n(), self.k());
+        let mut out = Matrix::zeros(n, k);
+        for r in 0..n {
+            out.row_mut(r).copy_from_slice(self.v_hat(r));
+        }
+        out
+    }
+
+    /// Unpacks the norm vector `q` (artifact serialisation).
+    pub fn q_vec(&self) -> Vec<f64> {
+        (0..self.n()).map(|r| self.q(r)).collect()
+    }
+}
+
 /// How the second-order interaction term is evaluated.
 #[derive(Debug, Clone)]
 pub enum SecondOrder {
@@ -36,10 +125,8 @@ pub enum SecondOrder {
     /// embeddings. Squared Euclidean uses the Eq. 10/11 decoupled sums;
     /// other distances use the pairwise loop.
     Metric {
-        /// Transformed embedding table `V̂ = ψ(V)` (`n×k`).
-        v_hat: Matrix,
-        /// Per-feature squared norms `qᵢ = ‖v̂ᵢ‖²`.
-        q: Vec<f64>,
+        /// Packed `[v̂ᵢ | qᵢ]` table (see [`HatQ`]).
+        hat: HatQ,
         /// Transformation weight vector `h` (Eq. 2); `None` fixes
         /// `w_ij = 1`.
         h: Option<Vec<f64>>,
@@ -54,6 +141,14 @@ pub enum SecondOrder {
     },
 }
 
+impl SecondOrder {
+    /// Builds the metric strategy from an unpacked `V̂` table and norm
+    /// vector, packing them into the adjacent [`HatQ`] layout.
+    pub fn metric(v_hat: Matrix, q: Vec<f64>, h: Option<Vec<f64>>, distance: Distance) -> Self {
+        SecondOrder::Metric { hat: HatQ::new(v_hat, q), h, distance }
+    }
+}
+
 /// A trained model frozen for serving: plain parameters, direct sparse
 /// evaluation, no autograd machinery.
 #[derive(Debug, Clone)]
@@ -62,7 +157,7 @@ pub struct FrozenModel {
     pub(crate) w0: f64,
     /// First-order weights, one per feature.
     pub(crate) w: Vec<f64>,
-    /// Factor table `V ∈ R^{n×k}`.
+    /// Factor table `V ∈ R^{n×k}`, contiguous row-major.
     pub(crate) v: Matrix,
     /// Second-order evaluation strategy.
     pub(crate) second: SecondOrder,
@@ -74,9 +169,8 @@ impl FrozenModel {
     pub fn from_parts(w0: f64, w: Vec<f64>, v: Matrix, second: SecondOrder) -> Self {
         assert_eq!(w.len(), v.rows(), "FrozenModel: |w| != n");
         match &second {
-            SecondOrder::Metric { v_hat, q, h, .. } => {
-                assert_eq!(v_hat.shape(), v.shape(), "FrozenModel: V̂ shape mismatch");
-                assert_eq!(q.len(), v.rows(), "FrozenModel: |q| != n");
+            SecondOrder::Metric { hat, h, .. } => {
+                assert_eq!((hat.n(), hat.k()), v.shape(), "FrozenModel: V̂ shape mismatch");
                 if let Some(h) = h {
                     assert_eq!(h.len(), v.cols(), "FrozenModel: |h| != k");
                 }
@@ -162,10 +256,10 @@ impl FrozenModel {
     pub(crate) fn second_order(&self, feats: &[u32]) -> f64 {
         match &self.second {
             SecondOrder::Dot => self.dot_decoupled(feats),
-            SecondOrder::Metric { distance: Distance::SquaredEuclidean, v_hat, q, h } => match h {
-                Some(h) if feats.len() > self.k() => self.metric_decoupled_weighted(feats, v_hat, q, h),
+            SecondOrder::Metric { distance: Distance::SquaredEuclidean, hat, h } => match h {
+                Some(h) if feats.len() > self.k() => self.metric_decoupled_weighted(feats, hat, h),
                 Some(_) => self.second_order_pairwise(feats),
-                None => self.metric_decoupled_unweighted(feats, v_hat, q),
+                None => self.metric_decoupled_unweighted(feats, hat),
             },
             _ => self.second_order_pairwise(feats),
         }
@@ -177,9 +271,9 @@ impl FrozenModel {
     pub fn second_order_decoupled(&self, feats: &[u32]) -> f64 {
         match &self.second {
             SecondOrder::Dot => self.dot_decoupled(feats),
-            SecondOrder::Metric { distance: Distance::SquaredEuclidean, v_hat, q, h } => match h {
-                Some(h) => self.metric_decoupled_weighted(feats, v_hat, q, h),
-                None => self.metric_decoupled_unweighted(feats, v_hat, q),
+            SecondOrder::Metric { distance: Distance::SquaredEuclidean, hat, h } => match h {
+                Some(h) => self.metric_decoupled_weighted(feats, hat, h),
+                None => self.metric_decoupled_unweighted(feats, hat),
             },
             _ => self.second_order_pairwise(feats),
         }
@@ -196,10 +290,10 @@ impl FrozenModel {
                     }
                 }
             }
-            SecondOrder::Metric { v_hat, h, distance, .. } => {
+            SecondOrder::Metric { hat, h, distance } => {
                 for (p, &fi) in feats.iter().enumerate() {
                     for &fj in &feats[p + 1..] {
-                        let d = distance.eval(v_hat.row(fi as usize), v_hat.row(fj as usize));
+                        let d = distance.eval(hat.v_hat(fi as usize), hat.v_hat(fj as usize));
                         out += self.pair_weight(h.as_deref(), fi, fj) * d;
                     }
                 }
@@ -208,24 +302,28 @@ impl FrozenModel {
                 // TransFM pairs are ordered: (vᵢ + v'ᵢ) vs vⱼ for i < j in
                 // field-position order.
                 for (p, &fi) in feats.iter().enumerate() {
-                    let vi = self.v.row(fi as usize);
-                    let ti = v_trans.row(fi as usize);
                     for &fj in &feats[p + 1..] {
-                        let vj = self.v.row(fj as usize);
-                        out += vi
-                            .iter()
-                            .zip(ti)
-                            .zip(vj)
-                            .map(|((a, t), b)| {
-                                let diff = a + t - b;
-                                diff * diff
-                            })
-                            .sum::<f64>();
+                        out += self.translated_pair(v_trans, fi, fj);
                     }
                 }
             }
         }
         out
+    }
+
+    /// One ordered TransFM pair: `‖(vᵢ + v'ᵢ) − vⱼ‖²`.
+    pub(crate) fn translated_pair(&self, v_trans: &Matrix, fi: u32, fj: u32) -> f64 {
+        let vi = self.v.row(fi as usize);
+        let ti = v_trans.row(fi as usize);
+        let vj = self.v.row(fj as usize);
+        vi.iter()
+            .zip(ti)
+            .zip(vj)
+            .map(|((a, t), b)| {
+                let diff = a + t - b;
+                diff * diff
+            })
+            .sum::<f64>()
     }
 
     /// `w_ij = hᵀ(vᵢ ⊙ vⱼ)`, or 1 without the transformation weight.
@@ -259,12 +357,7 @@ impl FrozenModel {
     /// Accumulates the Eq. 10/11 partial sums over a feature set:
     /// `a = Σ v_f`, `b = Σ q_f v_f`, `C = Σ v_f v̂_fᵀ`. Shared by the
     /// decoupled evaluator and the ranker's wide-context state.
-    pub(crate) fn metric_partials(
-        &self,
-        feats: &[u32],
-        v_hat: &Matrix,
-        q: &[f64],
-    ) -> (Vec<f64>, Vec<f64>, Matrix) {
+    pub(crate) fn metric_partials(&self, feats: &[u32], hat: &HatQ) -> (Vec<f64>, Vec<f64>, Matrix) {
         let k = self.k();
         let mut a = vec![0.0; k];
         let mut b = vec![0.0; k];
@@ -272,8 +365,7 @@ impl FrozenModel {
         for &f in feats {
             let f = f as usize;
             let vf = self.v.row(f);
-            let vhf = v_hat.row(f);
-            let qf = q[f];
+            let (vhf, qf) = hat.row(f);
             for d in 0..k {
                 a[d] += vf[d];
                 b[d] += qf * vf[d];
@@ -294,16 +386,16 @@ impl FrozenModel {
     /// Eq. 10/11 over the active features, unified through `V̂`:
     /// `f = Σ_d h_d a_d b_d − Σ_f v_fᵀ diag(h) C v̂_f` with
     /// `a = Σ v_f`, `b = Σ q_f v_f`, `C = Σ v_f v̂_fᵀ`.
-    fn metric_decoupled_weighted(&self, feats: &[u32], v_hat: &Matrix, q: &[f64], h: &[f64]) -> f64 {
+    fn metric_decoupled_weighted(&self, feats: &[u32], hat: &HatQ, h: &[f64]) -> f64 {
         let k = self.k();
-        let (a, b, c) = self.metric_partials(feats, v_hat, q);
+        let (a, b, c) = self.metric_partials(feats, hat);
         let first: f64 = h.iter().zip(&a).zip(&b).map(|((hv, av), bv)| hv * av * bv).sum();
         let mut second = 0.0;
         let mut cv = vec![0.0; k];
         for &f in feats {
             let f = f as usize;
             let vf = self.v.row(f);
-            let vhf = v_hat.row(f);
+            let vhf = hat.v_hat(f);
             for (r, slot) in cv.iter_mut().enumerate() {
                 *slot = dot(c.row(r), vhf);
             }
@@ -314,14 +406,14 @@ impl FrozenModel {
 
     /// The `w_ij = 1` special case: `Σ_{i<j} ‖v̂ᵢ−v̂ⱼ‖² = m·u − ‖s‖²`
     /// with `u = Σ q_f` and `s = Σ v̂_f` — `O(m·k)`.
-    fn metric_decoupled_unweighted(&self, feats: &[u32], v_hat: &Matrix, q: &[f64]) -> f64 {
+    fn metric_decoupled_unweighted(&self, feats: &[u32], hat: &HatQ) -> f64 {
         let k = self.k();
         let mut s = vec![0.0; k];
         let mut u = 0.0;
         for &f in feats {
-            let f = f as usize;
-            u += q[f];
-            for (slot, &vh) in s.iter_mut().zip(v_hat.row(f)) {
+            let (vhf, qf) = hat.row(f as usize);
+            u += qf;
+            for (slot, &vh) in s.iter_mut().zip(vhf) {
                 *slot += vh;
             }
         }
@@ -330,8 +422,13 @@ impl FrozenModel {
 }
 
 impl Scorer for FrozenModel {
-    fn scores(&self, instances: &[&Instance]) -> Vec<f64> {
-        crate::batch::score_chunked(self, instances, gmlfm_train::EVAL_CHUNK_SIZE)
+    fn scores(&self, instances: &[Instance]) -> Vec<f64> {
+        crate::batch::score_chunked_par(
+            self,
+            instances,
+            gmlfm_train::EVAL_CHUNK_SIZE,
+            gmlfm_par::Parallelism::auto(),
+        )
     }
 }
 
@@ -358,7 +455,29 @@ mod tests {
         let q: Vec<f64> = (0..n).map(|r| dot(v_hat.row(r), v_hat.row(r))).collect();
         let h = weighted.then(|| normal(&mut rng, 1, k, 0.0, 0.5).into_vec());
         let w = normal(&mut rng, 1, n, 0.0, 0.1).into_vec();
-        FrozenModel::from_parts(0.37, w, v, SecondOrder::Metric { v_hat, q, h, distance })
+        FrozenModel::from_parts(0.37, w, v, SecondOrder::metric(v_hat, q, h, distance))
+    }
+
+    #[test]
+    fn packed_table_round_trips_v_hat_and_q() {
+        let mut rng = seeded_rng(4);
+        let v_hat = normal(&mut rng, 9, 5, 0.0, 0.7);
+        let q: Vec<f64> = (0..9).map(|r| dot(v_hat.row(r), v_hat.row(r))).collect();
+        let hat = HatQ::new(v_hat.clone(), q.clone());
+        assert_eq!(hat.n(), 9);
+        assert_eq!(hat.k(), 5);
+        for (r, &qr) in q.iter().enumerate() {
+            assert_eq!(hat.v_hat(r), v_hat.row(r));
+            assert_eq!(hat.q(r), qr);
+            let (row_v, row_q) = hat.row(r);
+            assert_eq!(row_v, v_hat.row(r));
+            assert_eq!(row_q, qr);
+        }
+        assert_eq!(hat.v_hat_matrix(), v_hat);
+        assert_eq!(hat.q_vec(), q);
+        // And the norm-computing constructor agrees bit-for-bit with the
+        // serial dot product.
+        assert_eq!(HatQ::from_v_hat(v_hat.clone()).q_vec(), q);
     }
 
     #[test]
@@ -422,8 +541,7 @@ mod tests {
         let insts: Vec<Instance> = (0..1100)
             .map(|i| Instance::new(vec![i % 30, (i + 7) % 30, (i + 19) % 30], 1.0))
             .collect();
-        let refs: Vec<&Instance> = insts.iter().collect();
-        let batched = model.scores(&refs);
+        let batched = model.scores(&insts);
         for (inst, got) in insts.iter().zip(&batched) {
             assert_eq!(*got, model.predict(inst));
         }

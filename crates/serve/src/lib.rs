@@ -18,10 +18,16 @@
 //! * [`FrozenModel`] — tape-free scoring of sparse instances; implements
 //!   [`gmlfm_train::Scorer`], so every evaluation protocol in
 //!   `gmlfm-eval` consumes it unchanged. Batch scoring reuses
-//!   [`gmlfm_train::EVAL_CHUNK_SIZE`] as its chunking unit.
+//!   [`gmlfm_train::EVAL_CHUNK_SIZE`] as its chunking unit and fans the
+//!   chunks out across the `gmlfm-par` pool ([`batch::score_chunked_par`]);
+//!   results are bit-identical to serial at every thread count, and
+//!   `GMLFM_THREADS=1` forces the serial path. The precomputed tables
+//!   live in the packed [`HatQ`] layout (`[v̂ᵢ | qᵢ]` rows), so each
+//!   worker's candidate delta is one linear scan.
 //! * [`TopNRanker`] — leave-one-out ranking with the context-side
 //!   partial sums computed once per user and only an `O(k²)` (or `O(k)`)
-//!   delta per candidate item.
+//!   delta per candidate item; every distance, the order-dependent
+//!   TransFM mode included, scores by item delta.
 //!
 //! Parity with the autograd path is pinned to ≤1e-9 by the tests in this
 //! crate and by `tests/frozen_parity.rs`; the `serve_speedup` bench in
@@ -32,7 +38,7 @@ pub mod freeze;
 pub mod frozen;
 pub mod rank;
 
-pub use batch::score_chunked;
+pub use batch::{score_chunked, score_chunked_par};
 pub use freeze::Freeze;
-pub use frozen::{FrozenModel, SecondOrder};
+pub use frozen::{FrozenModel, HatQ, SecondOrder};
 pub use rank::TopNRanker;

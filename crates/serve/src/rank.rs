@@ -10,6 +10,14 @@
 //! candidate item feature (and `O(k)` in the unweighted and vanilla-FM
 //! cases).
 //!
+//! Modes without a decoupled form — the non-Euclidean metric distances
+//! and TransFM's order-dependent translated distance — still score by
+//! item delta: the context-side pairs are folded into the cached context
+//! score once, and each candidate pays only its `O(|ctx|·k)` cross pairs
+//! against the fixed context plus its within-group pairs. No mode
+//! re-evaluates the full spliced template, and no mode allocates per
+//! score.
+//!
 //! A candidate is a *group* of features (the item id plus its attribute
 //! values), declared as slot positions in a template instance, so
 //! datasets with item-side attributes rank exactly like plain
@@ -36,21 +44,27 @@ enum State {
     /// Unweighted metric: `s = Σ v̂_f`, `u = Σ q_f` — `O(k)` per
     /// candidate feature.
     MetricUnweighted { s: Vec<f64>, u: f64 },
-    /// No decoupled form (non-Euclidean distances, TransFM): score by
-    /// splicing candidates into the template and re-evaluating.
-    Generic,
+    /// Metric distances without a decoupled form (Manhattan, Chebyshev,
+    /// cosine): cross pairs evaluated directly against the fixed context
+    /// — `O(|ctx|·k)` per candidate feature, allocation-free.
+    MetricPairwise,
+    /// TransFM: cross pairs against the fixed context, oriented by
+    /// template position (the translated distance is order-dependent) —
+    /// `O(|ctx|·k)` per candidate feature, allocation-free.
+    TranslatedDirect,
 }
 
 /// Scores candidate items against a fixed context in `O(item-delta)` per
 /// candidate. Build one with [`FrozenModel::ranker`].
 pub struct TopNRanker<'m> {
     model: &'m FrozenModel,
-    /// Template feature vector; `item_slots` positions are overwritten
-    /// per candidate.
-    scratch: Vec<u32>,
     item_slots: Vec<usize>,
-    /// Fixed context features (template minus item slots).
+    /// Fixed context features (template minus item slots), in template
+    /// order.
     ctx: Vec<u32>,
+    /// Template positions of the context features (drives the pair
+    /// orientation in the order-dependent TransFM mode).
+    ctx_pos: Vec<usize>,
     /// `w₀ + Σ_ctx w[f] + second-order(ctx)`.
     ctx_score: f64,
     state: State,
@@ -63,19 +77,21 @@ impl<'m> TopNRanker<'m> {
             "TopNRanker: item slot out of bounds for template of {} fields",
             template.len()
         );
-        let ctx: Vec<u32> = template
-            .iter()
-            .enumerate()
-            .filter(|(p, _)| !item_slots.contains(p))
-            .map(|(_, &f)| f)
-            .collect();
+        let mut ctx = Vec::with_capacity(template.len() - item_slots.len());
+        let mut ctx_pos = Vec::with_capacity(ctx.capacity());
+        for (p, &f) in template.iter().enumerate() {
+            if !item_slots.contains(&p) {
+                ctx.push(f);
+                ctx_pos.push(p);
+            }
+        }
         let mut ctx_score = model.w0;
         for &f in &ctx {
             ctx_score += model.w[f as usize];
         }
         ctx_score += model.second_order(&ctx);
         let state = Self::build_state(model, &ctx);
-        Self { model, scratch: template.to_vec(), item_slots: item_slots.to_vec(), ctx, ctx_score, state }
+        Self { model, item_slots: item_slots.to_vec(), ctx, ctx_pos, ctx_score, state }
     }
 
     fn build_state(model: &FrozenModel, ctx: &[u32]) -> State {
@@ -90,27 +106,28 @@ impl<'m> TopNRanker<'m> {
                 }
                 State::Dot { a }
             }
-            SecondOrder::Metric { distance: Distance::SquaredEuclidean, v_hat, q, h } => {
+            SecondOrder::Metric { distance: Distance::SquaredEuclidean, hat, h } => {
                 if h.is_some() {
                     if ctx.len() <= k {
                         return State::MetricWeightedDirect;
                     }
-                    let (a, b, c) = model.metric_partials(ctx, v_hat, q);
+                    let (a, b, c) = model.metric_partials(ctx, hat);
                     State::MetricWeighted { a, b, c }
                 } else {
                     let mut s = vec![0.0; k];
                     let mut u = 0.0;
                     for &f in ctx {
-                        let f = f as usize;
-                        u += q[f];
-                        for (slot, &vh) in s.iter_mut().zip(v_hat.row(f)) {
+                        let (vhf, qf) = hat.row(f as usize);
+                        u += qf;
+                        for (slot, &vh) in s.iter_mut().zip(vhf) {
                             *slot += vh;
                         }
                     }
                     State::MetricUnweighted { s, u }
                 }
             }
-            _ => State::Generic,
+            SecondOrder::Metric { .. } => State::MetricPairwise,
+            SecondOrder::Translated { .. } => State::TranslatedDirect,
         }
     }
 
@@ -121,7 +138,7 @@ impl<'m> TopNRanker<'m> {
 
     /// Scores one candidate: `item_feats` fills the template's item slots
     /// (same order). Equal to [`FrozenModel::predict`] on the substituted
-    /// instance, up to float re-association in the decoupled paths.
+    /// instance, up to float re-association in the delta paths.
     pub fn score(&mut self, item_feats: &[u32]) -> f64 {
         assert_eq!(
             item_feats.len(),
@@ -130,18 +147,19 @@ impl<'m> TopNRanker<'m> {
             item_feats.len(),
             self.item_slots.len()
         );
-        if matches!(self.state, State::Generic) {
-            for (&slot, &f) in self.item_slots.iter().zip(item_feats) {
-                self.scratch[slot] = f;
-            }
-            return self.model.predict_feats(&self.scratch);
-        }
         let model = self.model;
         let mut out = self.ctx_score;
         for &f in item_feats {
             out += model.w[f as usize];
         }
-        // Cross pairs (context × candidate), O(k²) per candidate feature.
+        // Cross pairs (context × candidate), per candidate feature.
+        if let (State::TranslatedDirect, SecondOrder::Translated { v_trans }) = (&self.state, &model.second) {
+            for (&slot, &f) in self.item_slots.iter().zip(item_feats) {
+                out += self.translated_cross_delta(v_trans, slot, f);
+            }
+            // Pairs within the candidate group, oriented by slot position.
+            return out + self.translated_candidate_pairs(v_trans, item_feats);
+        }
         for &f in item_feats {
             out += self.cross_delta(f);
         }
@@ -150,16 +168,16 @@ impl<'m> TopNRanker<'m> {
     }
 
     /// `Σ_{i ∈ ctx} w_ij · D(v̂ᵢ, v̂ⱼ)` for one candidate feature `j`,
-    /// from the context partial sums alone.
+    /// from the context partial sums (or, in the pairwise modes, the
+    /// context features directly).
     fn cross_delta(&self, j: u32) -> f64 {
         let model = self.model;
         let k = model.k();
         let vj = model.v.row(j as usize);
         match (&self.state, &model.second) {
             (State::Dot { a }, _) => dot(a, vj),
-            (State::MetricWeighted { a, b, c }, SecondOrder::Metric { v_hat, q, h: Some(h), .. }) => {
-                let vhj = v_hat.row(j as usize);
-                let qj = q[j as usize];
+            (State::MetricWeighted { a, b, c }, SecondOrder::Metric { hat, h: Some(h), .. }) => {
+                let (vhj, qj) = hat.row(j as usize);
                 let mut first = 0.0; // (h⊙vⱼ)·b + qⱼ (h⊙vⱼ)·a
                 let mut cross = 0.0; // (h⊙vⱼ)ᵀ C v̂ⱼ
                 for r in 0..k {
@@ -172,23 +190,67 @@ impl<'m> TopNRanker<'m> {
                 }
                 first - 2.0 * cross
             }
-            (State::MetricUnweighted { s, u }, SecondOrder::Metric { v_hat, q, .. }) => {
-                let vhj = v_hat.row(j as usize);
-                u + self.ctx.len() as f64 * q[j as usize] - 2.0 * dot(s, vhj)
+            (State::MetricUnweighted { s, u }, SecondOrder::Metric { hat, .. }) => {
+                let (vhj, qj) = hat.row(j as usize);
+                u + self.ctx.len() as f64 * qj - 2.0 * dot(s, vhj)
             }
-            (State::MetricWeightedDirect, SecondOrder::Metric { v_hat, q, h: Some(h), .. }) => {
-                let vhj = v_hat.row(j as usize);
-                let qj = q[j as usize];
+            (State::MetricWeightedDirect, SecondOrder::Metric { hat, h: Some(h), .. }) => {
+                let (vhj, qj) = hat.row(j as usize);
                 let mut out = 0.0;
                 for &i in &self.ctx {
                     let w_ij = model.pair_weight(Some(h), i, j);
-                    let d = q[i as usize] + qj - 2.0 * dot(v_hat.row(i as usize), vhj);
+                    let (vhi, qi) = hat.row(i as usize);
+                    let d = qi + qj - 2.0 * dot(vhi, vhj);
                     out += w_ij * d;
                 }
                 out
             }
-            _ => unreachable!("cross_delta called with a Generic or mismatched state"),
+            (State::MetricPairwise, SecondOrder::Metric { hat, h, distance }) => {
+                let vhj = hat.v_hat(j as usize);
+                let mut out = 0.0;
+                for &i in &self.ctx {
+                    let w_ij = model.pair_weight(h.as_deref(), i, j);
+                    out += w_ij * distance.eval(hat.v_hat(i as usize), vhj);
+                }
+                out
+            }
+            _ => unreachable!("cross_delta called with a mismatched ranker state"),
         }
+    }
+
+    /// TransFM cross pairs for one candidate feature `j` sitting at
+    /// template position `slot`: the pair points from the feature that
+    /// comes first in the template, exactly as the pairwise reference
+    /// iterates the spliced instance.
+    fn translated_cross_delta(&self, v_trans: &Matrix, slot: usize, j: u32) -> f64 {
+        let model = self.model;
+        let mut out = 0.0;
+        for (&pos, &i) in self.ctx_pos.iter().zip(&self.ctx) {
+            out += if pos < slot {
+                model.translated_pair(v_trans, i, j)
+            } else {
+                model.translated_pair(v_trans, j, i)
+            };
+        }
+        out
+    }
+
+    /// TransFM pairs within the candidate group, oriented by the slot
+    /// positions (item slots need not be sorted).
+    fn translated_candidate_pairs(&self, v_trans: &Matrix, item_feats: &[u32]) -> f64 {
+        let model = self.model;
+        let mut out = 0.0;
+        for a in 0..item_feats.len() {
+            for b in a + 1..item_feats.len() {
+                let (fa, fb) = (item_feats[a], item_feats[b]);
+                out += if self.item_slots[a] < self.item_slots[b] {
+                    model.translated_pair(v_trans, fa, fb)
+                } else {
+                    model.translated_pair(v_trans, fb, fa)
+                };
+            }
+        }
+        out
     }
 }
 
@@ -208,7 +270,17 @@ mod tests {
         let q: Vec<f64> = (0..n).map(|r| dot(v_hat.row(r), v_hat.row(r))).collect();
         let h = weighted.then(|| normal(&mut rng, 1, k, 0.0, 0.5).into_vec());
         let w = normal(&mut rng, 1, n, 0.0, 0.1).into_vec();
-        FrozenModel::from_parts(0.1, w, v, SecondOrder::Metric { v_hat, q, h, distance })
+        FrozenModel::from_parts(0.1, w, v, SecondOrder::metric(v_hat, q, h, distance))
+    }
+
+    fn translated_model(seed: u64) -> FrozenModel {
+        let n = 40;
+        let k = 5;
+        let mut rng = seeded_rng(seed);
+        let v = normal(&mut rng, n, k, 0.0, 0.5);
+        let v_trans = normal(&mut rng, n, k, 0.0, 0.3);
+        let w = normal(&mut rng, 1, n, 0.0, 0.1).into_vec();
+        FrozenModel::from_parts(-0.3, w, v, SecondOrder::Translated { v_trans })
     }
 
     /// Template [user, item, user-attr, item-attr] with slots 1 and 3
@@ -220,7 +292,9 @@ mod tests {
             ("weighted-euclidean", metric_model(true, Distance::SquaredEuclidean, 1)),
             ("unweighted-euclidean", metric_model(false, Distance::SquaredEuclidean, 2)),
             ("manhattan", metric_model(true, Distance::Manhattan, 3)),
+            ("chebyshev", metric_model(false, Distance::Chebyshev, 7)),
             ("cosine", metric_model(true, Distance::Cosine, 4)),
+            ("translated", translated_model(5)),
         ];
         for (name, model) in &models {
             let template = vec![0u32, 10, 30, 20];
@@ -239,6 +313,28 @@ mod tests {
         }
     }
 
+    /// The translated mode is order-dependent, so it must stay exact for
+    /// single-slot candidates anywhere in the template — including the
+    /// first position, where every cross pair flips direction.
+    #[test]
+    fn translated_ranker_respects_pair_orientation() {
+        let model = translated_model(9);
+        for item_slot in [0usize, 1, 2, 3] {
+            let template = vec![4u32, 12, 25, 33];
+            let mut ranker = model.ranker(&template, &[item_slot]);
+            for cand in 10u32..18 {
+                let mut feats = template.clone();
+                feats[item_slot] = cand;
+                let got = ranker.score(&[cand]);
+                let want = model.predict(&Instance::new(feats, 1.0));
+                assert!(
+                    (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                    "slot {item_slot} cand {cand}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
     /// Contexts wider than `k` switch to the Eq. 10/11 partial sums; the
     /// scores must still match full predictions.
     #[test]
@@ -251,12 +347,8 @@ mod tests {
         let q: Vec<f64> = (0..n).map(|r| dot(v_hat.row(r), v_hat.row(r))).collect();
         let h = Some(normal(&mut rng, 1, k, 0.0, 0.5).into_vec());
         let w = normal(&mut rng, 1, n, 0.0, 0.1).into_vec();
-        let model = FrozenModel::from_parts(
-            0.2,
-            w,
-            v,
-            SecondOrder::Metric { v_hat, q, h, distance: Distance::SquaredEuclidean },
-        );
+        let model =
+            FrozenModel::from_parts(0.2, w, v, SecondOrder::metric(v_hat, q, h, Distance::SquaredEuclidean));
         let template = vec![0u32, 5, 11, 17, 23, 30];
         let mut ranker = model.ranker(&template, &[5]);
         assert_eq!(ranker.context_len(), 5);

@@ -44,7 +44,7 @@ proptest! {
         let cfg = config_from(transform, distance, use_weight == 1, seed);
         let model = GmlFm::new(N_FEATURES, &cfg);
         let frozen = model.freeze();
-        let graph = model.predict(&[&inst])[0];
+        let graph = model.predict(std::slice::from_ref(&inst))[0];
         let served = frozen.predict(&inst);
         prop_assert!(
             (graph - served).abs() <= 1e-9 * graph.abs().max(1.0),
@@ -68,7 +68,7 @@ proptest! {
         let mut ranker = frozen.ranker(&[user, candidates[0]], &[1]);
         for &cand in &candidates {
             let inst = Instance::new(vec![user, cand], 1.0);
-            let graph = model.predict(&[&inst])[0];
+            let graph = model.predict(std::slice::from_ref(&inst))[0];
             let served = ranker.score(&[cand]);
             prop_assert!(
                 (graph - served).abs() <= 1e-9 * graph.abs().max(1.0),
@@ -96,9 +96,8 @@ fn trained_models_freeze_to_matching_predictions() {
         let mut model = GmlFm::new(dataset.schema.total_dim(), &cfg);
         fit_regression(&mut model, &split.train, None, &TrainConfig { epochs: 2, ..TrainConfig::default() });
         let frozen = model.freeze();
-        let refs: Vec<&Instance> = split.test.iter().collect();
-        let graph_scores = model.predict(&refs);
-        for (inst, graph) in refs.iter().zip(&graph_scores) {
+        let graph_scores = model.predict(&split.test);
+        for (inst, graph) in split.test.iter().zip(&graph_scores) {
             let served = frozen.predict(inst);
             assert!(
                 (graph - served).abs() <= 1e-9 * graph.abs().max(1.0),

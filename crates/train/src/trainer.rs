@@ -45,7 +45,7 @@ pub trait GraphModel {
 
     /// Predicts scores in evaluation mode (dropout disabled), building one
     /// graph per [`EVAL_CHUNK_SIZE`] instances.
-    fn predict(&self, instances: &[&Instance]) -> Vec<f64> {
+    fn predict(&self, instances: &[Instance]) -> Vec<f64> {
         self.predict_chunked(instances, EVAL_CHUNK_SIZE)
     }
 
@@ -53,15 +53,18 @@ pub trait GraphModel {
     /// trade peak memory for fewer graph setups). Taking [`NonZeroUsize`]
     /// makes the zero-chunk misuse a compile-time impossibility instead
     /// of a runtime panic.
-    fn predict_chunked(&self, instances: &[&Instance], chunk_size: NonZeroUsize) -> Vec<f64> {
+    fn predict_chunked(&self, instances: &[Instance], chunk_size: NonZeroUsize) -> Vec<f64> {
         if instances.is_empty() {
             return Vec::new();
         }
         let mut rng = seeded_rng(0);
         let mut out = Vec::with_capacity(instances.len());
+        let mut refs: Vec<&Instance> = Vec::with_capacity(chunk_size.get().min(instances.len()));
         for chunk in instances.chunks(chunk_size.get()) {
+            refs.clear();
+            refs.extend(chunk.iter());
             let mut g = Graph::new();
-            let pred = self.forward_batch(&mut g, self.params(), chunk, false, &mut rng);
+            let pred = self.forward_batch(&mut g, self.params(), &refs, false, &mut rng);
             out.extend_from_slice(g.value(pred).as_slice());
         }
         out
@@ -70,18 +73,22 @@ pub trait GraphModel {
 
 /// Anything that can score instances; both evaluation tasks (RMSE on
 /// held-out instances, leave-one-out ranking) consume this interface.
+///
+/// `scores` takes the instances by value slice (not `&[&Instance]`), so
+/// evaluation protocols hand their owned test vectors straight through
+/// without allocating a reference vector per call.
 pub trait Scorer {
     /// Predicted scores, one per instance, in order.
-    fn scores(&self, instances: &[&Instance]) -> Vec<f64>;
+    fn scores(&self, instances: &[Instance]) -> Vec<f64>;
 
     /// Convenience for a single instance.
     fn score_one(&self, instance: &Instance) -> f64 {
-        self.scores(&[instance])[0]
+        self.scores(std::slice::from_ref(instance))[0]
     }
 }
 
 impl<T: GraphModel> Scorer for T {
-    fn scores(&self, instances: &[&Instance]) -> Vec<f64> {
+    fn scores(&self, instances: &[Instance]) -> Vec<f64> {
         self.predict(instances)
     }
 }
@@ -101,11 +108,26 @@ pub struct TrainConfig {
     pub patience: usize,
     /// Seed for batch shuffling and dropout masks.
     pub seed: u64,
+    /// Hogwild! worker count for the hand-derived SGD trainers (FM, MF,
+    /// PMF, BPR-MF): `> 1` opts into lock-free parallel epochs over
+    /// shared parameters. Off by default (`1` = serial, bit-for-bit
+    /// reproducible). The autograd trainers in this module ignore it —
+    /// their updates are dense batch steps, not sparse per-instance
+    /// writes, so Hogwild's benign-race argument does not apply to them.
+    pub hogwild_threads: usize,
 }
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { lr: 0.01, epochs: 20, batch_size: 256, weight_decay: 1e-5, patience: 3, seed: 17 }
+        Self {
+            lr: 0.01,
+            epochs: 20,
+            batch_size: 256,
+            weight_decay: 1e-5,
+            patience: 3,
+            seed: 17,
+            hogwild_threads: 1,
+        }
     }
 }
 
@@ -164,8 +186,7 @@ pub fn fit_regression<M: GraphModel>(
         report.epochs_run += 1;
 
         if let Some(val) = val {
-            let refs: Vec<&Instance> = val.iter().collect();
-            let preds = model.predict(&refs);
+            let preds = model.predict(val);
             let rmse = rmse(&preds, val);
             report.val_rmses.push(rmse);
             if rmse < report.best_val_rmse - 1e-6 {
@@ -317,8 +338,15 @@ mod tests {
         let train = toy_data(400, 1);
         let val = toy_data(100, 2);
         let mut model = LinearToy::new(10, 3);
-        let cfg =
-            TrainConfig { lr: 0.05, epochs: 60, batch_size: 32, weight_decay: 0.0, patience: 0, seed: 4 };
+        let cfg = TrainConfig {
+            lr: 0.05,
+            epochs: 60,
+            batch_size: 32,
+            weight_decay: 0.0,
+            patience: 0,
+            seed: 4,
+            ..TrainConfig::default()
+        };
         let report = fit_regression(&mut model, &train, Some(&val), &cfg);
         assert!(report.best_val_rmse < 0.3, "val rmse {}", report.best_val_rmse);
         // Training loss decreased substantially.
@@ -330,8 +358,15 @@ mod tests {
         let train = toy_data(200, 5);
         let val = toy_data(50, 6);
         let mut model = LinearToy::new(10, 7);
-        let cfg =
-            TrainConfig { lr: 0.2, epochs: 200, batch_size: 64, weight_decay: 0.0, patience: 3, seed: 8 };
+        let cfg = TrainConfig {
+            lr: 0.2,
+            epochs: 200,
+            batch_size: 64,
+            weight_decay: 0.0,
+            patience: 3,
+            seed: 8,
+            ..TrainConfig::default()
+        };
         let report = fit_regression(&mut model, &train, Some(&val), &cfg);
         assert!(report.epochs_run < 200, "expected early stop, ran {}", report.epochs_run);
     }
@@ -342,9 +377,8 @@ mod tests {
         let mut model = LinearToy::new(10, 10);
         let cfg = TrainConfig { epochs: 3, ..TrainConfig::default() };
         let _ = fit_regression(&mut model, &train, None, &cfg);
-        let refs: Vec<&Instance> = train.iter().collect();
-        let a = model.predict(&refs);
-        let b = model.predict(&refs);
+        let a = model.predict(&train);
+        let b = model.predict(&train);
         assert_eq!(a, b);
     }
 
@@ -367,8 +401,15 @@ mod tests {
                 .collect()
         };
         let mut model = LinearToy::new(10, 2);
-        let cfg =
-            TrainConfig { lr: 0.05, epochs: 30, batch_size: 32, weight_decay: 0.0, patience: 0, seed: 3 };
+        let cfg = TrainConfig {
+            lr: 0.05,
+            epochs: 30,
+            batch_size: 32,
+            weight_decay: 0.0,
+            patience: 0,
+            seed: 3,
+            ..TrainConfig::default()
+        };
         let report = fit_bpr(
             &mut model,
             &positives,
@@ -384,7 +425,7 @@ mod tests {
         // negative-feature instance.
         let good = Instance::new(vec![1, 3], 1.0);
         let bad = Instance::new(vec![6, 8], -1.0);
-        let scores = model.predict(&[&good, &bad]);
+        let scores = model.predict(&[good, bad]);
         assert!(scores[0] > scores[1], "scores {scores:?}");
     }
 

@@ -88,8 +88,7 @@ fn main() {
             .iter()
             .map(|&i| dataset.instance_masked(u as u32, i, 0.0, &mask))
             .collect();
-        let refs: Vec<&_> = instances.iter().collect();
-        let gml_scores = gml.scorer().scores(&refs);
+        let gml_scores = gml.scorer().scores(&instances);
         if gml_scores[1..].iter().filter(|&&s| s >= gml_scores[0]).count() < 5 {
             hits[0][b] += 1;
         }

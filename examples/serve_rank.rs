@@ -57,8 +57,7 @@ fn main() {
     let instances: Vec<Instance> = (0..dataset.n_items as u32)
         .map(|item| dataset.instance_masked(user, item, 0.0, &mask))
         .collect();
-    let refs: Vec<&Instance> = instances.iter().collect();
-    let graph_scores = estimator.scorer().scores(&refs);
+    let graph_scores = estimator.scorer().scores(&instances);
     let graph_time = t1.elapsed();
 
     // Same ranking, to the last ulp that matters.

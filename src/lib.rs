@@ -14,6 +14,7 @@
 //! | [`data`] | `gmlfm-data` | schemas, synthetic Table-2 datasets, splits, sampling |
 //! | [`train`] | `gmlfm-train` | SGD/Adam, squared + BPR losses, trainers |
 //! | [`models`] | `gmlfm-models` | the twelve baselines the paper compares against |
+//! | [`par`] | `gmlfm-par` | scoped thread pool, `par_map`/`par_chunks`/`par_blocks`, Hogwild cells |
 //! | [`core`] | `gmlfm-core` | **GML-FM** itself: distances, transforms, efficient evaluation, persistence |
 //! | [`serve`] | `gmlfm-serve` | autograd-free serving: `Freeze`, `FrozenModel`, top-N ranking via Eq. 10/11 |
 //! | [`engine`] | `gmlfm-engine` | **unified pipeline**: `ModelSpec` → `Engine::builder()` → `Recommender` → versioned `Artifact` |
@@ -63,6 +64,7 @@ pub use gmlfm_data as data;
 pub use gmlfm_engine as engine;
 pub use gmlfm_eval as eval;
 pub use gmlfm_models as models;
+pub use gmlfm_par as par;
 pub use gmlfm_serve as serve;
 pub use gmlfm_tensor as tensor;
 pub use gmlfm_train as train;

@@ -59,7 +59,7 @@ fn model_reference_and_graph_agree_for_every_distance() {
         let model = GmlFm::new(40, &cfg);
         for feats in [vec![0u32, 15, 30], vec![3, 9, 22, 39]] {
             let inst = Instance::new(feats, 1.0);
-            let graph = model.scores(&[&inst])[0];
+            let graph = model.score_one(&inst);
             let reference = model.predict_reference(&inst);
             assert!(
                 (graph - reference).abs() < 1e-9,
