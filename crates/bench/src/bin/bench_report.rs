@@ -5,7 +5,11 @@
 //! leave-one-out frozen evaluation — at 1, 2 and 4 requested threads,
 //! verifies the parallel outputs are bit-identical to serial, and
 //! writes `BENCH_parallel.json` at the repository root so the perf
-//! trajectory is tracked in-repo.
+//! trajectory is tracked in-repo. A second section measures the
+//! `gmlfm-service` request path — per-request overhead of the typed
+//! protocol vs direct `FrozenModel` calls, batch fan-out, and hot-swap
+//! latency while reader threads hammer the handle — and writes
+//! `BENCH_service.json`.
 //!
 //! Run with `cargo run --release -p gmlfm-bench --bin bench_report`.
 //! Thread counts above the machine's available parallelism still run
@@ -14,12 +18,14 @@
 //! numbers are legible as hardware-bound, not regression.
 
 use gmlfm_core::{Distance, GmlFm, GmlFmConfig};
-use gmlfm_data::{generate, loo_split, DatasetSpec, FieldMask, Instance};
+use gmlfm_data::{generate, loo_split, DatasetSpec, FieldKind, FieldMask, Instance, Schema};
 use gmlfm_eval::evaluate_topn_frozen_with;
 use gmlfm_par::Parallelism;
 use gmlfm_serve::{score_chunked_par, Freeze, FrozenModel, SecondOrder};
+use gmlfm_service::{BatchRequest, Catalog, ModelServer, ModelSnapshot, Request, ScoreRequest, TopNRequest};
 use gmlfm_tensor::{init::normal, seeded_rng};
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 /// Thread counts the report compares.
@@ -146,6 +152,117 @@ fn main() {
         println!("eval_topn       threads={t}: {rate:>12.0} test cases/s");
         eval_rates.push((t, rate));
     }
+
+    // -- 4. service request-path overhead -----------------------------
+    // The same frozen model behind a ModelServer with a synthetic
+    // catalog: 64 users, 4032 items, schema dimension matching the
+    // model's 4096 features.
+    let schema =
+        Schema::from_specs(&[("user", 64, FieldKind::User), ("item", n_features - 64, FieldKind::Item)]);
+    let catalog = Catalog::new(
+        vec![1],
+        (0..64u32).map(|u| vec![u, 64]).collect(),
+        (0..(n_features - 64) as u32).map(|i| vec![64 + i]).collect(),
+    );
+    let make_snapshot = || ModelSnapshot {
+        schema: schema.clone(),
+        frozen: model.clone(),
+        catalog: Some(catalog.clone()),
+        seen: None,
+    };
+    let server = ModelServer::new(make_snapshot()).expect("consistent snapshot");
+
+    // Direct FrozenModel calls vs the validated request path, same feats.
+    let probe: Vec<&Instance> = instances.iter().take(10_000).collect();
+    let requests: Vec<ScoreRequest> =
+        probe.iter().map(|inst| ScoreRequest::Feats(inst.feats.clone())).collect();
+    for (req, inst) in requests.iter().zip(&probe) {
+        let served = server.score(req).expect("in-range feats").value;
+        assert_eq!(served, model.predict_feats(&inst.feats), "request path diverged from direct");
+    }
+    let direct_rate = throughput(probe.len(), || {
+        for inst in &probe {
+            std::hint::black_box(model.predict_feats(&inst.feats));
+        }
+    });
+    println!("score_direct    {direct_rate:>12.0} scores/s (FrozenModel::predict_feats)");
+    let request_rate = throughput(requests.len(), || {
+        for req in &requests {
+            std::hint::black_box(server.score(req).expect("in-range feats"));
+        }
+    });
+    let overhead = direct_rate / request_rate;
+    println!("score_request   {request_rate:>12.0} scores/s (ModelServer::score, {overhead:.2}x overhead)");
+    let batch = BatchRequest::new(requests.iter().cloned().map(Request::Score).collect());
+    let batch_rate = throughput(requests.len(), || {
+        std::hint::black_box(server.batch(&batch));
+    });
+    println!("score_batch     {batch_rate:>12.0} scores/s (one BatchRequest across the pool)");
+    let topn_req = TopNRequest::new(7, 10);
+    let topn_request_rate = throughput(catalog.n_items(), || {
+        std::hint::black_box(server.top_n(&topn_req).expect("user in catalog"));
+    });
+    println!("topn_request    {topn_request_rate:>12.0} candidates/s (ModelServer::top_n)");
+
+    // -- 5. hot-swap latency under load -------------------------------
+    // Reader threads hammer the handle while the main thread swaps
+    // repeatedly; swap latency is what a deploy pipeline waits on, and
+    // the readers prove it never blocks them.
+    const SWAPS: usize = 50;
+    let mut snapshots: Vec<ModelSnapshot> = (0..SWAPS).map(|_| make_snapshot()).collect();
+    let stop = AtomicBool::new(false);
+    let (swap_mean_us, swap_max_us, reader_scores) = std::thread::scope(|s| {
+        let mut readers = Vec::new();
+        for reader in 0..2u32 {
+            let server = server.clone();
+            let stop = &stop;
+            readers.push(s.spawn(move || {
+                let mut count = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let resp = server.score(&ScoreRequest::pair(reader, 100)).expect("catalog request");
+                    std::hint::black_box(resp.value);
+                    count += 1;
+                }
+                count
+            }));
+        }
+        let mut total_us = 0.0f64;
+        let mut max_us = 0.0f64;
+        for snap in snapshots.drain(..) {
+            let t = Instant::now();
+            server.swap(snap).expect("schema-identical swap");
+            let us = t.elapsed().as_secs_f64() * 1e6;
+            total_us += us;
+            max_us = max_us.max(us);
+        }
+        stop.store(true, Ordering::Relaxed);
+        let reader_scores: u64 = readers.into_iter().map(|r| r.join().expect("reader ok")).sum();
+        (total_us / SWAPS as f64, max_us, reader_scores)
+    });
+    assert_eq!(server.generation(), SWAPS as u64 + 1);
+    assert!(reader_scores > 0, "readers must make progress during swaps");
+    println!(
+        "swap_latency    mean {swap_mean_us:>8.1} us, max {swap_max_us:>8.1} us over {SWAPS} swaps \
+         ({reader_scores} reader scores served meanwhile)"
+    );
+
+    let service_json = format!(
+        "{{\n  \"available_parallelism\": {cores},\n  \
+         \"note\": \"request path asserted value-identical to direct FrozenModel calls; \
+         swap latency measured with 2 reader threads hammering the handle\",\n  \
+         \"score\": {{\"unit\": \"scores/s\", \"n\": {n_probe}, \"direct\": {direct_rate:.1}, \
+         \"request\": {request_rate:.1}, \"batch\": {batch_rate:.1}, \
+         \"request_overhead\": {overhead:.3}}},\n  \
+         \"topn_request\": {{\"unit\": \"candidates/s\", \"n_items\": {n_items}, \
+         \"rate\": {topn_request_rate:.1}}},\n  \
+         \"swap\": {{\"swaps\": {SWAPS}, \"mean_us\": {swap_mean_us:.1}, \"max_us\": {swap_max_us:.1}, \
+         \"reader_threads\": 2, \"reader_scores_during_swaps\": {reader_scores}}}\n}}\n",
+        n_probe = probe.len(),
+        n_items = catalog.n_items(),
+    );
+    let service_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    std::fs::write(service_path, &service_json).expect("write BENCH_service.json");
+    println!("\nwrote {service_path}:\n{service_json}");
 
     // -- report -------------------------------------------------------
     let json = format!(

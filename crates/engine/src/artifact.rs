@@ -12,21 +12,32 @@
 //! so a bumped or unknown version fails with
 //! [`EngineError::UnsupportedVersion`] rather than a parse panic deep in
 //! some field.
+//!
+//! ## Format history
+//!
+//! * **v1** — spec + schema + frozen matrices + optional catalog.
+//! * **v2** — adds the optional per-user `seen` sets
+//!   ([`gmlfm_service::SeenItems`]) behind the serving API's default
+//!   seen-item exclusion. v1 artifacts still load (the `seen` field
+//!   decodes as absent, so top-n requests simply exclude nothing).
 
 use crate::error::EngineError;
 use crate::spec::{distance_from_name, distance_name, ModelSpec};
 use gmlfm_data::schema::Field;
-use gmlfm_data::{Dataset, FieldKind, FieldMask, Schema};
-use gmlfm_eval::item_side_slots;
+use gmlfm_data::{FieldKind, Schema};
 use gmlfm_serve::{FrozenModel, SecondOrder};
+use gmlfm_service::{ModelSnapshot, SeenItems};
 use gmlfm_tensor::Matrix;
 use serde::json::{self, Value};
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::path::Path;
 
-/// The artifact format version this build writes and reads.
-pub const ARTIFACT_VERSION: u32 = 1;
+/// The artifact format version this build writes.
+pub const ARTIFACT_VERSION: u32 = 2;
+
+/// The oldest artifact format version this build still reads.
+pub const MIN_ARTIFACT_VERSION: u32 = 1;
 
 /// A dense matrix in serialisable form.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -241,82 +252,13 @@ impl SchemaRepr {
     }
 }
 
-/// The item/user feature tables a ranking request needs: per-user context
-/// templates and per-item candidate feature groups, mask-resolved into
-/// global one-hot indices.
-///
-/// A catalog is what turns a frozen model into a *servable* recommender:
-/// `top_n(user)` needs to enumerate every item's feature group (item id +
-/// item attributes) and splice it into the user's template — exactly the
-/// [`gmlfm_serve::TopNRanker`] workflow — without the training-side
-/// [`Dataset`] in memory.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct Catalog {
-    /// Template positions that carry item-side values.
-    item_slots: Vec<usize>,
-    /// Per-user full feature template (item slots hold item 0's values
-    /// until spliced).
-    user_templates: Vec<Vec<u32>>,
-    /// Per-item values for the item slots, in `item_slots` order.
-    item_feats: Vec<Vec<u32>>,
-}
-
-impl Catalog {
-    /// Extracts the serving catalog from a dataset under an attribute
-    /// mask.
-    pub fn from_dataset(dataset: &Dataset, mask: &FieldMask) -> Self {
-        let item_slots = item_side_slots(dataset, mask);
-        let user_templates: Vec<Vec<u32>> =
-            (0..dataset.n_users).map(|u| dataset.feats(u as u32, 0, mask)).collect();
-        let item_feats: Vec<Vec<u32>> = (0..dataset.n_items)
-            .map(|i| {
-                let full = dataset.feats(0, i as u32, mask);
-                item_slots.iter().map(|&s| full[s]).collect()
-            })
-            .collect();
-        Self { item_slots, user_templates, item_feats }
-    }
-
-    /// Number of users in the catalog.
-    pub fn n_users(&self) -> usize {
-        self.user_templates.len()
-    }
-
-    /// Number of items in the catalog.
-    pub fn n_items(&self) -> usize {
-        self.item_feats.len()
-    }
-
-    /// Template positions that vary per candidate item.
-    pub fn item_slots(&self) -> &[usize] {
-        &self.item_slots
-    }
-
-    /// The user's full feature template (item slots filled with item 0).
-    pub fn template(&self, user: u32) -> Option<&[u32]> {
-        self.user_templates.get(user as usize).map(Vec::as_slice)
-    }
-
-    /// The item's feature-group values, in [`Catalog::item_slots`] order.
-    pub fn item_features(&self, item: u32) -> Option<&[u32]> {
-        self.item_feats.get(item as usize).map(Vec::as_slice)
-    }
-
-    /// The full feature vector for a `(user, item)` pair — the user's
-    /// template with the item group spliced in.
-    pub fn feats(&self, user: u32, item: u32) -> Option<Vec<u32>> {
-        let mut out = self.template(user)?.to_vec();
-        let item_feats = self.item_features(item)?;
-        for (&slot, &f) in self.item_slots.iter().zip(item_feats) {
-            out[slot] = f;
-        }
-        Some(out)
-    }
-}
+/// The serving catalog (re-exported from [`gmlfm_service`], where the
+/// request path that consumes it lives).
+pub use gmlfm_service::Catalog;
 
 /// A saved, versioned, servable model: spec + schema + frozen matrices
-/// (+ optional catalog) in one JSON document.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// (+ optional catalog and seen sets) in one JSON document.
+#[derive(Debug, Clone, Serialize)]
 pub struct Artifact {
     /// Format version; checked before the body is decoded.
     pub format_version: u32,
@@ -326,20 +268,63 @@ pub struct Artifact {
     pub(crate) frozen: FrozenRepr,
     /// Serving catalog, when the recommender was fit from a dataset.
     pub catalog: Option<Catalog>,
+    /// Per-user training-time seen sets (v2+), backing the serving API's
+    /// default seen-item exclusion.
+    pub seen: Option<SeenItems>,
+}
+
+// Hand-written (the derive requires every key): the `seen` field did not
+// exist before format version 2, so it decodes as `None` when absent.
+impl Deserialize for Artifact {
+    fn deserialize_json(v: &Value) -> Result<Self, json::Error> {
+        Ok(Self {
+            format_version: json::field(v, "format_version")?,
+            spec: json::field(v, "spec")?,
+            schema: json::field(v, "schema")?,
+            frozen: json::field(v, "frozen")?,
+            catalog: json::field(v, "catalog")?,
+            seen: match v.get("seen") {
+                Some(seen) => Option::<SeenItems>::deserialize_json(seen)
+                    .map_err(|e| json::Error::new(format!("field 'seen': {e}")))?,
+                None => None,
+            },
+        })
+    }
 }
 
 impl Artifact {
     /// Assembles an artifact from a frozen model and its provenance.
     /// [`crate::Recommender::artifact`] is the usual entry point; this
     /// constructor serves custom pipelines that freeze models themselves.
-    pub fn new(spec: ModelSpec, schema: &Schema, frozen: &FrozenModel, catalog: Option<Catalog>) -> Self {
+    pub fn new(
+        spec: ModelSpec,
+        schema: &Schema,
+        frozen: &FrozenModel,
+        catalog: Option<Catalog>,
+        seen: Option<SeenItems>,
+    ) -> Self {
         Self {
             format_version: ARTIFACT_VERSION,
             spec,
             schema: SchemaRepr::from_schema(schema),
             frozen: FrozenRepr::from_frozen(frozen),
             catalog,
+            seen,
         }
+    }
+
+    /// Decodes the artifact body into the servable [`ModelSnapshot`] the
+    /// serving API consumes — what [`crate::Engine::load`] wraps, and
+    /// what a serving process feeds to
+    /// [`gmlfm_service::ModelServer::swap`] for a zero-downtime model
+    /// refresh.
+    pub fn into_snapshot(self) -> Result<ModelSnapshot, EngineError> {
+        Ok(ModelSnapshot {
+            schema: self.schema.into_schema()?,
+            frozen: self.frozen.into_frozen()?,
+            catalog: self.catalog,
+            seen: self.seen,
+        })
     }
 
     /// Serialises to a JSON string.
@@ -359,7 +344,7 @@ impl Artifact {
             return Err(EngineError::BadArtifact(format!("format_version {raw} is not a u32")));
         }
         let version = raw as u32;
-        if version != ARTIFACT_VERSION {
+        if !(MIN_ARTIFACT_VERSION..=ARTIFACT_VERSION).contains(&version) {
             return Err(EngineError::UnsupportedVersion { found: version, supported: ARTIFACT_VERSION });
         }
         Artifact::deserialize_json(&value).map_err(EngineError::Json)
@@ -388,6 +373,24 @@ mod tests {
     fn bumped_version_is_a_typed_error() {
         let err = Artifact::from_json("{\"format_version\": 99}").unwrap_err();
         assert!(matches!(err, EngineError::UnsupportedVersion { found: 99, supported: ARTIFACT_VERSION }));
+    }
+
+    #[test]
+    fn supported_version_range_gates_before_body_decode() {
+        // v0 never existed and the future v3 is unknown: both rejected at
+        // the gate. v1 and v2 pass the gate — the error (if any) comes
+        // from the missing body fields, proving decode was attempted.
+        for version in [0u32, ARTIFACT_VERSION + 1] {
+            let err = Artifact::from_json(&format!("{{\"format_version\": {version}}}")).unwrap_err();
+            assert!(
+                matches!(err, EngineError::UnsupportedVersion { found, supported: ARTIFACT_VERSION } if found == version),
+                "{err}"
+            );
+        }
+        for version in [MIN_ARTIFACT_VERSION, ARTIFACT_VERSION] {
+            let err = Artifact::from_json(&format!("{{\"format_version\": {version}}}")).unwrap_err();
+            assert!(matches!(err, EngineError::Json(_)), "v{version}: {err}");
+        }
     }
 
     #[test]

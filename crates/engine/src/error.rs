@@ -1,6 +1,7 @@
 //! The engine's typed error: every failure mode of the spec → train →
 //! freeze → artifact pipeline, none of them a panic.
 
+use gmlfm_service::RequestError;
 use std::fmt;
 
 /// Errors from the unified engine pipeline.
@@ -57,20 +58,10 @@ pub enum EngineError {
         /// The missing builder field, e.g. `"dataset"`.
         field: &'static str,
     },
-    /// A user id outside the catalog.
-    UnknownUser {
-        /// The requested user.
-        user: u32,
-        /// Number of users in the catalog.
-        n_users: usize,
-    },
-    /// An item id outside the catalog.
-    UnknownItem {
-        /// The requested item.
-        item: u32,
-        /// Number of items in the catalog.
-        n_items: usize,
-    },
+    /// A malformed serving request (out-of-range features, unknown
+    /// user/item/field ids, ...) — the typed validation error of the
+    /// request path every `score*`/`top_n` call routes through.
+    Request(RequestError),
 }
 
 impl fmt::Display for EngineError {
@@ -79,7 +70,7 @@ impl fmt::Display for EngineError {
             EngineError::Io(e) => write!(f, "artifact I/O error: {e}"),
             EngineError::Json(e) => write!(f, "artifact parse error: {e}"),
             EngineError::UnsupportedVersion { found, supported } => {
-                write!(f, "artifact format version {found} (this build supports {supported})")
+                write!(f, "artifact format version {found} (this build supports up to {supported})")
             }
             EngineError::BadArtifact(msg) => write!(f, "inconsistent artifact: {msg}"),
             EngineError::UnsupportedTask { model, task } => {
@@ -101,12 +92,7 @@ impl fmt::Display for EngineError {
             EngineError::BuilderIncomplete { field } => {
                 write!(f, "Engine::builder(): missing required component '{field}'")
             }
-            EngineError::UnknownUser { user, n_users } => {
-                write!(f, "user {user} outside the catalog's {n_users} users")
-            }
-            EngineError::UnknownItem { item, n_items } => {
-                write!(f, "item {item} outside the catalog's {n_items} items")
-            }
+            EngineError::Request(e) => write!(f, "invalid request: {e}"),
         }
     }
 }
@@ -122,5 +108,11 @@ impl From<std::io::Error> for EngineError {
 impl From<serde_json::Error> for EngineError {
     fn from(e: serde_json::Error) -> Self {
         EngineError::Json(e)
+    }
+}
+
+impl From<RequestError> for EngineError {
+    fn from(e: RequestError) -> Self {
+        EngineError::Request(e)
     }
 }

@@ -46,8 +46,15 @@ pub mod estimator;
 pub mod pipeline;
 pub mod spec;
 
-pub use artifact::{Artifact, Catalog, ARTIFACT_VERSION};
+pub use artifact::{Artifact, Catalog, ARTIFACT_VERSION, MIN_ARTIFACT_VERSION};
 pub use error::EngineError;
 pub use estimator::{Estimator, FitData};
 pub use pipeline::{Engine, EngineBuilder, Recommender, SplitPlan};
 pub use spec::ModelSpec;
+
+// The serving protocol the `Recommender` wrappers route through, so
+// engine users build requests without a separate `gmlfm_service` import.
+pub use gmlfm_service::{
+    BatchRequest, ModelServer, ModelSnapshot, Reply, Request, RequestError, Response, ScoreRequest,
+    SeenItems, TopNRequest,
+};

@@ -1,6 +1,12 @@
 //! The fluent engine pipeline: dataset → split → spec → train config →
 //! [`Recommender`], and artifact load on the serving side.
 //!
+//! A fitted (or loaded) freezable recommender is backed by a
+//! [`gmlfm_service::ModelServer`]: every `score*`/`top_n`/holdout-
+//! evaluation call routes through the typed request path, and
+//! [`Recommender::serve`] hands out the underlying hot-swappable handle
+//! for a serving process to share across threads.
+//!
 //! ```
 //! use gmlfm_engine::{Engine, ModelSpec, SplitPlan};
 //! use gmlfm_data::{generate, DatasetSpec};
@@ -20,12 +26,20 @@ use crate::artifact::{Artifact, Catalog};
 use crate::error::EngineError;
 use crate::estimator::{Estimator, FitData};
 use crate::spec::ModelSpec;
-use gmlfm_data::{loo_split, rating_split, Dataset, FieldMask, Instance, LooTestCase, Schema};
-use gmlfm_eval::{evaluate_rating, hit_ratio_at, ndcg_at, RatingMetrics, TopnMetrics};
+use gmlfm_data::{loo_split, rating_split, Dataset, FieldKind, FieldMask, Instance, LooTestCase, Schema};
+use gmlfm_eval::{evaluate_rating, evaluate_topn_backend, RatingMetrics, TopnMetrics};
 use gmlfm_par::Parallelism;
 use gmlfm_serve::FrozenModel;
+use gmlfm_service::{
+    exec, BatchRequest, ModelServer, ModelSnapshot, Reply, RequestError, Response, ScoreRequest,
+    ScoringBackend, SeenItems, TopNRequest,
+};
 use gmlfm_train::{Scorer, TrainConfig, TrainReport};
 use std::path::Path;
+
+/// The generation stamped on responses from live (non-freezable,
+/// non-swappable) recommenders: they serve exactly one model, forever.
+const LIVE_GENERATION: u64 = 1;
 
 /// How the engine splits a dataset before training.
 #[derive(Debug, Clone, Copy)]
@@ -155,13 +169,13 @@ impl EngineBuilder {
 
     /// Runs the pipeline: split, construct, train, freeze (when
     /// supported), and wrap into a [`Recommender`] with its serving
-    /// catalog and evaluation holdout.
+    /// catalog, seen sets and evaluation holdout.
     pub fn fit(self) -> Result<Recommender, EngineError> {
         let dataset = self.dataset.ok_or(EngineError::BuilderIncomplete { field: "dataset" })?;
         let spec = self.spec.ok_or(EngineError::BuilderIncomplete { field: "spec" })?;
         let mask = self.mask.unwrap_or_else(|| FieldMask::all(&dataset.schema));
         let mut estimator = spec.build(&dataset.schema, &mask);
-        let (report, holdout) = match self.split {
+        let (report, holdout, seen) = match self.split {
             SplitPlan::Rating { neg_per_pos, seed } => {
                 if !spec.supports_rating() {
                     return Err(EngineError::UnsupportedTask {
@@ -171,7 +185,8 @@ impl EngineBuilder {
                 }
                 let split = rating_split(&dataset, &mask, neg_per_pos, seed);
                 let report = estimator.fit(&FitData::rating(&split), &self.train)?;
-                (report, Holdout::Rating(split.test))
+                let seen = rating_seen(&dataset.schema, &mask, &split.train, dataset.n_users);
+                (report, Holdout::Rating(split.test), seen)
             }
             SplitPlan::TopN { neg_per_pos, n_candidates, seed } => {
                 if !spec.supports_topn() {
@@ -182,32 +197,42 @@ impl EngineBuilder {
                 }
                 let split = loo_split(&dataset, &mask, neg_per_pos, n_candidates, seed);
                 let report = estimator.fit(&FitData::topn(&split), &self.train)?;
-                (report, Holdout::TopN(split.test))
+                let seen = SeenItems::new(
+                    split.train_user_items.iter().map(|s| s.iter().copied().collect()).collect(),
+                );
+                (report, Holdout::TopN(split.test), Some(seen))
             }
         };
         let catalog = Catalog::from_dataset(&dataset, &mask);
+        let schema = dataset.schema;
         let serving = match estimator.freeze_if_supported() {
-            Some(frozen) => Serving::Frozen(frozen),
-            None => Serving::Live(estimator),
+            Some(frozen) => Serving::Service(ModelServer::new(ModelSnapshot {
+                schema: schema.clone(),
+                frozen,
+                catalog: Some(catalog),
+                seen,
+            })?),
+            None => Serving::Live { est: estimator, catalog: Some(catalog), seen },
         };
-        Ok(Recommender {
-            spec,
-            schema: dataset.schema,
-            serving,
-            catalog: Some(catalog),
-            holdout: Some(holdout),
-            report: Some(report),
-            par: self.par,
-        })
+        Ok(Recommender { spec, schema, serving, holdout: Some(holdout), report: Some(report), par: self.par })
     }
 }
 
 /// How a recommender answers scoring requests.
 enum Serving {
-    /// Tape-free frozen matrices (GML-FM, FM, TransFM).
-    Frozen(FrozenModel),
-    /// The trained estimator itself (models without a frozen form).
-    Live(Box<dyn Estimator>),
+    /// The hot-swappable serving handle over the frozen snapshot
+    /// (GML-FM, FM, TransFM).
+    Service(ModelServer),
+    /// The trained estimator itself (models without a frozen form),
+    /// answering the same request protocol through its own scorer.
+    Live {
+        /// The trained estimator.
+        est: Box<dyn Estimator>,
+        /// Serving catalog, when fit from a dataset.
+        catalog: Option<Catalog>,
+        /// Training-time seen sets, when fit from a dataset.
+        seen: Option<SeenItems>,
+    },
 }
 
 /// The held-out test portion of the fitted split.
@@ -216,13 +241,39 @@ enum Holdout {
     TopN(Vec<LooTestCase>),
 }
 
-/// A trained, servable model: scoring, catalog-wide top-n ranking,
-/// holdout evaluation and artifact persistence behind one handle.
+/// A [`ScoringBackend`] over a live estimator, so non-freezable models
+/// answer the exact same request protocol as frozen ones. Holds the
+/// (`Sync`) estimator rather than its scorer so batches can fan out.
+struct LiveBackend<'a>(&'a dyn Estimator);
+
+impl ScoringBackend for LiveBackend<'_> {
+    fn score_feats(&self, feats: &[u32]) -> f64 {
+        self.0.scorer().score_one(&Instance::new(feats.to_vec(), 0.0))
+    }
+
+    fn candidate_scores(
+        &self,
+        catalog: &Catalog,
+        user: u32,
+        candidates: &[u32],
+        _par: Parallelism,
+    ) -> Vec<f64> {
+        let instances: Vec<Instance> = candidates
+            .iter()
+            .map(|&item| Instance::new(catalog.feats(user, item).expect("caller validated"), 0.0))
+            .collect();
+        self.0.scorer().scores(&instances)
+    }
+}
+
+/// A trained, servable model: typed request handling, catalog-wide top-n
+/// ranking, holdout evaluation and artifact persistence behind one
+/// handle. Freezable models are backed by a hot-swappable
+/// [`ModelServer`] ([`Recommender::serve`] shares it).
 pub struct Recommender {
     spec: ModelSpec,
     schema: Schema,
     serving: Serving,
-    catalog: Option<Catalog>,
     holdout: Option<Holdout>,
     report: Option<TrainReport>,
     /// Worker count for batch scoring, `top_n` and holdout evaluation.
@@ -231,11 +282,13 @@ pub struct Recommender {
 
 impl Recommender {
     pub(crate) fn from_artifact(artifact: Artifact) -> Result<Self, EngineError> {
+        let spec = artifact.spec.clone();
+        let snapshot = artifact.into_snapshot()?;
+        let schema = snapshot.schema.clone();
         Ok(Self {
-            spec: artifact.spec,
-            schema: artifact.schema.into_schema()?,
-            serving: Serving::Frozen(artifact.frozen.into_frozen()?),
-            catalog: artifact.catalog,
+            spec,
+            schema,
+            serving: Serving::Service(ModelServer::new(snapshot)?),
             holdout: None,
             report: None,
             par: Parallelism::auto(),
@@ -265,7 +318,18 @@ impl Recommender {
 
     /// The serving catalog, when present.
     pub fn catalog(&self) -> Option<&Catalog> {
-        self.catalog.as_ref()
+        match &self.serving {
+            Serving::Service(server) => server.catalog(),
+            Serving::Live { catalog, .. } => catalog.as_ref(),
+        }
+    }
+
+    /// The per-user training-time seen sets, when present.
+    pub fn seen(&self) -> Option<&SeenItems> {
+        match &self.serving {
+            Serving::Service(server) => server.seen(),
+            Serving::Live { seen, .. } => seen.as_ref(),
+        }
     }
 
     /// The training report, when this handle came out of a fit.
@@ -276,72 +340,109 @@ impl Recommender {
     /// The frozen serving model, when the spec supports freezing.
     pub fn frozen(&self) -> Option<&FrozenModel> {
         match &self.serving {
-            Serving::Frozen(f) => Some(f),
-            Serving::Live(_) => None,
+            Serving::Service(server) => Some(server.frozen()),
+            Serving::Live { .. } => None,
         }
     }
 
-    /// Scores one instance.
-    pub fn score(&self, instance: &Instance) -> f64 {
+    /// The shared, hot-swappable serving handle backing this recommender
+    /// (freezable models only).
+    ///
+    /// The returned [`ModelServer`] is `Clone + Send + Sync`: hand
+    /// clones to every request thread. It is the *same* handle this
+    /// recommender scores through, so a
+    /// [`swap`](ModelServer::swap) through it also hot-reloads what
+    /// `self.score*`/`top_n` answer — that is the zero-downtime refresh
+    /// path, not a side effect.
+    pub fn serve(&self) -> Result<ModelServer, EngineError> {
+        match &self.serving {
+            Serving::Service(server) => Ok(server.clone()),
+            Serving::Live { .. } => {
+                Err(EngineError::NotFreezable { model: self.spec.display_name().to_string() })
+            }
+        }
+    }
+
+    /// Answers a typed [`ScoreRequest`] (the path every `score*`
+    /// convenience wrapper routes through).
+    pub fn handle_score(&self, req: &ScoreRequest) -> Result<Response<f64>, EngineError> {
+        match &self.serving {
+            Serving::Service(server) => Ok(server.score(req)?),
+            Serving::Live { est, catalog, .. } => {
+                let backend = LiveBackend(est.as_ref());
+                let value = exec::execute_score(&backend, &self.schema, catalog.as_ref(), req)?;
+                Ok(Response { generation: LIVE_GENERATION, value })
+            }
+        }
+    }
+
+    /// Answers a typed [`TopNRequest`]: `(item, score)` pairs, best
+    /// first, ties broken by ascending item id. Unlike the
+    /// [`Recommender::top_n`] convenience wrapper, the request's own
+    /// seen-item exclusion default (exclude) applies.
+    pub fn handle_top_n(&self, req: &TopNRequest) -> Result<Response<Vec<(u32, f64)>>, EngineError> {
+        match &self.serving {
+            Serving::Service(server) => Ok(server.top_n(&self.with_par(req))?),
+            Serving::Live { est, catalog, seen } => {
+                let backend = LiveBackend(est.as_ref());
+                let value = exec::execute_topn(&backend, catalog.as_ref(), seen.as_ref(), req, self.par)?;
+                Ok(Response { generation: LIVE_GENERATION, value })
+            }
+        }
+    }
+
+    /// Answers a [`BatchRequest`] against one model snapshot; each
+    /// sub-request validates and fails independently. Like the other
+    /// wrappers, a batch without its own [`BatchRequest::parallelism`]
+    /// fans out across this recommender's configured worker count.
+    pub fn handle_batch(&self, req: &BatchRequest) -> Response<Vec<Result<Reply, RequestError>>> {
+        let mut req = req.clone();
+        req.par = Some(req.par.unwrap_or(self.par));
+        match &self.serving {
+            Serving::Service(server) => server.batch(&req),
+            Serving::Live { est, catalog, seen } => {
+                let backend = LiveBackend(est.as_ref());
+                let value =
+                    exec::execute_batch(&backend, &self.schema, catalog.as_ref(), seen.as_ref(), &req);
+                Response { generation: LIVE_GENERATION, value }
+            }
+        }
+    }
+
+    /// Scores one instance. Out-of-range feature indices are a typed
+    /// [`EngineError::Request`], never a panic.
+    pub fn score(&self, instance: &Instance) -> Result<f64, EngineError> {
         self.score_feats(&instance.feats)
     }
 
-    /// Scores raw active feature indices.
-    pub fn score_feats(&self, feats: &[u32]) -> f64 {
-        match &self.serving {
-            Serving::Frozen(frozen) => frozen.predict_feats(feats),
-            Serving::Live(est) => est.scorer().score_one(&Instance::new(feats.to_vec(), 0.0)),
-        }
+    /// Scores raw active feature indices (validated against the schema).
+    pub fn score_feats(&self, feats: &[u32]) -> Result<f64, EngineError> {
+        Ok(self.handle_score(&ScoreRequest::Feats(feats.to_vec()))?.value)
     }
 
     /// Scores a `(user, item)` pair through the catalog.
     pub fn score_pair(&self, user: u32, item: u32) -> Result<f64, EngineError> {
-        let catalog = self.catalog.as_ref().ok_or(EngineError::MissingCatalog)?;
-        Ok(self.score_feats(&checked_feats(catalog, user, item)?))
+        Ok(self.handle_score(&ScoreRequest::Pair { user, item })?.value)
     }
 
     /// Ranks the entire item catalogue for `user` and returns the top
-    /// `n` `(item, score)` pairs, best first. Frozen models rank through
-    /// the [`gmlfm_serve::TopNRanker`] item-delta path, partitioning the
-    /// catalogue across the builder's [`EngineBuilder::threads`] workers
-    /// (one ranker per worker, scores merged in item order — identical
-    /// to serial); live models score every candidate instance.
+    /// `n` `(item, score)` pairs, best first — a thin wrapper over
+    /// [`Recommender::handle_top_n`] that ranks every item (no seen-item
+    /// exclusion, matching the evaluation protocols). Build a
+    /// [`TopNRequest`] for the production default of excluding the
+    /// user's training-time items, candidate subsets or explicit
+    /// exclusions.
     pub fn top_n(&self, user: u32, n: usize) -> Result<Vec<(u32, f64)>, EngineError> {
-        let catalog = self.catalog.as_ref().ok_or(EngineError::MissingCatalog)?;
-        let template = catalog
-            .template(user)
-            .ok_or(EngineError::UnknownUser { user, n_users: catalog.n_users() })?;
-        let n_items = catalog.n_items();
-        let mut scored: Vec<(u32, f64)>;
-        match &self.serving {
-            Serving::Frozen(frozen) => {
-                let item_slots = catalog.item_slots();
-                scored = gmlfm_par::par_blocks(self.par, n_items, |range| {
-                    // One ranker per worker block: the context partial
-                    // sums are computed once and reused for every item
-                    // in the block.
-                    let mut ranker = frozen.ranker(template, item_slots);
-                    range
-                        .map(|item| {
-                            let item = item as u32;
-                            let group =
-                                catalog.item_features(item).expect("item enumerated from the catalog");
-                            (item, ranker.score(group))
-                        })
-                        .collect()
-                });
-            }
-            Serving::Live(est) => {
-                let instances: Vec<Instance> = (0..n_items as u32)
-                    .map(|item| Instance::new(catalog.feats(user, item).expect("user checked above"), 0.0))
-                    .collect();
-                let scores = est.scorer().scores(&instances);
-                scored = (0..n_items as u32).zip(scores).collect();
-            }
-        }
-        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        scored.truncate(n);
-        Ok(scored)
+        let req = TopNRequest::new(user, n).include_seen().parallelism(self.par);
+        Ok(self.handle_top_n(&req)?.value)
+    }
+
+    /// Fills a request's parallelism with this recommender's configured
+    /// worker count when the request does not pin its own.
+    fn with_par(&self, req: &TopNRequest) -> TopNRequest {
+        let mut req = req.clone();
+        req.par = Some(req.par.unwrap_or(self.par));
+        req
     }
 
     /// RMSE/MAE on the rating holdout this recommender was fit with.
@@ -361,60 +462,62 @@ impl Recommender {
         }
     }
 
+    /// Leave-one-out metrics through the request path, shared with
+    /// [`gmlfm_eval::evaluate_topn_service`] via
+    /// [`evaluate_topn_backend`]: each case is a candidate-restricted
+    /// ranking request against **one** pinned snapshot, fanned across
+    /// the pool one contiguous block of cases per worker and merged in
+    /// case order.
     fn topn_metrics(&self, cases: &[LooTestCase], k: usize) -> Result<TopnMetrics, EngineError> {
-        let catalog = self.catalog.as_ref().ok_or(EngineError::MissingCatalog)?;
         if cases.is_empty() {
             // Align with gmlfm_eval's protocols, which reject empty test
             // sets — but as a typed error instead of a panic.
             return Err(EngineError::MissingHoldout { expected: "top-n" });
         }
-        let per_user: Vec<Result<(f64, f64), EngineError>> = match &self.serving {
-            // Frozen: fan the test cases out across the pool, one
-            // ranker + scratch per case, merged in case order (identical
-            // per-user vectors at every thread count).
-            Serving::Frozen(frozen) => gmlfm_par::par_blocks(self.par, cases.len(), |range| {
-                let mut out = Vec::with_capacity(range.len());
-                let mut scores: Vec<f64> = Vec::new();
-                for case in &cases[range] {
-                    out.push(frozen_case_metrics(frozen, catalog, case, k, &mut scores));
-                }
-                out
-            }),
-            Serving::Live(est) => cases
-                .iter()
-                .map(|case| {
-                    let mut instances = Vec::with_capacity(1 + case.negatives.len());
-                    for &item in std::iter::once(&case.pos_item).chain(&case.negatives) {
-                        instances.push(Instance::new(checked_feats(catalog, case.user, item)?, 0.0));
-                    }
-                    let scores = est.scorer().scores(&instances);
-                    Ok((hit_ratio_at(&scores, k), ndcg_at(&scores, k)))
-                })
-                .collect(),
+        let metrics = match &self.serving {
+            Serving::Service(server) => {
+                let (_, snap) = server.snapshot();
+                evaluate_topn_backend(
+                    &snap.frozen,
+                    snap.catalog.as_ref(),
+                    snap.seen.as_ref(),
+                    cases,
+                    k,
+                    self.par,
+                )
+            }
+            Serving::Live { est, catalog, seen } => evaluate_topn_backend(
+                &LiveBackend(est.as_ref()),
+                catalog.as_ref(),
+                seen.as_ref(),
+                cases,
+                k,
+                self.par,
+            ),
         };
-        let mut per_user_hr = Vec::with_capacity(cases.len());
-        let mut per_user_ndcg = Vec::with_capacity(cases.len());
-        for result in per_user {
-            let (hr, ndcg) = result?;
-            per_user_hr.push(hr);
-            per_user_ndcg.push(ndcg);
-        }
-        let hr = per_user_hr.iter().sum::<f64>() / per_user_hr.len() as f64;
-        let ndcg = per_user_ndcg.iter().sum::<f64>() / per_user_ndcg.len() as f64;
-        Ok(TopnMetrics { hr, ndcg, per_user_hr, per_user_ndcg })
+        metrics.map_err(EngineError::from)
     }
 
-    /// Captures the current frozen state as a versioned [`Artifact`].
-    /// Fails with [`EngineError::NotFreezable`] for models without a
-    /// frozen serving form.
+    /// Captures the current frozen state as a versioned [`Artifact`]
+    /// (after a hot swap, that is the *swapped-in* snapshot). Fails with
+    /// [`EngineError::NotFreezable`] for models without a frozen serving
+    /// form.
     pub fn artifact(&self) -> Result<Artifact, EngineError> {
-        let frozen = match &self.serving {
-            Serving::Frozen(frozen) => frozen.clone(),
-            Serving::Live(est) => est
-                .freeze_if_supported()
-                .ok_or_else(|| EngineError::NotFreezable { model: self.spec.display_name().to_string() })?,
-        };
-        Ok(Artifact::new(self.spec.clone(), &self.schema, &frozen, self.catalog.clone()))
+        match &self.serving {
+            Serving::Service(server) => {
+                let (_, snap) = server.snapshot();
+                Ok(Artifact::new(
+                    self.spec.clone(),
+                    &snap.schema,
+                    &snap.frozen,
+                    snap.catalog.clone(),
+                    snap.seen.clone(),
+                ))
+            }
+            Serving::Live { .. } => {
+                Err(EngineError::NotFreezable { model: self.spec.display_name().to_string() })
+            }
+        }
     }
 
     /// Saves the artifact as JSON (see [`Recommender::artifact`]).
@@ -423,61 +526,62 @@ impl Recommender {
     }
 }
 
-/// One leave-one-out case through the frozen ranker: context partials
-/// once, item delta per candidate, reusing the caller's score buffer.
-fn frozen_case_metrics(
-    frozen: &FrozenModel,
-    catalog: &Catalog,
-    case: &LooTestCase,
-    k: usize,
-    scores: &mut Vec<f64>,
-) -> Result<(f64, f64), EngineError> {
-    scores.clear();
-    let template = checked_feats(catalog, case.user, case.pos_item)?;
-    let mut ranker = frozen.ranker(&template, catalog.item_slots());
-    for &item in std::iter::once(&case.pos_item).chain(&case.negatives) {
-        let group = catalog
-            .item_features(item)
-            .ok_or(EngineError::UnknownItem { item, n_items: catalog.n_items() })?;
-        scores.push(ranker.score(group));
+/// Reconstructs per-user seen sets from a rating split's training
+/// instances by decoding the user/item one-hot indices through the
+/// schema. `None` when the mask hides either id field (no way to
+/// attribute interactions).
+fn rating_seen(schema: &Schema, mask: &FieldMask, train: &[Instance], n_users: usize) -> Option<SeenItems> {
+    let user_field = schema.field_of_kind(FieldKind::User)?;
+    let item_field = schema.field_of_kind(FieldKind::Item)?;
+    if !mask.is_active(user_field) || !mask.is_active(item_field) {
+        return None;
     }
-    Ok((hit_ratio_at(scores, k), ndcg_at(scores, k)))
-}
-
-/// [`Catalog::feats`] with the user/item bound reported distinctly, so
-/// an out-of-range item is never misdiagnosed as an unknown user.
-fn checked_feats(catalog: &Catalog, user: u32, item: u32) -> Result<Vec<u32>, EngineError> {
-    let template = catalog
-        .template(user)
-        .ok_or(EngineError::UnknownUser { user, n_users: catalog.n_users() })?;
-    let group = catalog
-        .item_features(item)
-        .ok_or(EngineError::UnknownItem { item, n_items: catalog.n_items() })?;
-    let mut out = template.to_vec();
-    for (&slot, &f) in catalog.item_slots().iter().zip(group) {
-        out[slot] = f;
+    let active = mask.active_fields();
+    let user_slot = active.iter().position(|&f| f == user_field)?;
+    let item_slot = active.iter().position(|&f| f == item_field)?;
+    let user_off = schema.offset(user_field) as u32;
+    let item_off = schema.offset(item_field) as u32;
+    let mut per_user = vec![Vec::new(); n_users];
+    for inst in train.iter().filter(|i| i.label > 0.0) {
+        let (Some(&uf), Some(&itf)) = (inst.feats.get(user_slot), inst.feats.get(item_slot)) else {
+            continue;
+        };
+        if let Some(items) = per_user.get_mut((uf - user_off) as usize) {
+            items.push(itf - item_off);
+        }
     }
-    Ok(out)
+    Some(SeenItems::new(per_user))
 }
 
 impl std::fmt::Debug for Recommender {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Recommender")
             .field("spec", &self.spec)
-            .field("frozen", &matches!(self.serving, Serving::Frozen(_)))
-            .field("has_catalog", &self.catalog.is_some())
+            .field("frozen", &matches!(self.serving, Serving::Service(_)))
+            .field("has_catalog", &self.catalog().is_some())
             .field("has_holdout", &self.holdout.is_some())
             .finish_non_exhaustive()
     }
 }
 
 impl Scorer for Recommender {
+    /// Batch scoring over trusted, pre-validated instances (the holdout
+    /// evaluation path): frozen recommenders fan fixed-size chunks
+    /// across the pool against the server's *current* snapshot; public
+    /// per-request entry points go through [`Recommender::handle_score`]
+    /// instead, which validates.
     fn scores(&self, instances: &[Instance]) -> Vec<f64> {
         match &self.serving {
-            Serving::Frozen(frozen) => {
-                gmlfm_serve::score_chunked_par(frozen, instances, gmlfm_train::EVAL_CHUNK_SIZE, self.par)
+            Serving::Service(server) => {
+                let (_, snap) = server.snapshot();
+                gmlfm_serve::score_chunked_par(
+                    &snap.frozen,
+                    instances,
+                    gmlfm_train::EVAL_CHUNK_SIZE,
+                    self.par,
+                )
             }
-            Serving::Live(est) => est.scorer().scores(instances),
+            Serving::Live { est, .. } => est.scorer().scores(instances),
         }
     }
 }

@@ -78,8 +78,8 @@ proptest! {
             raw_feats.iter().map(|f| f % fixture.n_features as u32).collect();
         feats.sort_unstable();
         feats.dedup();
-        let a = fixture.trained.score_feats(&feats);
-        let b = fixture.reloaded.score_feats(&feats);
+        let a = fixture.trained.score_feats(&feats).expect("in-range feats");
+        let b = fixture.reloaded.score_feats(&feats).expect("in-range feats");
         prop_assert_eq!(
             a.to_bits(), b.to_bits(),
             "{}: in-memory {} vs reloaded {} on {:?}", fixture.name, a, b, &feats
@@ -106,7 +106,7 @@ fn reloaded_recommender_scores_instances_like_the_frozen_model() {
         let frozen = fixture.trained.frozen().expect("freezable spec");
         assert_eq!(
             frozen.predict(&inst).to_bits(),
-            fixture.reloaded.score(&inst).to_bits(),
+            fixture.reloaded.score(&inst).expect("in-range instance").to_bits(),
             "{}",
             fixture.name
         );
@@ -144,13 +144,14 @@ fn loaded_recommender_has_no_holdout_but_keeps_the_catalog() {
 
 #[test]
 fn out_of_range_item_is_reported_as_unknown_item_not_user() {
+    use gmlfm_engine::RequestError;
     let fixture = &fixtures()[0];
     let n_items = fixture.trained.catalog().expect("catalog").n_items() as u32;
     let err = fixture.trained.score_pair(0, n_items + 5).unwrap_err();
-    assert!(matches!(err, EngineError::UnknownItem { .. }), "{err}");
+    assert!(matches!(err, EngineError::Request(RequestError::UnknownItem { .. })), "{err}");
     let n_users = fixture.trained.catalog().expect("catalog").n_users() as u32;
     let err = fixture.trained.score_pair(n_users + 5, 0).unwrap_err();
-    assert!(matches!(err, EngineError::UnknownUser { .. }), "{err}");
+    assert!(matches!(err, EngineError::Request(RequestError::UnknownUser { .. })), "{err}");
 }
 
 #[test]

@@ -13,6 +13,7 @@ use crate::metrics::{hit_ratio_at, mae, ndcg_at, rmse};
 use gmlfm_data::{Dataset, FieldKind, FieldMask, Instance, LooTestCase};
 use gmlfm_par::Parallelism;
 use gmlfm_serve::FrozenModel;
+use gmlfm_service::{exec, Catalog, ModelServer, RequestError, ScoringBackend, SeenItems, TopNRequest};
 use gmlfm_train::Scorer;
 
 /// Rating-prediction results (Table 3 reports RMSE).
@@ -163,6 +164,81 @@ pub fn evaluate_topn_frozen_with(
     TopnMetrics { hr, ndcg, per_user_hr, per_user_ndcg }
 }
 
+/// Leave-one-out evaluation through the online serving API: each test
+/// case becomes a candidate-restricted ranking request (`[positive] +
+/// negatives`, seen-exclusion off — the protocol fixes the candidate
+/// set) answered by the [`ModelServer`], so the evaluated path is the
+/// *same* request path production traffic takes.
+///
+/// Metrics match [`evaluate_topn_frozen`] for the same frozen model;
+/// runs with [`Parallelism::auto`] — see
+/// [`evaluate_topn_service_with`] for an explicit thread count.
+pub fn evaluate_topn_service(server: &ModelServer, cases: &[LooTestCase], k: usize) -> TopnMetrics {
+    evaluate_topn_service_with(server, cases, k, Parallelism::auto())
+}
+
+/// [`evaluate_topn_service`] with an explicit [`Parallelism`]. The whole
+/// evaluation is pinned to **one** model snapshot up front, so a hot
+/// swap racing the evaluation cannot mix generations into one metric
+/// vector.
+pub fn evaluate_topn_service_with(
+    server: &ModelServer,
+    cases: &[LooTestCase],
+    k: usize,
+    par: Parallelism,
+) -> TopnMetrics {
+    assert!(!cases.is_empty(), "evaluate_topn_service: no test cases");
+    let (_, snap) = server.snapshot();
+    evaluate_topn_backend(&snap.frozen, snap.catalog.as_ref(), snap.seen.as_ref(), cases, k, par)
+        .expect("leave-one-out cases come from the served catalog")
+}
+
+/// The shared request-path leave-one-out core: evaluates `cases` through
+/// [`exec::execute_candidate_scores`] over any [`ScoringBackend`]
+/// (frozen snapshot or the engine's live estimators). Cases are split
+/// into one contiguous block per requested thread (each request itself
+/// runs serially) and the per-user metric vectors are merged in input
+/// order — bit-identical to the serial evaluation at every thread count.
+/// A case whose user or items fall outside the catalog is a typed
+/// [`RequestError`].
+pub fn evaluate_topn_backend<B: ScoringBackend + Sync + ?Sized>(
+    backend: &B,
+    catalog: Option<&Catalog>,
+    seen: Option<&SeenItems>,
+    cases: &[LooTestCase],
+    k: usize,
+    par: Parallelism,
+) -> Result<TopnMetrics, RequestError> {
+    assert!(!cases.is_empty(), "evaluate_topn_backend: no test cases");
+    let per_user: Vec<Result<(f64, f64), RequestError>> = gmlfm_par::par_blocks(par, cases.len(), |range| {
+        cases[range]
+            .iter()
+            .map(|case| {
+                let req = TopNRequest::new(case.user, 1 + case.negatives.len())
+                    .candidates(
+                        std::iter::once(case.pos_item).chain(case.negatives.iter().copied()).collect(),
+                    )
+                    .include_seen()
+                    .parallelism(Parallelism::serial());
+                let scored =
+                    exec::execute_candidate_scores(backend, catalog, seen, &req, Parallelism::serial())?;
+                let scores: Vec<f64> = scored.iter().map(|(_, s)| *s).collect();
+                Ok((hit_ratio_at(&scores, k), ndcg_at(&scores, k)))
+            })
+            .collect()
+    });
+    let mut per_user_hr = Vec::with_capacity(cases.len());
+    let mut per_user_ndcg = Vec::with_capacity(cases.len());
+    for result in per_user {
+        let (hr, ndcg) = result?;
+        per_user_hr.push(hr);
+        per_user_ndcg.push(ndcg);
+    }
+    let hr = per_user_hr.iter().sum::<f64>() / per_user_hr.len() as f64;
+    let ndcg = per_user_ndcg.iter().sum::<f64>() / per_user_ndcg.len() as f64;
+    Ok(TopnMetrics { hr, ndcg, per_user_hr, per_user_ndcg })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +330,40 @@ mod tests {
         // And both agree with the autograd path's metrics.
         let graph = evaluate_topn(&model, &d, &mask, &split.test, 10);
         assert_eq!(fast.per_user_hr, graph.per_user_hr);
+    }
+
+    /// The serving-API protocol must match the frozen protocol
+    /// bit-for-bit: both rank the same candidates through the same
+    /// ranker machinery, one addressed by request, one by dataset.
+    #[test]
+    fn service_protocol_matches_frozen_protocol() {
+        use gmlfm_core::{GmlFm, GmlFmConfig};
+        use gmlfm_serve::Freeze;
+        use gmlfm_service::{Catalog, ModelServer, ModelSnapshot};
+        let d = generate(&DatasetSpec::AmazonAuto.config(137).scaled(0.2));
+        let mask = FieldMask::all(&d.schema);
+        let split = loo_split(&d, &mask, 2, 20, 5);
+        let model = GmlFm::new(d.schema.total_dim(), &GmlFmConfig::dnn(6, 1).with_seed(11));
+        let frozen = model.freeze();
+        let fast = evaluate_topn_frozen(&frozen, &d, &mask, &split.test, 10);
+        let server = ModelServer::new(ModelSnapshot {
+            schema: d.schema.clone(),
+            frozen,
+            catalog: Some(Catalog::from_dataset(&d, &mask)),
+            seen: None,
+        })
+        .expect("consistent snapshot");
+        let served = evaluate_topn_service(&server, &split.test, 10);
+        assert_eq!(served.per_user_hr, fast.per_user_hr);
+        assert_eq!(
+            served.per_user_ndcg.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            fast.per_user_ndcg.iter().map(|s| s.to_bits()).collect::<Vec<_>>()
+        );
+        // And explicit thread counts do not change a bit.
+        for t in [1usize, 2, 5] {
+            let par = evaluate_topn_service_with(&server, &split.test, 10, Parallelism::threads(t));
+            assert_eq!(par.per_user_hr, served.per_user_hr, "threads={t}");
+        }
     }
 
     #[test]

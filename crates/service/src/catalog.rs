@@ -1,0 +1,215 @@
+//! Serving-side feature tables: the [`Catalog`] that turns `(user,
+//! item)` ids into one-hot feature vectors, and the [`SeenItems`] sets
+//! behind default seen-item exclusion in top-n requests.
+
+use gmlfm_data::{Dataset, FieldKind, FieldMask};
+use serde::{Deserialize, Serialize};
+
+/// The item/user feature tables a ranking request needs: per-user context
+/// templates and per-item candidate feature groups, mask-resolved into
+/// global one-hot indices.
+///
+/// A catalog is what turns a frozen model into a *servable* recommender:
+/// `top_n(user)` needs to enumerate every item's feature group (item id +
+/// item attributes) and splice it into the user's template — exactly the
+/// [`gmlfm_serve::TopNRanker`] workflow — without the training-side
+/// [`Dataset`] in memory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Catalog {
+    /// Template positions that carry item-side values.
+    item_slots: Vec<usize>,
+    /// Per-user full feature template (item slots hold item 0's values
+    /// until spliced).
+    user_templates: Vec<Vec<u32>>,
+    /// Per-item values for the item slots, in `item_slots` order.
+    item_feats: Vec<Vec<u32>>,
+}
+
+impl Catalog {
+    /// Assembles a catalog from raw tables (custom pipelines, tests).
+    /// `user_templates` must all share one width, `item_slots` must index
+    /// into that width, and every `item_feats` group must have one value
+    /// per item slot.
+    ///
+    /// # Panics
+    /// Panics when the tables are inconsistent with each other.
+    pub fn new(item_slots: Vec<usize>, user_templates: Vec<Vec<u32>>, item_feats: Vec<Vec<u32>>) -> Self {
+        if let Some(first) = user_templates.first() {
+            let width = first.len();
+            assert!(
+                user_templates.iter().all(|t| t.len() == width),
+                "Catalog: user templates differ in width"
+            );
+            assert!(item_slots.iter().all(|&s| s < width), "Catalog: item slot outside the template");
+        }
+        assert!(
+            item_feats.iter().all(|g| g.len() == item_slots.len()),
+            "Catalog: item group width != item slot count"
+        );
+        Self { item_slots, user_templates, item_feats }
+    }
+
+    /// Extracts the serving catalog from a dataset under an attribute
+    /// mask.
+    pub fn from_dataset(dataset: &Dataset, mask: &FieldMask) -> Self {
+        let item_slots = item_side_slots(dataset, mask);
+        let user_templates: Vec<Vec<u32>> =
+            (0..dataset.n_users).map(|u| dataset.feats(u as u32, 0, mask)).collect();
+        let item_feats: Vec<Vec<u32>> = (0..dataset.n_items)
+            .map(|i| {
+                let full = dataset.feats(0, i as u32, mask);
+                item_slots.iter().map(|&s| full[s]).collect()
+            })
+            .collect();
+        Self { item_slots, user_templates, item_feats }
+    }
+
+    /// Number of users in the catalog.
+    pub fn n_users(&self) -> usize {
+        self.user_templates.len()
+    }
+
+    /// Number of items in the catalog.
+    pub fn n_items(&self) -> usize {
+        self.item_feats.len()
+    }
+
+    /// Template positions that vary per candidate item.
+    pub fn item_slots(&self) -> &[usize] {
+        &self.item_slots
+    }
+
+    /// The user's full feature template (item slots filled with item 0).
+    pub fn template(&self, user: u32) -> Option<&[u32]> {
+        self.user_templates.get(user as usize).map(Vec::as_slice)
+    }
+
+    /// The item's feature-group values, in [`Catalog::item_slots`] order.
+    pub fn item_features(&self, item: u32) -> Option<&[u32]> {
+        self.item_feats.get(item as usize).map(Vec::as_slice)
+    }
+
+    /// The full feature vector for a `(user, item)` pair — the user's
+    /// template with the item group spliced in.
+    pub fn feats(&self, user: u32, item: u32) -> Option<Vec<u32>> {
+        let mut out = self.template(user)?.to_vec();
+        let item_feats = self.item_features(item)?;
+        for (&slot, &f) in self.item_slots.iter().zip(item_feats) {
+            out[slot] = f;
+        }
+        Some(out)
+    }
+
+    /// The largest feature index any template or item group carries
+    /// (`None` for an empty catalog) — what server construction checks
+    /// against the model's one-hot dimension.
+    pub fn max_feature(&self) -> Option<u32> {
+        self.user_templates
+            .iter()
+            .chain(&self.item_feats)
+            .flat_map(|row| row.iter().copied())
+            .max()
+    }
+}
+
+/// Positions (within the active fields of `mask`) that carry item-side
+/// values and therefore change between ranking candidates.
+fn item_side_slots(dataset: &Dataset, mask: &FieldMask) -> Vec<usize> {
+    dataset
+        .schema
+        .fields()
+        .iter()
+        .enumerate()
+        .filter(|(field, _)| mask.is_active(*field))
+        .map(|(_, f)| f.kind)
+        .enumerate()
+        .filter(|(_, kind)| !matches!(kind, FieldKind::User | FieldKind::UserAttr))
+        .map(|(slot, _)| slot)
+        .collect()
+}
+
+/// Per-user sets of items interacted with during training, backing the
+/// seen-item exclusion that [`crate::TopNRequest`] applies by default.
+///
+/// Stored as one sorted, deduplicated item list per user; membership is a
+/// binary search. Users outside the recorded range simply have an empty
+/// seen set, so a catalog larger than the training population degrades
+/// gracefully.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeenItems {
+    /// Sorted, deduplicated seen items per user id.
+    per_user: Vec<Vec<u32>>,
+}
+
+impl SeenItems {
+    /// Builds the seen sets, sorting and deduplicating each user's list.
+    pub fn new(mut per_user: Vec<Vec<u32>>) -> Self {
+        for items in &mut per_user {
+            items.sort_unstable();
+            items.dedup();
+        }
+        Self { per_user }
+    }
+
+    /// Number of users with a recorded (possibly empty) seen set.
+    pub fn n_users(&self) -> usize {
+        self.per_user.len()
+    }
+
+    /// Total number of `(user, item)` seen entries.
+    pub fn total(&self) -> usize {
+        self.per_user.iter().map(Vec::len).sum()
+    }
+
+    /// The user's seen items, sorted ascending (empty when the user is
+    /// outside the recorded range).
+    pub fn items(&self, user: u32) -> &[u32] {
+        self.per_user.get(user as usize).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether `user` interacted with `item` during training.
+    pub fn contains(&self, user: u32, item: u32) -> bool {
+        self.items(user).binary_search(&item).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seen_items_sorts_dedups_and_answers_membership() {
+        let seen = SeenItems::new(vec![vec![5, 1, 5, 3], vec![]]);
+        assert_eq!(seen.n_users(), 2);
+        assert_eq!(seen.items(0), &[1, 3, 5]);
+        assert_eq!(seen.total(), 3);
+        assert!(seen.contains(0, 3));
+        assert!(!seen.contains(0, 2));
+        assert!(!seen.contains(1, 3));
+        // Out-of-range users have an empty seen set, not a panic.
+        assert_eq!(seen.items(9), &[] as &[u32]);
+        assert!(!seen.contains(9, 0));
+    }
+
+    #[test]
+    fn hand_built_catalog_splices_like_the_dataset_one() {
+        // user field (3 users, offset 0), item field (4 items, offset 3).
+        let catalog = Catalog::new(
+            vec![1],
+            (0..3u32).map(|u| vec![u, 3]).collect(),
+            (0..4u32).map(|i| vec![3 + i]).collect(),
+        );
+        assert_eq!(catalog.n_users(), 3);
+        assert_eq!(catalog.n_items(), 4);
+        assert_eq!(catalog.feats(2, 3), Some(vec![2, 6]));
+        assert_eq!(catalog.feats(3, 0), None);
+        assert_eq!(catalog.feats(0, 4), None);
+        assert_eq!(catalog.max_feature(), Some(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "item slot outside")]
+    fn catalog_rejects_out_of_template_slots() {
+        let _ = Catalog::new(vec![2], vec![vec![0, 1]], vec![vec![1]]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Request validation and execution: the one code path every serving
+//! entry point shares.
+//!
+//! Validation is pure over the snapshot's [`Schema`] and [`Catalog`];
+//! scoring goes through the [`ScoringBackend`] trait so the frozen
+//! serving path and the engine's live (non-freezable) estimators answer
+//! the same requests with identical semantics. [`crate::ModelServer`]
+//! wires these functions to its current snapshot; `gmlfm-engine`'s
+//! `Recommender` wires them to whichever serving form it holds.
+
+use crate::catalog::{Catalog, SeenItems};
+use crate::error::RequestError;
+use crate::protocol::{BatchRequest, Reply, Request, ScoreRequest, TopNRequest};
+use gmlfm_data::{FieldKind, Schema};
+use gmlfm_par::Parallelism;
+use gmlfm_serve::FrozenModel;
+use std::borrow::Cow;
+
+/// What executes a validated request: one score per feature vector, and
+/// catalogue candidate scoring for ranking requests.
+///
+/// Implementations may ignore `par` (the engine's live estimators score
+/// through their own batch path); the frozen implementation partitions
+/// candidates across the `gmlfm-par` pool with one
+/// [`gmlfm_serve::TopNRanker`] per worker block, merged in candidate
+/// order — bit-identical to serial at every thread count.
+pub trait ScoringBackend {
+    /// Scores one validated feature vector.
+    fn score_feats(&self, feats: &[u32]) -> f64;
+
+    /// Scores validated `candidates` for catalog `user`, returning one
+    /// score per candidate **in candidate order**.
+    fn candidate_scores(
+        &self,
+        catalog: &Catalog,
+        user: u32,
+        candidates: &[u32],
+        par: Parallelism,
+    ) -> Vec<f64>;
+}
+
+impl ScoringBackend for FrozenModel {
+    fn score_feats(&self, feats: &[u32]) -> f64 {
+        self.predict_feats(feats)
+    }
+
+    fn candidate_scores(
+        &self,
+        catalog: &Catalog,
+        user: u32,
+        candidates: &[u32],
+        par: Parallelism,
+    ) -> Vec<f64> {
+        let template = catalog.template(user).expect("caller validated the user");
+        let item_slots = catalog.item_slots();
+        gmlfm_par::par_blocks(par, candidates.len(), |range| {
+            // One ranker per worker block: the context partial sums are
+            // computed once and reused for every candidate in the block.
+            let mut ranker = self.ranker(template, item_slots);
+            candidates[range]
+                .iter()
+                .map(|&item| {
+                    let group = catalog.item_features(item).expect("caller validated the candidates");
+                    ranker.score(group)
+                })
+                .collect()
+        })
+    }
+}
+
+/// Validates a [`ScoreRequest`] and resolves it into the feature vector
+/// to score. Borrows the request's own indices where possible.
+pub fn resolve_feats<'r>(
+    schema: &Schema,
+    catalog: Option<&Catalog>,
+    req: &'r ScoreRequest,
+) -> Result<Cow<'r, [u32]>, RequestError> {
+    let n = schema.total_dim();
+    let check = |feats: &[u32]| -> Result<(), RequestError> {
+        match feats.iter().find(|&&f| f as usize >= n) {
+            Some(&feature) => Err(RequestError::FeatureOutOfRange { feature, n_features: n }),
+            None => Ok(()),
+        }
+    };
+    match req {
+        ScoreRequest::Instance(inst) => {
+            check(&inst.feats)?;
+            Ok(Cow::Borrowed(inst.feats.as_slice()))
+        }
+        ScoreRequest::Feats(feats) => {
+            check(feats)?;
+            Ok(Cow::Borrowed(feats.as_slice()))
+        }
+        ScoreRequest::Pair { user, item } => {
+            let catalog = catalog.ok_or(RequestError::MissingCatalog)?;
+            check_user(catalog, *user)?;
+            check_item(catalog, *item)?;
+            Ok(Cow::Owned(catalog.feats(*user, *item).expect("user and item validated above")))
+        }
+        ScoreRequest::Cold { item, fields } => {
+            let catalog = catalog.ok_or(RequestError::MissingCatalog)?;
+            check_item(catalog, *item)?;
+            let mut feats: Vec<u32> = catalog.item_features(*item).expect("item validated above").to_vec();
+            for (i, (name, value)) in fields.iter().enumerate() {
+                if fields[..i].iter().any(|(prev, _)| prev == name) {
+                    return Err(RequestError::DuplicateField { field: name.clone() });
+                }
+                let field_idx = schema
+                    .fields()
+                    .iter()
+                    .position(|f| &f.name == name)
+                    .ok_or_else(|| RequestError::UnknownField { field: name.clone() })?;
+                let field = &schema.fields()[field_idx];
+                if !matches!(field.kind, FieldKind::User | FieldKind::UserAttr) {
+                    return Err(RequestError::ItemSideField { field: name.clone() });
+                }
+                if *value >= field.cardinality {
+                    return Err(RequestError::ValueOutOfRange {
+                        field: name.clone(),
+                        value: *value,
+                        cardinality: field.cardinality,
+                    });
+                }
+                feats.push(schema.feature_index(field_idx, *value));
+            }
+            // Global indices ascend with field order, so sorting restores
+            // the field order a schema-built instance would have (which
+            // the order-dependent TransFM mode cares about).
+            feats.sort_unstable();
+            Ok(Cow::Owned(feats))
+        }
+    }
+}
+
+/// Validates and runs a [`ScoreRequest`] through `backend`.
+pub fn execute_score<B: ScoringBackend + ?Sized>(
+    backend: &B,
+    schema: &Schema,
+    catalog: Option<&Catalog>,
+    req: &ScoreRequest,
+) -> Result<f64, RequestError> {
+    let feats = resolve_feats(schema, catalog, req)?;
+    Ok(backend.score_feats(&feats))
+}
+
+/// Validates a [`TopNRequest`] and resolves the candidate list: the
+/// requested set (or the whole catalogue) minus the explicit exclusions
+/// and — unless opted out — the user's training-time seen items. Order
+/// of the surviving candidates is preserved.
+pub fn resolve_candidates(
+    catalog: &Catalog,
+    seen: Option<&SeenItems>,
+    req: &TopNRequest,
+) -> Result<Vec<u32>, RequestError> {
+    check_user(catalog, req.user)?;
+    for &item in &req.exclude {
+        check_item(catalog, item)?;
+    }
+    if let Some(candidates) = &req.candidates {
+        for &item in candidates {
+            check_item(catalog, item)?;
+        }
+    }
+    let seen_items: &[u32] = match (req.exclude_seen, seen) {
+        (true, Some(seen)) => seen.items(req.user),
+        _ => &[],
+    };
+    // Explicit exclusion lists are tiny in practice; the seen list is
+    // sorted, so membership there is a binary search.
+    let keep = |item: u32| !req.exclude.contains(&item) && seen_items.binary_search(&item).is_err();
+    Ok(match &req.candidates {
+        Some(candidates) => candidates.iter().copied().filter(|&i| keep(i)).collect(),
+        None => (0..catalog.n_items() as u32).filter(|&i| keep(i)).collect(),
+    })
+}
+
+/// Validates and runs a [`TopNRequest`] through `backend`, returning
+/// `(item, score)` pairs **in candidate order** (no sort, `n` ignored) —
+/// the shape the leave-one-out evaluation protocols consume.
+pub fn execute_candidate_scores<B: ScoringBackend + ?Sized>(
+    backend: &B,
+    catalog: Option<&Catalog>,
+    seen: Option<&SeenItems>,
+    req: &TopNRequest,
+    default_par: Parallelism,
+) -> Result<Vec<(u32, f64)>, RequestError> {
+    let catalog = catalog.ok_or(RequestError::MissingCatalog)?;
+    let candidates = resolve_candidates(catalog, seen, req)?;
+    let par = req.par.unwrap_or(default_par);
+    let scores = backend.candidate_scores(catalog, req.user, &candidates, par);
+    Ok(candidates.into_iter().zip(scores).collect())
+}
+
+/// Validates and runs a [`TopNRequest`] through `backend`: candidate
+/// scores, sorted best-first (ties broken by ascending item id) and
+/// truncated to `req.n`.
+pub fn execute_topn<B: ScoringBackend + ?Sized>(
+    backend: &B,
+    catalog: Option<&Catalog>,
+    seen: Option<&SeenItems>,
+    req: &TopNRequest,
+    default_par: Parallelism,
+) -> Result<Vec<(u32, f64)>, RequestError> {
+    let mut scored = execute_candidate_scores(backend, catalog, seen, req, default_par)?;
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    scored.truncate(req.n);
+    Ok(scored)
+}
+
+/// Fans a [`BatchRequest`] across the pool. Each sub-request validates
+/// and fails independently; top-n sub-requests default to serial inside
+/// the batch (the batch itself is the fan-out) unless they carry an
+/// explicit [`TopNRequest::parallelism`].
+pub fn execute_batch<B: ScoringBackend + Sync + ?Sized>(
+    backend: &B,
+    schema: &Schema,
+    catalog: Option<&Catalog>,
+    seen: Option<&SeenItems>,
+    req: &BatchRequest,
+) -> Vec<Result<Reply, RequestError>> {
+    let par = req.par.unwrap_or_else(Parallelism::auto);
+    gmlfm_par::par_map(par, &req.requests, |request| match request {
+        Request::Score(score) => execute_score(backend, schema, catalog, score).map(Reply::Score),
+        Request::TopN(topn) => {
+            execute_topn(backend, catalog, seen, topn, Parallelism::serial()).map(Reply::TopN)
+        }
+    })
+}
+
+fn check_user(catalog: &Catalog, user: u32) -> Result<(), RequestError> {
+    if (user as usize) < catalog.n_users() {
+        Ok(())
+    } else {
+        Err(RequestError::UnknownUser { user, n_users: catalog.n_users() })
+    }
+}
+
+fn check_item(catalog: &Catalog, item: u32) -> Result<(), RequestError> {
+    if (item as usize) < catalog.n_items() {
+        Ok(())
+    } else {
+        Err(RequestError::UnknownItem { item, n_items: catalog.n_items() })
+    }
+}

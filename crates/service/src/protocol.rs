@@ -1,0 +1,188 @@
+//! The typed request/response protocol of the online serving API.
+//!
+//! Requests are plain data: they name *what* to score (an instance, raw
+//! feature indices, a catalog pair, or a cold-start item + side
+//! features), and the server validates them against the current model
+//! snapshot's schema and catalog before any number is computed. Every
+//! reply travels in a [`Response`] stamped with the generation of the
+//! model snapshot that produced it, so a frontend can correlate answers
+//! with hot-swaps.
+
+use gmlfm_data::Instance;
+use gmlfm_par::Parallelism;
+
+/// What to score, in one of four addressing modes.
+///
+/// `Instance` and `Feats` address the model directly by one-hot feature
+/// indices (validated against the schema's dimension); `Pair` resolves a
+/// `(user, item)` through the serving catalog; `Cold` scores an item for
+/// a user *never seen in training* — no user id exists, so the context is
+/// given as named user-side field values instead (the paper's
+/// side-feature design is exactly what makes this well-defined).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScoreRequest {
+    /// Score a prebuilt instance (its label is ignored).
+    Instance(Instance),
+    /// Score raw active feature indices.
+    Feats(Vec<u32>),
+    /// Score a catalog `(user, item)` pair: the user's stored template
+    /// (id + side attributes) with the item's feature group spliced in.
+    Pair {
+        /// Catalog user id.
+        user: u32,
+        /// Catalog item id.
+        item: u32,
+    },
+    /// Cold-start: score `item` for an out-of-catalog user described
+    /// only by `(field name, value)` side features. Fields must be
+    /// user-side (`User` / `UserAttr` kinds); item-side values come from
+    /// the catalog via `item`.
+    Cold {
+        /// Catalog item id.
+        item: u32,
+        /// Named user-side field values, e.g. `("gender", 1)`.
+        fields: Vec<(String, usize)>,
+    },
+}
+
+impl ScoreRequest {
+    /// Request from raw feature indices.
+    pub fn feats(feats: impl Into<Vec<u32>>) -> Self {
+        ScoreRequest::Feats(feats.into())
+    }
+
+    /// Request for a catalog `(user, item)` pair.
+    pub fn pair(user: u32, item: u32) -> Self {
+        ScoreRequest::Pair { user, item }
+    }
+
+    /// Cold-start request for an unseen user described by named
+    /// user-side field values.
+    pub fn cold(item: u32, fields: &[(&str, usize)]) -> Self {
+        ScoreRequest::Cold {
+            item,
+            fields: fields.iter().map(|&(name, value)| (name.to_string(), value)).collect(),
+        }
+    }
+}
+
+/// Rank items for a catalog user and return the best `n`.
+///
+/// Defaults rank the whole catalogue and **exclude items the user
+/// already interacted with in training** (when the served snapshot
+/// carries seen sets) — the production recommendation default. Opt out
+/// with [`TopNRequest::include_seen`]; restrict to a candidate subset
+/// with [`TopNRequest::candidates`]; drop specific items with
+/// [`TopNRequest::exclude`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopNRequest {
+    /// Catalog user id to rank for.
+    pub user: u32,
+    /// How many `(item, score)` pairs to return (best first).
+    pub n: usize,
+    /// Candidate items to rank; `None` ranks the whole catalogue.
+    pub candidates: Option<Vec<u32>>,
+    /// Items excluded regardless of the seen sets (already-shown items,
+    /// out-of-stock, ...).
+    pub exclude: Vec<u32>,
+    /// Whether to exclude the user's training-time seen items
+    /// (default `true`; a snapshot without seen sets excludes nothing).
+    pub exclude_seen: bool,
+    /// Per-request worker count; `None` uses the server's default
+    /// ([`Parallelism::auto`] standalone, serial inside a batch).
+    pub par: Option<Parallelism>,
+}
+
+impl TopNRequest {
+    /// A whole-catalogue, exclude-seen request for `user`'s top `n`.
+    pub fn new(user: u32, n: usize) -> Self {
+        Self { user, n, candidates: None, exclude: Vec::new(), exclude_seen: true, par: None }
+    }
+
+    /// Restricts ranking to this candidate set (kept in the given order
+    /// until the final sort).
+    pub fn candidates(mut self, items: Vec<u32>) -> Self {
+        self.candidates = Some(items);
+        self
+    }
+
+    /// Excludes these items explicitly.
+    pub fn exclude(mut self, items: Vec<u32>) -> Self {
+        self.exclude = items;
+        self
+    }
+
+    /// Opts out of the default seen-item exclusion.
+    pub fn include_seen(mut self) -> Self {
+        self.exclude_seen = false;
+        self
+    }
+
+    /// Sets an explicit per-request worker count.
+    pub fn parallelism(mut self, par: Parallelism) -> Self {
+        self.par = Some(par);
+        self
+    }
+}
+
+/// One request of either kind, for batching.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// A scoring request.
+    Score(ScoreRequest),
+    /// A ranking request.
+    TopN(TopNRequest),
+}
+
+/// The successful payload matching a [`Request`] variant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Payload of a [`Request::Score`].
+    Score(f64),
+    /// Payload of a [`Request::TopN`]: `(item, score)` pairs, best first.
+    TopN(Vec<(u32, f64)>),
+}
+
+/// Many requests answered against **one** model snapshot.
+///
+/// The batch is fanned across the `gmlfm-par` pool and every sub-request
+/// is validated independently: one malformed request yields its own
+/// [`crate::RequestError`] slot without failing the batch. All replies
+/// share the single generation stamped on the enclosing [`Response`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRequest {
+    /// The sub-requests, answered in order.
+    pub requests: Vec<Request>,
+    /// Worker count for the fan-out; `None` uses [`Parallelism::auto`].
+    /// Top-n sub-requests run serially inside the batch unless they set
+    /// their own [`TopNRequest::parallelism`].
+    pub par: Option<Parallelism>,
+}
+
+impl BatchRequest {
+    /// A batch over the given requests with the default fan-out.
+    pub fn new(requests: Vec<Request>) -> Self {
+        Self { requests, par: None }
+    }
+
+    /// Sets an explicit fan-out worker count.
+    pub fn parallelism(mut self, par: Parallelism) -> Self {
+        self.par = Some(par);
+        self
+    }
+}
+
+/// A reply stamped with the generation of the model snapshot that
+/// produced it.
+///
+/// Generations start at 1 and increase by exactly 1 per successful
+/// [`crate::ModelServer::swap`]; a single response is always computed
+/// against a single snapshot (no torn reads across a swap), so `value`
+/// is fully explained by `generation`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response<T> {
+    /// Generation of the snapshot that answered this request.
+    pub generation: u64,
+    /// The reply payload.
+    pub value: T,
+}

@@ -1,0 +1,302 @@
+//! The shared, hot-swappable model handle.
+//!
+//! [`ModelServer`] is the serving process's front door: a cheap-to-clone
+//! (`Clone + Send + Sync`) handle that any number of request threads
+//! share, answering the typed protocol of [`crate::protocol`] against a
+//! single *model snapshot* — schema + frozen matrices + catalog + seen
+//! sets — held behind an atomic pointer.
+//!
+//! ## Hot swap, without blocking readers
+//!
+//! [`ModelServer::swap`] installs a newly trained (or newly loaded)
+//! snapshot mid-traffic: writers serialise on a mutex, readers never
+//! block — a request pins the current snapshot with **one atomic load**
+//! and computes its whole response against it, so every [`Response`] is
+//! consistent with exactly one generation even while swaps race it. The
+//! vendored dependency set has no `arc-swap`, so the slot is built from
+//! `std` atomics in the same spirit as `gmlfm-par`'s pool internals:
+//! installed snapshots are retained (append-only) until the last handle
+//! drops, which is what makes the readers' raw-pointer loads sound
+//! without reference counting or epoch schemes. A model refresh is a
+//! rare, heavyweight event (retraining cadence, not request cadence), so
+//! retaining superseded generations — observable via
+//! [`ModelServer::retained`] — trades a few megabytes for wait-free
+//! reads on the hot path.
+//!
+//! Swaps are validated: the incoming snapshot must carry a schema
+//! **identical** to the serving one (field names, cardinalities and
+//! kinds), so every in-flight and future request keeps meaning the same
+//! thing; a mismatch is a typed [`RequestError::SchemaMismatch`] and the
+//! current generation keeps serving.
+
+use crate::catalog::{Catalog, SeenItems};
+use crate::error::RequestError;
+use crate::exec;
+use crate::protocol::{BatchRequest, Reply, Response, ScoreRequest, TopNRequest};
+use gmlfm_data::Schema;
+use gmlfm_par::Parallelism;
+use gmlfm_serve::FrozenModel;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Everything one model generation serves: the one-hot schema requests
+/// are validated against, the frozen matrices that score, and the
+/// optional catalog/seen tables behind `(user, item)` and top-n
+/// requests.
+#[derive(Debug, Clone)]
+pub struct ModelSnapshot {
+    /// The one-hot feature schema (validation + cold-start resolution).
+    pub schema: Schema,
+    /// The frozen serving model.
+    pub frozen: FrozenModel,
+    /// Serving catalog; `None` limits the server to feature-index
+    /// requests.
+    pub catalog: Option<Catalog>,
+    /// Training-time seen sets backing default seen-item exclusion;
+    /// `None` (e.g. a pre-seen-sets artifact) excludes nothing.
+    pub seen: Option<SeenItems>,
+}
+
+/// One installed generation.
+struct State {
+    generation: u64,
+    snap: ModelSnapshot,
+}
+
+/// The shared slot: the current state pointer plus the append-only store
+/// that keeps every installed state alive for the readers.
+///
+/// States are heap-allocated with [`Box::into_raw`] and held as raw
+/// pointers *only* — never as `Box` values — because moving a `Box`
+/// (into the vector, or when the vector reallocates) retags its unique
+/// ownership and would invalidate every pointer previously derived from
+/// it under the aliasing rules. Raw pointers carry no such tag: they
+/// stay valid until the matching [`Box::from_raw`] in [`Slot::drop`].
+struct Slot {
+    /// Always points at a `State` allocation recorded in `states`.
+    current: AtomicPtr<State>,
+    /// Every state ever installed, in generation order. Append-only:
+    /// entries are never freed while the slot lives, which is what
+    /// keeps `current`'s target valid for lock-free readers.
+    states: Mutex<Vec<*mut State>>,
+}
+
+// SAFETY: the raw pointers are uniquely owned by the slot (created by
+// `Box::into_raw`, freed only in `Drop`), and `State` itself is
+// `Send + Sync`; the pointers are just the slot's way of not holding a
+// movable `Box`.
+unsafe impl Send for Slot {}
+unsafe impl Sync for Slot {}
+
+impl Drop for Slot {
+    fn drop(&mut self) {
+        let states = self.states.get_mut().unwrap_or_else(|poison| poison.into_inner());
+        for &ptr in states.iter() {
+            // SAFETY: each pointer came from `Box::into_raw`, is freed
+            // exactly once (here), and no reader can exist any more —
+            // readers borrow a `ModelServer`, and the last one is gone
+            // or this `Drop` would not run.
+            drop(unsafe { Box::from_raw(ptr) });
+        }
+    }
+}
+
+/// A cloneable, thread-safe serving handle over a hot-swappable
+/// [`ModelSnapshot`]. See the [module docs](self) for the swap
+/// semantics.
+#[derive(Clone)]
+pub struct ModelServer {
+    slot: Arc<Slot>,
+}
+
+impl ModelServer {
+    /// Starts serving `snap` as generation 1. Fails with
+    /// [`RequestError::SchemaMismatch`] when the snapshot is internally
+    /// inconsistent (frozen dimension vs schema, catalog indices vs
+    /// frozen dimension) — the same checks every later [`swap`] runs.
+    ///
+    /// [`swap`]: ModelServer::swap
+    pub fn new(snap: ModelSnapshot) -> Result<Self, RequestError> {
+        check_snapshot(&snap)?;
+        let ptr = Box::into_raw(Box::new(State { generation: 1, snap }));
+        Ok(Self { slot: Arc::new(Slot { current: AtomicPtr::new(ptr), states: Mutex::new(vec![ptr]) }) })
+    }
+
+    /// The current snapshot and its generation, pinned by one atomic
+    /// load — the pair is always mutually consistent, even mid-swap.
+    pub fn snapshot(&self) -> (u64, &ModelSnapshot) {
+        let state = self.state();
+        (state.generation, &state.snap)
+    }
+
+    /// The generation currently serving (starts at 1, +1 per swap).
+    pub fn generation(&self) -> u64 {
+        self.state().generation
+    }
+
+    /// The schema of the current snapshot.
+    pub fn schema(&self) -> &Schema {
+        &self.state().snap.schema
+    }
+
+    /// The frozen model of the current snapshot.
+    pub fn frozen(&self) -> &FrozenModel {
+        &self.state().snap.frozen
+    }
+
+    /// The catalog of the current snapshot, when it carries one.
+    pub fn catalog(&self) -> Option<&Catalog> {
+        self.state().snap.catalog.as_ref()
+    }
+
+    /// The seen sets of the current snapshot, when it carries them.
+    pub fn seen(&self) -> Option<&SeenItems> {
+        self.state().snap.seen.as_ref()
+    }
+
+    /// How many generations the slot retains (== the number of
+    /// successful installs, including the first).
+    pub fn retained(&self) -> usize {
+        self.slot.states.lock().expect("server mutex poisoned").len()
+    }
+
+    /// Installs a new snapshot mid-traffic and returns its generation.
+    ///
+    /// Readers are never blocked: in-flight requests finish against the
+    /// generation they pinned; requests that start after the swap's
+    /// atomic store see the new one. The snapshot must be schema-
+    /// identical to the serving one and internally consistent, otherwise
+    /// a typed [`RequestError`] is returned and nothing changes.
+    pub fn swap(&self, snap: ModelSnapshot) -> Result<u64, RequestError> {
+        check_snapshot(&snap)?;
+        let mut states = self.slot.states.lock().expect("server mutex poisoned");
+        // Writers are serialised by the lock, so `current` cannot move
+        // under us here; readers may still load it concurrently.
+        let current = self.state();
+        check_schema_compatible(&current.snap.schema, &snap.schema)?;
+        let generation = current.generation + 1;
+        let ptr = Box::into_raw(Box::new(State { generation, snap }));
+        states.push(ptr);
+        self.slot.current.store(ptr, Ordering::Release);
+        Ok(generation)
+    }
+
+    /// Answers a [`ScoreRequest`] against the current snapshot.
+    pub fn score(&self, req: &ScoreRequest) -> Result<Response<f64>, RequestError> {
+        let state = self.state();
+        let value =
+            exec::execute_score(&state.snap.frozen, &state.snap.schema, state.snap.catalog.as_ref(), req)?;
+        Ok(Response { generation: state.generation, value })
+    }
+
+    /// Answers a [`TopNRequest`] against the current snapshot: `(item,
+    /// score)` pairs, best first, ties broken by ascending item id.
+    pub fn top_n(&self, req: &TopNRequest) -> Result<Response<Vec<(u32, f64)>>, RequestError> {
+        let state = self.state();
+        let value = exec::execute_topn(
+            &state.snap.frozen,
+            state.snap.catalog.as_ref(),
+            state.snap.seen.as_ref(),
+            req,
+            Parallelism::auto(),
+        )?;
+        Ok(Response { generation: state.generation, value })
+    }
+
+    /// [`ModelServer::top_n`] without the final sort/truncation: `(item,
+    /// score)` pairs in candidate order (`req.n` is ignored). This is
+    /// the shape the leave-one-out evaluation protocols consume.
+    pub fn candidate_scores(&self, req: &TopNRequest) -> Result<Response<Vec<(u32, f64)>>, RequestError> {
+        let state = self.state();
+        let value = exec::execute_candidate_scores(
+            &state.snap.frozen,
+            state.snap.catalog.as_ref(),
+            state.snap.seen.as_ref(),
+            req,
+            Parallelism::auto(),
+        )?;
+        Ok(Response { generation: state.generation, value })
+    }
+
+    /// Answers every sub-request of a [`BatchRequest`] against **one**
+    /// snapshot, fanned across the pool. Malformed sub-requests fail
+    /// individually; the batch itself always succeeds.
+    pub fn batch(&self, req: &BatchRequest) -> Response<Vec<Result<Reply, RequestError>>> {
+        let state = self.state();
+        let value = exec::execute_batch(
+            &state.snap.frozen,
+            &state.snap.schema,
+            state.snap.catalog.as_ref(),
+            state.snap.seen.as_ref(),
+            req,
+        );
+        Response { generation: state.generation, value }
+    }
+
+    /// The current state, by one `Acquire` load.
+    fn state(&self) -> &State {
+        // SAFETY: `current` always holds a pointer from `Box::into_raw`,
+        // recorded in the append-only `states` vector *before* being
+        // published with `Release` ordering (the `Acquire` load here
+        // pairs with it). No `Box` value exists after `into_raw`, so
+        // nothing ever moves or retags the allocation; it is freed only
+        // in `Slot::drop`. The returned borrow is tied to `&self`,
+        // which keeps the `Arc<Slot>` — and therefore
+        // every retained state — alive.
+        unsafe { &*self.slot.current.load(Ordering::Acquire) }
+    }
+}
+
+impl std::fmt::Debug for ModelServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (generation, snap) = self.snapshot();
+        f.debug_struct("ModelServer")
+            .field("generation", &generation)
+            .field("n_features", &snap.frozen.n_features())
+            .field("has_catalog", &snap.catalog.is_some())
+            .field("has_seen", &snap.seen.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Internal-consistency checks every installed snapshot must pass, so
+/// request execution can index the frozen tables without bounds panics.
+fn check_snapshot(snap: &ModelSnapshot) -> Result<(), RequestError> {
+    let n = snap.frozen.n_features();
+    if snap.schema.total_dim() != n {
+        return Err(RequestError::SchemaMismatch {
+            reason: format!("schema dimension {} != frozen model's {n} features", snap.schema.total_dim()),
+        });
+    }
+    if let Some(catalog) = &snap.catalog {
+        if let Some(max) = catalog.max_feature() {
+            if max as usize >= n {
+                return Err(RequestError::SchemaMismatch {
+                    reason: format!("catalog feature index {max} outside the model's {n} features"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Schema-compatibility check for hot swaps: the new snapshot must mean
+/// exactly what the old one meant, field for field.
+fn check_schema_compatible(current: &Schema, incoming: &Schema) -> Result<(), RequestError> {
+    if current.n_fields() != incoming.n_fields() {
+        return Err(RequestError::SchemaMismatch {
+            reason: format!("{} fields incoming vs {} serving", incoming.n_fields(), current.n_fields()),
+        });
+    }
+    for (a, b) in current.fields().iter().zip(incoming.fields()) {
+        if a.name != b.name || a.cardinality != b.cardinality || a.kind != b.kind {
+            return Err(RequestError::SchemaMismatch {
+                reason: format!(
+                    "field '{}' ({:?}, cardinality {}) incoming as '{}' ({:?}, cardinality {})",
+                    a.name, a.kind, a.cardinality, b.name, b.kind, b.cardinality
+                ),
+            });
+        }
+    }
+    Ok(())
+}

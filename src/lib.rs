@@ -17,6 +17,7 @@
 //! | [`par`] | `gmlfm-par` | scoped thread pool, `par_map`/`par_chunks`/`par_blocks`, Hogwild cells |
 //! | [`core`] | `gmlfm-core` | **GML-FM** itself: distances, transforms, efficient evaluation, persistence |
 //! | [`serve`] | `gmlfm-serve` | autograd-free serving: `Freeze`, `FrozenModel`, top-N ranking via Eq. 10/11 |
+//! | [`service`] | `gmlfm-service` | **online serving API**: typed requests/responses, hot-swappable `ModelServer` |
 //! | [`engine`] | `gmlfm-engine` | **unified pipeline**: `ModelSpec` → `Engine::builder()` → `Recommender` → versioned `Artifact` |
 //! | [`eval`] | `gmlfm-eval` | RMSE/HR/NDCG/MRR/AUC, protocols, significance tests |
 //! | [`tsne`] | `gmlfm-tsne` | exact t-SNE for the embedding case study |
@@ -66,6 +67,7 @@ pub use gmlfm_eval as eval;
 pub use gmlfm_models as models;
 pub use gmlfm_par as par;
 pub use gmlfm_serve as serve;
+pub use gmlfm_service as service;
 pub use gmlfm_tensor as tensor;
 pub use gmlfm_train as train;
 pub use gmlfm_tsne as tsne;
