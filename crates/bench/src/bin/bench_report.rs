@@ -11,19 +11,33 @@
 //! latency while reader threads hammer the handle — and writes
 //! `BENCH_service.json`.
 //!
+//! A third section measures **sharded-heap retrieval** against the old
+//! full-sort top-N at catalog sizes 10k/100k/1M and `n ∈ {10, 100}`
+//! (`BENCH_retrieval.json`): both paths score every candidate, but the
+//! heap path selects in `O(C·log n)` with `O(threads·n)` memory where
+//! the full sort pays `O(C·log C)` and an `O(C)` score buffer — the
+//! separation the paper's Eq. 10/11 decoupled serving makes worth
+//! measuring at million-item scale. Override the size list with
+//! `GMLFM_BENCH_RETRIEVAL_ITEMS` (comma-separated item counts) for
+//! quick smokes.
+//!
 //! Run with `cargo run --release -p gmlfm-bench --bin bench_report`.
 //! Thread counts above the machine's available parallelism still run
 //! (blocks queue on the pool) but cannot speed up wall-clock; the
 //! report records `available_parallelism` so a 1-core CI box's ~1x
 //! numbers are legible as hardware-bound, not regression.
 
-use gmlfm_core::{Distance, GmlFm, GmlFmConfig};
-use gmlfm_data::{generate, loo_split, DatasetSpec, FieldKind, FieldMask, Instance, Schema};
+use gmlfm_core::{GmlFm, GmlFmConfig};
+use gmlfm_data::{
+    generate, generate_scale, loo_split, DatasetSpec, FieldKind, FieldMask, Instance, ScaleConfig, Schema,
+};
 use gmlfm_eval::evaluate_topn_frozen_with;
 use gmlfm_par::Parallelism;
-use gmlfm_serve::{score_chunked_par, Freeze, FrozenModel, SecondOrder};
-use gmlfm_service::{BatchRequest, Catalog, ModelServer, ModelSnapshot, Request, ScoreRequest, TopNRequest};
-use gmlfm_tensor::{init::normal, seeded_rng};
+use gmlfm_serve::{rank_cmp, score_chunked_par, Freeze, FrozenModel};
+use gmlfm_service::{
+    BatchRequest, Catalog, ModelServer, ModelSnapshot, Request, ScoreRequest, ScoringBackend, TopNRequest,
+};
+use gmlfm_tensor::seeded_rng;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
@@ -50,15 +64,9 @@ fn throughput(ops_per_call: usize, mut job: impl FnMut()) -> f64 {
 }
 
 /// A serving-scale frozen model: weighted squared-Euclidean metric
-/// (the GML-FM_md shape), `n` features, `k = 16`.
+/// (the GML-FM_md shape) — the shared synthetic fixture.
 fn serving_model(n: usize, k: usize) -> FrozenModel {
-    let mut rng = seeded_rng(2024);
-    let v = normal(&mut rng, n, k, 0.0, 0.3);
-    let v_hat = normal(&mut rng, n, k, 0.0, 0.3);
-    let q: Vec<f64> = (0..n).map(|r| v_hat.row(r).iter().map(|x| x * x).sum()).collect();
-    let h = Some(normal(&mut rng, 1, k, 0.0, 0.3).into_vec());
-    let w = normal(&mut rng, 1, n, 0.0, 0.1).into_vec();
-    FrozenModel::from_parts(0.1, w, v, SecondOrder::metric(v_hat, q, h, Distance::SquaredEuclidean))
+    FrozenModel::synthetic_metric(n, k, 2024)
 }
 
 fn json_threads(rates: &[(usize, f64)]) -> String {
@@ -263,6 +271,74 @@ fn main() {
     let service_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
     std::fs::write(service_path, &service_json).expect("write BENCH_service.json");
     println!("\nwrote {service_path}:\n{service_json}");
+
+    // -- 6. sharded-heap retrieval vs full-sort top-N ------------------
+    // Whole-catalogue ranking requests at 10k / 100k / 1M items: the
+    // full-sort path (score all, sort all, truncate — the pre-redesign
+    // hot path) against the sharded bounded-heap path now serving
+    // `execute_topn`. Both score every candidate with the same rankers;
+    // the difference under measurement is selection.
+    let retrieval_sizes: Vec<usize> = std::env::var("GMLFM_BENCH_RETRIEVAL_ITEMS")
+        .ok()
+        .map(|raw| raw.split(',').filter_map(|v| v.trim().parse().ok()).collect())
+        .filter(|sizes: &Vec<usize>| !sizes.is_empty())
+        .unwrap_or_else(|| vec![10_000, 100_000, 1_000_000]);
+    let mut retrieval_entries: Vec<String> = Vec::new();
+    for &size in &retrieval_sizes {
+        let dataset = generate_scale(&ScaleConfig::new(64, size, 5));
+        let mask = FieldMask::all(&dataset.schema);
+        let catalog = Catalog::from_dataset(&dataset, &mask);
+        // k = 8 keeps the 1M-item embedding tables (~140 MB) laptop-sized.
+        let model = serving_model(dataset.schema.total_dim(), 8);
+        let candidates: Vec<u32> = (0..size as u32).collect();
+        let user = 7u32;
+        for n in [10usize, 100] {
+            for t in THREADS {
+                let par = Parallelism::threads(t);
+                let full_sort = || {
+                    let scores = model.candidate_scores(&catalog, user, &candidates, par);
+                    let mut scored: Vec<(u32, f64)> = candidates.iter().copied().zip(scores).collect();
+                    scored.sort_by(rank_cmp);
+                    scored.truncate(n);
+                    scored
+                };
+                let sharded_heap = || model.select_top_n(&catalog, user, &candidates, n, par);
+                assert_eq!(
+                    sharded_heap(),
+                    full_sort(),
+                    "sharded heap diverged from full sort at {size} items, n={n}, {t} threads"
+                );
+                let full_rate = throughput(1, || {
+                    std::hint::black_box(full_sort());
+                });
+                let heap_rate = throughput(1, || {
+                    std::hint::black_box(sharded_heap());
+                });
+                let speedup = heap_rate / full_rate;
+                println!(
+                    "retrieval       items={size:>8} n={n:<4} threads={t}: \
+                     full_sort {full_rate:>8.2} req/s, sharded_heap {heap_rate:>8.2} req/s \
+                     ({speedup:.2}x)"
+                );
+                retrieval_entries.push(format!(
+                    "{{\"n_items\": {size}, \"n\": {n}, \"threads\": {t}, \
+                     \"full_sort_rps\": {full_rate:.3}, \"sharded_heap_rps\": {heap_rate:.3}, \
+                     \"heap_speedup\": {speedup:.3}}}"
+                ));
+            }
+        }
+    }
+    let retrieval_json = format!(
+        "{{\n  \"available_parallelism\": {cores},\n  \
+         \"note\": \"whole-catalogue top-N requests/s, best of 3; both paths score every candidate \
+         with identical rankers and are asserted item-for-item equal — the measured difference is \
+         O(C log C) full sort + O(C) score buffer vs O(C log n) sharded bounded heaps\",\n  \
+         \"entries\": [\n    {}\n  ]\n}}\n",
+        retrieval_entries.join(",\n    "),
+    );
+    let retrieval_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_retrieval.json");
+    std::fs::write(retrieval_path, &retrieval_json).expect("write BENCH_retrieval.json");
+    println!("\nwrote {retrieval_path}:\n{retrieval_json}");
 
     // -- report -------------------------------------------------------
     let json = format!(

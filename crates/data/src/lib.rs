@@ -38,4 +38,6 @@ pub use instance::Instance;
 pub use sampling::{NegativeSampler, ZipfSampler};
 pub use schema::{FieldKind, FieldMask, Schema};
 pub use split::{loo_split, rating_split, LooSplit, LooTestCase, RatingSplit};
-pub use synth::{generate, generate_with_truth, DatasetSpec, GroundTruth, SynthConfig};
+pub use synth::{
+    generate, generate_scale, generate_with_truth, DatasetSpec, GroundTruth, ScaleConfig, SynthConfig,
+};

@@ -467,6 +467,121 @@ pub fn generate_with_truth(config: &SynthConfig) -> (Dataset, GroundTruth) {
     (dataset, GroundTruth { user_latents, item_latents })
 }
 
+/// Configuration of a catalog-scale retrieval scenario: a deterministic
+/// schema + attribute tables + a light interaction set for item counts
+/// up to the millions.
+///
+/// This is the substrate of the sharded top-N retrieval workload (the
+/// `serve_millions` example and `bench_report`'s retrieval section): it
+/// needs a big catalogue *with side features* — so ranking exercises
+/// real multi-feature candidate groups — but none of [`generate`]'s
+/// ground-truth latent machinery, whose per-item latent vectors and
+/// per-user candidate-pool scoring would dominate generation time long
+/// before a million items. Generation here is `O(n_users + n_items)`
+/// with a handful of RNG draws per entity.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// Dataset name.
+    pub name: String,
+    /// Number of users.
+    pub n_users: usize,
+    /// Number of catalogue items.
+    pub n_items: usize,
+    /// Cardinality of the item-side `category` field.
+    pub n_categories: usize,
+    /// Items sampled per user for the seen sets (deduplicated, so the
+    /// realised count can be slightly lower).
+    pub interactions_per_user: usize,
+    /// Master seed; the output is deterministic in it.
+    pub seed: u64,
+}
+
+impl ScaleConfig {
+    /// A scenario with `n_users` users, `n_items` items, 64 categories
+    /// and 8 seen items per user.
+    pub fn new(n_users: usize, n_items: usize, seed: u64) -> Self {
+        Self {
+            name: format!("scale-{n_items}"),
+            n_users,
+            n_items,
+            n_categories: 64,
+            interactions_per_user: 8,
+            seed,
+        }
+    }
+}
+
+/// Generates a catalog-scale dataset from a [`ScaleConfig`]:
+///
+/// * schema `user | item | segment (user attr) | category | condition`,
+///   so candidates are three-feature groups (item id + category +
+///   condition) and users carry a side feature for cold-start requests;
+/// * head-heavy category assignment (squared-uniform, so a few
+///   categories dominate like real catalogues) and uniform conditions;
+/// * a small head-skewed interaction set per user — enough to build
+///   meaningful seen sets for exclusion filtering, cheap enough for a
+///   million items.
+///
+/// Deterministic in `config.seed`; usable everywhere a [`Dataset`] is
+/// (in particular `Catalog::from_dataset` in `gmlfm-service`).
+pub fn generate_scale(config: &ScaleConfig) -> Dataset {
+    assert!(config.n_users > 0 && config.n_items > 0, "generate_scale: empty catalog");
+    let mut rng = seeded_rng(config.seed);
+    let schema = Schema::new(vec![
+        crate::schema::Field { name: "user".into(), cardinality: config.n_users, kind: FieldKind::User },
+        crate::schema::Field { name: "item".into(), cardinality: config.n_items, kind: FieldKind::Item },
+        crate::schema::Field { name: "segment".into(), cardinality: 8, kind: FieldKind::UserAttr },
+        crate::schema::Field {
+            name: "category".into(),
+            cardinality: config.n_categories,
+            kind: FieldKind::Category,
+        },
+        crate::schema::Field { name: "condition".into(), cardinality: 5, kind: FieldKind::Condition },
+    ]);
+
+    let user_attrs: Vec<Vec<usize>> = (0..config.n_users).map(|_| vec![rng.gen_range(0..8)]).collect();
+    let item_attrs: Vec<Vec<usize>> = (0..config.n_items)
+        .map(|_| {
+            // u² skews mass toward category 0 — the head-heavy shape of
+            // real catalogues — without a Zipf table over the item axis.
+            let u: f64 = rng.gen();
+            let category = ((u * u) * config.n_categories as f64) as usize;
+            vec![category.min(config.n_categories - 1), rng.gen_range(0..5)]
+        })
+        .collect();
+
+    let mut interactions = Vec::with_capacity(config.n_users * config.interactions_per_user);
+    let mut picked: Vec<u32> = Vec::with_capacity(config.interactions_per_user);
+    for user in 0..config.n_users {
+        picked.clear();
+        for _ in 0..config.interactions_per_user {
+            // Cubed-uniform item draw: head items dominate the seen
+            // sets, mirroring the Zipf popularity of [`generate`].
+            let u: f64 = rng.gen();
+            let item = ((u * u * u) * config.n_items as f64) as u32;
+            let item = item.min(config.n_items as u32 - 1);
+            if !picked.contains(&item) {
+                picked.push(item);
+            }
+        }
+        for (ts, &item) in picked.iter().enumerate() {
+            interactions.push(Interaction { user: user as u32, item, ts: ts as u32 });
+        }
+    }
+
+    Dataset {
+        name: config.name.clone(),
+        schema,
+        n_users: config.n_users,
+        n_items: config.n_items,
+        interactions,
+        user_attrs,
+        item_attrs,
+        user_attr_fields: vec![2],
+        item_attr_fields: vec![3, 4],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -539,6 +654,47 @@ mod tests {
         let d = generate(&cfg);
         let counts = d.user_counts();
         assert!(counts.iter().any(|&c| c <= 3), "expected some cold users");
+    }
+
+    #[test]
+    fn scale_generation_is_deterministic_and_well_formed() {
+        let cfg = ScaleConfig::new(50, 20_000, 11);
+        let a = generate_scale(&cfg);
+        let b = generate_scale(&cfg);
+        assert_eq!(a.interactions, b.interactions);
+        assert_eq!(a.item_attrs, b.item_attrs);
+        assert_eq!(a.user_attrs, b.user_attrs);
+
+        assert_eq!(a.n_users, 50);
+        assert_eq!(a.n_items, 20_000);
+        assert_eq!(a.schema.n_fields(), 5);
+        assert_eq!(a.item_attrs.len(), a.n_items);
+        assert_eq!(a.user_attrs.len(), a.n_users);
+        for attrs in &a.item_attrs {
+            assert!(attrs[0] < cfg.n_categories && attrs[1] < 5);
+        }
+        for it in &a.interactions {
+            assert!((it.user as usize) < a.n_users && (it.item as usize) < a.n_items);
+        }
+        // The full feature-vector machinery works on the scale shape.
+        let inst = a.instance(7, 19_999, 1.0);
+        assert_eq!(inst.n_fields(), 5);
+        assert!(inst.feats.iter().all(|&f| (f as usize) < a.schema.total_dim()));
+    }
+
+    #[test]
+    fn scale_seen_sets_are_head_heavy_and_per_user_distinct() {
+        let d = generate_scale(&ScaleConfig::new(200, 5_000, 3));
+        let sets = d.user_item_sets();
+        assert!(sets.iter().all(|s| !s.is_empty()), "every user has seen items");
+        let mut seen_pairs = HashSet::new();
+        for it in &d.interactions {
+            assert!(seen_pairs.insert((it.user, it.item)), "duplicate pair");
+        }
+        // Cubed-uniform sampling concentrates interactions on low ids:
+        // the first quarter of the id space draws ~63% of interactions.
+        let head = d.interactions.iter().filter(|it| (it.item as usize) < d.n_items / 4).count();
+        assert!(head * 2 > d.interactions.len(), "head items dominate: {head}/{}", d.interactions.len());
     }
 
     #[test]

@@ -432,6 +432,11 @@ impl Recommender {
     /// [`TopNRequest`] for the production default of excluding the
     /// user's training-time items, candidate subsets or explicit
     /// exclusions.
+    ///
+    /// Retrieval is the sharded bounded-heap path — never a full
+    /// catalogue sort — under the deterministic total order documented
+    /// on [`TopNRequest`]: score descending, equal scores broken by
+    /// ascending item id.
     pub fn top_n(&self, user: u32, n: usize) -> Result<Vec<(u32, f64)>, EngineError> {
         let req = TopNRequest::new(user, n).include_seen().parallelism(self.par);
         Ok(self.handle_top_n(&req)?.value)

@@ -1,0 +1,176 @@
+//! Property tests pinning sharded bounded-heap top-N retrieval
+//! **item-for-item identical** — scores bitwise, tie order included — to
+//! the full-sort reference, across all 10 freezable [`ModelSpec`]
+//! variants, shard counts {1, 3, 8}, thread counts {1, 2, 5} and
+//! `n ∈ {1, 5, catalog_size, catalog_size + 10}`.
+//!
+//! The reference is the pre-retrieval-redesign path, re-implemented
+//! here: score every candidate with one ranker, stable-sort the full
+//! vector under the shared total order ([`gmlfm_serve::rank_cmp`]:
+//! score desc, item id asc), truncate. The fast path must reproduce it
+//! exactly — no approximation budget — both when called directly
+//! ([`gmlfm_serve::sharded_top_n`]) and through the serving request
+//! path (`ModelServer::top_n`).
+
+use gmlfm_core::{Distance, GmlFmConfig};
+use gmlfm_data::{generate, DatasetSpec, FieldMask};
+use gmlfm_engine::ModelSpec;
+use gmlfm_models::fm::FmConfig;
+use gmlfm_models::transfm::TransFmConfig;
+use gmlfm_par::Parallelism;
+use gmlfm_serve::{rank_cmp, sharded_top_n, FrozenModel};
+use gmlfm_service::{Catalog, ModelServer, ModelSnapshot, TopNRequest};
+use proptest::prelude::*;
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+const SHARD_COUNTS: [usize; 3] = [1, 3, 8];
+const THREAD_COUNTS: [usize; 3] = [1, 2, 5];
+
+/// Every spec whose estimator has a frozen serving form, covering all
+/// transform/distance/weight corners of GML-FM plus FM and TransFM.
+fn freezable_specs() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec::gml_fm_md(6),
+        ModelSpec::gml_fm(GmlFmConfig::mahalanobis(6).without_weight()),
+        ModelSpec::gml_fm(GmlFmConfig::euclidean_plain(6)),
+        ModelSpec::gml_fm_dnn(6, 0),
+        ModelSpec::gml_fm_dnn(6, 2),
+        ModelSpec::gml_fm(GmlFmConfig::dnn(6, 1).with_distance(Distance::Manhattan)),
+        ModelSpec::gml_fm(GmlFmConfig::dnn(6, 1).with_distance(Distance::Chebyshev)),
+        ModelSpec::gml_fm(GmlFmConfig::dnn(6, 1).with_distance(Distance::Cosine)),
+        ModelSpec::fm(FmConfig { k: 6, epochs: 1, ..FmConfig::default() }),
+        ModelSpec::trans_fm(TransFmConfig { k: 6, seed: 29 }),
+    ]
+}
+
+struct Fixture {
+    catalog: Catalog,
+    /// `(display name, frozen model, server over the same snapshot)` per
+    /// freezable spec.
+    frozen: Vec<(&'static str, FrozenModel, ModelServer)>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let dataset = generate(&DatasetSpec::AmazonAuto.config(97).scaled(0.15));
+        let mask = FieldMask::all(&dataset.schema);
+        let catalog = Catalog::from_dataset(&dataset, &mask);
+        // Untrained estimators are enough: retrieval parity is
+        // independent of the parameter values, and freezing at init
+        // keeps the fixture fast.
+        let frozen = freezable_specs()
+            .into_iter()
+            .map(|spec| {
+                let name = spec.display_name();
+                let estimator = spec.build(&dataset.schema, &mask);
+                let frozen = estimator.freeze_if_supported().expect("freezable spec");
+                let server = ModelServer::new(ModelSnapshot {
+                    schema: dataset.schema.clone(),
+                    frozen: frozen.clone(),
+                    catalog: Some(catalog.clone()),
+                    seen: None,
+                })
+                .expect("consistent snapshot");
+                (name, frozen, server)
+            })
+            .collect();
+        Fixture { catalog, frozen }
+    })
+}
+
+/// The full-sort reference: one ranker over all candidates, stable sort
+/// under the shared total order, truncate.
+fn reference_top_n(model: &FrozenModel, catalog: &Catalog, user: u32, n: usize) -> Vec<(u32, f64)> {
+    let template = catalog.template(user).expect("user in catalog");
+    let mut ranker = model.ranker(template, catalog.item_slots());
+    let mut scored: Vec<(u32, f64)> = (0..catalog.n_items() as u32)
+        .map(|item| (item, ranker.score(catalog.item_features(item).expect("item in catalog"))))
+        .collect();
+    scored.sort_by(rank_cmp);
+    scored.truncate(n);
+    scored
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Direct sharded retrieval equals the full sort at every
+    /// (shard count × thread count × n) combination.
+    #[test]
+    fn sharded_heap_matches_full_sort(variant in 0usize..10, user in 0u32..200, n_kind in 0usize..4) {
+        let f = fixture();
+        let (name, model, _) = &f.frozen[variant];
+        let user = user % f.catalog.n_users() as u32;
+        let catalog_size = f.catalog.n_items();
+        let n = [1, 5, catalog_size, catalog_size + 10][n_kind];
+        let reference = reference_top_n(model, &f.catalog, user, n);
+        let candidates: Vec<u32> = (0..catalog_size as u32).collect();
+        for shards in SHARD_COUNTS {
+            for threads in THREAD_COUNTS {
+                let got = sharded_top_n(
+                    &candidates,
+                    n,
+                    NonZeroUsize::new(shards).expect("non-zero"),
+                    Parallelism::threads(threads),
+                    || model.ranker(f.catalog.template(user).expect("user"), f.catalog.item_slots()),
+                    |ranker, item| ranker.score(f.catalog.item_features(item).expect("item")),
+                );
+                prop_assert_eq!(got.len(), reference.len(), "{} shards={} threads={}", name, shards, threads);
+                for (g, r) in got.iter().zip(&reference) {
+                    prop_assert_eq!(g.0, r.0, "{} item order drifted (shards={}, threads={}, n={})", name, shards, threads, n);
+                    prop_assert_eq!(g.1.to_bits(), r.1.to_bits(), "{} score drifted (shards={}, threads={}, n={})", name, shards, threads, n);
+                }
+            }
+        }
+    }
+
+    /// The serving request path — default sharding = the request's
+    /// worker count — equals the same reference.
+    #[test]
+    fn request_path_matches_full_sort(variant in 0usize..10, user in 0u32..200, n_kind in 0usize..4) {
+        let f = fixture();
+        let (name, model, server) = &f.frozen[variant];
+        let user = user % f.catalog.n_users() as u32;
+        let catalog_size = f.catalog.n_items();
+        let n = [1, 5, catalog_size, catalog_size + 10][n_kind];
+        let reference = reference_top_n(model, &f.catalog, user, n);
+        for threads in THREAD_COUNTS {
+            let req = TopNRequest::new(user, n).include_seen().parallelism(Parallelism::threads(threads));
+            let got = server.top_n(&req).expect("valid request").value;
+            prop_assert_eq!(&got, &reference, "{} request path drifted (threads={}, n={})", name, threads, n);
+        }
+    }
+}
+
+/// Equal-score candidates must rank by ascending item id on both paths:
+/// a model with zero interaction weights scores every item identically,
+/// so the whole ranking is decided by the tie contract.
+#[test]
+fn exact_ties_rank_by_item_id_on_both_paths() {
+    use gmlfm_serve::SecondOrder;
+    use gmlfm_tensor::Matrix;
+    let n_items = 57usize;
+    let dim = 1 + n_items;
+    let frozen = FrozenModel::from_parts(0.5, vec![0.0; dim], Matrix::zeros(dim, 4), SecondOrder::Dot);
+    let catalog =
+        Catalog::new(vec![1], vec![vec![0u32, 1]], (0..n_items as u32).map(|i| vec![1 + i]).collect());
+    let reference = reference_top_n(&frozen, &catalog, 0, 10);
+    let expected: Vec<(u32, f64)> = (0..10u32).map(|i| (i, 0.5)).collect();
+    assert_eq!(reference, expected, "full sort ranks ties by ascending item id");
+    let candidates: Vec<u32> = (0..n_items as u32).collect();
+    for shards in SHARD_COUNTS {
+        for threads in THREAD_COUNTS {
+            let got = sharded_top_n(
+                &candidates,
+                10,
+                NonZeroUsize::new(shards).expect("non-zero"),
+                Parallelism::threads(threads),
+                || frozen.ranker(catalog.template(0).expect("user"), catalog.item_slots()),
+                |ranker, item| ranker.score(catalog.item_features(item).expect("item")),
+            );
+            assert_eq!(got, expected, "shards={shards} threads={threads}");
+        }
+    }
+}

@@ -73,6 +73,30 @@ fn rank_of_first(scores: &[f64]) -> usize {
     scores[1..].iter().filter(|&&s| s >= pos).count()
 }
 
+/// `(HR@k, NDCG@k)` for one leave-one-out case from a **bounded top-`k`
+/// selection over the negatives** — the same
+/// [`gmlfm_serve::TopNHeap`] machinery the serving retrieval path runs —
+/// instead of the full score vector.
+///
+/// `topk_negatives` must be the `k` best-retained negatives under the
+/// retrieval order (or all of them when fewer than `k` exist), e.g.
+/// [`gmlfm_serve::TopNHeap::retained`]. The positive's conservative rank
+/// is the number of retained negatives scoring `>= pos_score`: every
+/// negative scoring `>=` the positive outranks every negative scoring
+/// below it, so whenever that count is below `k` the bounded selection
+/// provably retained *all* such negatives — making the result identical,
+/// tie handling included, to [`hit_ratio_at`]/[`ndcg_at`] over the full
+/// vector. A count of `k` means the positive fell off the cut, which is
+/// exactly the full-scan miss case.
+pub fn topk_case_metrics(pos_score: f64, topk_negatives: &[(u32, f64)], k: usize) -> (f64, f64) {
+    let rank = topk_negatives.iter().filter(|&&(_, s)| s >= pos_score).count();
+    if rank < k {
+        (1.0, 1.0 / ((rank + 2) as f64).log2())
+    } else {
+        (0.0, 0.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +161,31 @@ mod tests {
     #[should_panic(expected = "auc")]
     fn auc_needs_a_negative() {
         let _ = auc(&[1.0]);
+    }
+
+    /// The bounded-selection metrics must equal the full-scan metrics on
+    /// every case — tie handling included — for any negative ordering.
+    #[test]
+    fn topk_case_metrics_match_full_scan_including_ties() {
+        use gmlfm_serve::TopNHeap;
+        let cases: &[&[f64]] = &[
+            &[5.0, 7.0, 6.0, 1.0],
+            &[5.0, 5.0, 1.0],           // tie counts against the positive
+            &[5.0, 5.0, 5.0, 5.0],      // all tied
+            &[9.0, 1.0, 2.0],           // clean hit at rank 0
+            &[0.0, 1.0, 2.0, 3.0, 4.0], // clean miss
+            &[1.0],                     // no negatives at all
+        ];
+        for scores in cases {
+            for k in 0..=6usize {
+                let mut heap = TopNHeap::new(k);
+                for (i, &s) in scores[1..].iter().enumerate() {
+                    heap.push(i as u32, s);
+                }
+                let (hr, ndcg) = topk_case_metrics(scores[0], heap.retained(), k);
+                assert_eq!(hr, hit_ratio_at(scores, k), "hr {scores:?} k={k}");
+                assert_eq!(ndcg, ndcg_at(scores, k), "ndcg {scores:?} k={k}");
+            }
+        }
     }
 }

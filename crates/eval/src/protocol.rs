@@ -9,10 +9,10 @@
 //! for the same model (pinned by tests here); the frozen path is the one
 //! the experiment runners use.
 
-use crate::metrics::{hit_ratio_at, mae, ndcg_at, rmse};
+use crate::metrics::{hit_ratio_at, mae, ndcg_at, rmse, topk_case_metrics};
 use gmlfm_data::{Dataset, FieldKind, FieldMask, Instance, LooTestCase};
 use gmlfm_par::Parallelism;
-use gmlfm_serve::FrozenModel;
+use gmlfm_serve::{FrozenModel, TopNHeap};
 use gmlfm_service::{exec, Catalog, ModelServer, RequestError, ScoringBackend, SeenItems, TopNRequest};
 use gmlfm_train::Scorer;
 
@@ -125,6 +125,11 @@ pub fn evaluate_topn_frozen(
 /// [`gmlfm_serve::TopNRanker`] state, and the per-user metric vectors
 /// are merged in input order — so the result is **bit-identical** to the
 /// serial evaluation at every thread count.
+///
+/// Per case, the negatives run through a bounded top-`k` [`TopNHeap`] —
+/// the same selection the serving retrieval path uses — instead of a
+/// materialised score vector; [`topk_case_metrics`] proves the metrics
+/// identical to the full scan, conservative tie handling included.
 pub fn evaluate_topn_frozen_with(
     model: &FrozenModel,
     dataset: &Dataset,
@@ -138,23 +143,22 @@ pub fn evaluate_topn_frozen_with(
     let per_user: Vec<(f64, f64)> = gmlfm_par::par_blocks(par, cases.len(), |range| {
         // Per-worker scratch, reused across the whole block.
         let mut out = Vec::with_capacity(range.len());
-        let mut scores: Vec<f64> = Vec::new();
         let mut feats: Vec<u32> = Vec::new();
         let mut item_feats: Vec<u32> = Vec::new();
         for case in &cases[range] {
             let template = dataset.feats(case.user, case.pos_item, mask);
             let mut ranker = model.ranker(&template, &item_slots);
-            scores.clear();
             item_feats.clear();
             item_feats.extend(item_slots.iter().map(|&s| template[s]));
-            scores.push(ranker.score(&item_feats));
-            for &neg in &case.negatives {
+            let pos_score = ranker.score(&item_feats);
+            let mut heap = TopNHeap::new(k);
+            for (i, &neg) in case.negatives.iter().enumerate() {
                 dataset.feats_into(case.user, neg, mask, &mut feats);
                 item_feats.clear();
                 item_feats.extend(item_slots.iter().map(|&s| feats[s]));
-                scores.push(ranker.score(&item_feats));
+                heap.push(i as u32, ranker.score(&item_feats));
             }
-            out.push((hit_ratio_at(&scores, k), ndcg_at(&scores, k)));
+            out.push(topk_case_metrics(pos_score, heap.retained(), k));
         }
         out
     });
@@ -200,7 +204,9 @@ pub fn evaluate_topn_service_with(
 /// runs serially) and the per-user metric vectors are merged in input
 /// order — bit-identical to the serial evaluation at every thread count.
 /// A case whose user or items fall outside the catalog is a typed
-/// [`RequestError`].
+/// [`RequestError`]. Per case, the positive's rank comes from a bounded
+/// top-`k` [`TopNHeap`] over the negatives ([`topk_case_metrics`]) —
+/// the serving retrieval selection, with full-scan-identical metrics.
 pub fn evaluate_topn_backend<B: ScoringBackend + Sync + ?Sized>(
     backend: &B,
     catalog: Option<&Catalog>,
@@ -222,8 +228,11 @@ pub fn evaluate_topn_backend<B: ScoringBackend + Sync + ?Sized>(
                     .parallelism(Parallelism::serial());
                 let scored =
                     exec::execute_candidate_scores(backend, catalog, seen, &req, Parallelism::serial())?;
-                let scores: Vec<f64> = scored.iter().map(|(_, s)| *s).collect();
-                Ok((hit_ratio_at(&scores, k), ndcg_at(&scores, k)))
+                let mut heap = TopNHeap::new(k);
+                for (i, &(_, s)) in scored[1..].iter().enumerate() {
+                    heap.push(i as u32, s);
+                }
+                Ok(topk_case_metrics(scored[0].1, heap.retained(), k))
             })
             .collect()
     });

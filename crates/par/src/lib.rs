@@ -119,7 +119,12 @@ pub fn global() -> &'static ThreadPool {
 
 /// Splits `0..n` into at most `blocks` contiguous, near-equal ranges in
 /// order (the first `n % blocks` ranges are one element longer).
-fn block_ranges(n: usize, blocks: usize) -> Vec<Range<usize>> {
+///
+/// This is the partition every `par_*` helper uses internally; it is
+/// public so callers that need an *explicit* shard structure — notably
+/// serving's sharded top-N retrieval, whose shard count is independent
+/// of the worker count — cut their work the same way.
+pub fn block_ranges(n: usize, blocks: usize) -> Vec<Range<usize>> {
     let blocks = blocks.min(n).max(1);
     let base = n / blocks;
     let extra = n % blocks;

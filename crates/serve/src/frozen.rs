@@ -244,6 +244,25 @@ impl FrozenModel {
         TopNRanker::new(self, template, item_slots)
     }
 
+    /// A serving-shaped synthetic model: weighted squared-Euclidean
+    /// metric (the GML-FM_md form after freezing) over `n` one-hot
+    /// features with embedding size `k`, all parameters drawn from
+    /// seeded normals. Deterministic in `seed`.
+    ///
+    /// This is the shared fixture for benches, examples and cross-crate
+    /// tests that need catalogue-scale scoring without paying for
+    /// training — retrieval and serving costs are independent of the
+    /// parameter values.
+    pub fn synthetic_metric(n: usize, k: usize, seed: u64) -> Self {
+        let mut rng = gmlfm_tensor::seeded_rng(seed);
+        let v = gmlfm_tensor::init::normal(&mut rng, n, k, 0.0, 0.3);
+        let v_hat = gmlfm_tensor::init::normal(&mut rng, n, k, 0.0, 0.3);
+        let q: Vec<f64> = (0..n).map(|r| dot(v_hat.row(r), v_hat.row(r))).collect();
+        let h = Some(gmlfm_tensor::init::normal(&mut rng, 1, k, 0.0, 0.3).into_vec());
+        let w = gmlfm_tensor::init::normal(&mut rng, 1, n, 0.0, 0.1).into_vec();
+        Self::from_parts(0.1, w, v, SecondOrder::metric(v_hat, q, h, Distance::SquaredEuclidean))
+    }
+
     /// The second-order term for a set of active features, choosing the
     /// cheapest exact evaluation.
     ///

@@ -28,6 +28,11 @@
 //!   partial sums computed once per user and only an `O(k²)` (or `O(k)`)
 //!   delta per candidate item; every distance, the order-dependent
 //!   TransFM mode included, scores by item delta.
+//! * [`topn`] — sharded top-N retrieval: per-shard bounded
+//!   [`TopNHeap`]s (size `n`, threshold-rejecting) merged under the
+//!   deterministic [`rank_cmp`] total order (score desc, item id asc),
+//!   so a whole-catalogue request costs `O(C·k + C·log n)` instead of a
+//!   full `O(C·log C)` sort — and returns the *identical* ranking.
 //!
 //! Parity with the autograd path is pinned to ≤1e-9 by the tests in this
 //! crate and by `tests/frozen_parity.rs`; the `serve_speedup` bench in
@@ -37,8 +42,10 @@ pub mod batch;
 pub mod freeze;
 pub mod frozen;
 pub mod rank;
+pub mod topn;
 
 pub use batch::{score_chunked, score_chunked_par};
 pub use freeze::Freeze;
 pub use frozen::{FrozenModel, HatQ, SecondOrder};
 pub use rank::TopNRanker;
+pub use topn::{merge_sharded, rank_cmp, sharded_top_n, TopNHeap};

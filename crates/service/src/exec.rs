@@ -13,11 +13,13 @@ use crate::error::RequestError;
 use crate::protocol::{BatchRequest, Reply, Request, ScoreRequest, TopNRequest};
 use gmlfm_data::{FieldKind, Schema};
 use gmlfm_par::Parallelism;
-use gmlfm_serve::FrozenModel;
+use gmlfm_serve::{sharded_top_n, FrozenModel, TopNHeap};
 use std::borrow::Cow;
+use std::num::NonZeroUsize;
 
-/// What executes a validated request: one score per feature vector, and
-/// catalogue candidate scoring for ranking requests.
+/// What executes a validated request: one score per feature vector,
+/// catalogue candidate scoring for the evaluation protocols, and
+/// bounded-heap top-N selection for ranking requests.
 ///
 /// Implementations may ignore `par` (the engine's live estimators score
 /// through their own batch path); the frozen implementation partitions
@@ -37,6 +39,34 @@ pub trait ScoringBackend {
         candidates: &[u32],
         par: Parallelism,
     ) -> Vec<f64>;
+
+    /// Selects the top `n` of validated `candidates` for catalog `user`
+    /// under the retrieval total order ([`gmlfm_serve::rank_cmp`]: score descending,
+    /// ties by ascending item id), best first.
+    ///
+    /// The default implementation scores everything through
+    /// [`candidate_scores`] and selects with one bounded [`TopNHeap`] —
+    /// `O(C·log n)` selection, never a full sort. The frozen
+    /// implementation overrides this with per-shard rankers
+    /// ([`sharded_top_n`]), which also skips materialising the `O(C)`
+    /// score vector. Both produce item-for-item identical rankings.
+    ///
+    /// [`candidate_scores`]: ScoringBackend::candidate_scores
+    fn select_top_n(
+        &self,
+        catalog: &Catalog,
+        user: u32,
+        candidates: &[u32],
+        n: usize,
+        par: Parallelism,
+    ) -> Vec<(u32, f64)> {
+        let scores = self.candidate_scores(catalog, user, candidates, par);
+        let mut heap = TopNHeap::new(n);
+        for (&item, score) in candidates.iter().zip(scores) {
+            heap.push(item, score);
+        }
+        heap.into_sorted()
+    }
 }
 
 impl ScoringBackend for FrozenModel {
@@ -65,6 +95,34 @@ impl ScoringBackend for FrozenModel {
                 })
                 .collect()
         })
+    }
+
+    /// Sharded bounded-heap retrieval: one contiguous candidate shard
+    /// per requested worker, each with its own [`gmlfm_serve::TopNRanker`]
+    /// (context partials computed once per shard) and size-`n`
+    /// [`TopNHeap`], merged in shard order under [`gmlfm_serve::rank_cmp`]. No full
+    /// score vector and no full sort — `O(C·k + C·log n)` per request.
+    fn select_top_n(
+        &self,
+        catalog: &Catalog,
+        user: u32,
+        candidates: &[u32],
+        n: usize,
+        par: Parallelism,
+    ) -> Vec<(u32, f64)> {
+        let template = catalog.template(user).expect("caller validated the user");
+        let item_slots = catalog.item_slots();
+        let shards = NonZeroUsize::new(par.get()).expect("Parallelism is non-zero");
+        sharded_top_n(
+            candidates,
+            n,
+            shards,
+            par,
+            || self.ranker(template, item_slots),
+            |ranker, item| {
+                ranker.score(catalog.item_features(item).expect("caller validated the candidates"))
+            },
+        )
     }
 }
 
@@ -191,9 +249,17 @@ pub fn execute_candidate_scores<B: ScoringBackend + ?Sized>(
     Ok(candidates.into_iter().zip(scores).collect())
 }
 
-/// Validates and runs a [`TopNRequest`] through `backend`: candidate
-/// scores, sorted best-first (ties broken by ascending item id) and
-/// truncated to `req.n`.
+/// Validates and runs a [`TopNRequest`] through `backend`: the top
+/// `req.n` candidates, best first, under the deterministic retrieval
+/// order ([`gmlfm_serve::rank_cmp`]: score descending, ties broken by ascending item
+/// id).
+///
+/// Selection goes through [`ScoringBackend::select_top_n`] — sharded
+/// bounded heaps for frozen snapshots — never a full sort, and the
+/// exclusion filtering of [`resolve_candidates`] runs **before** the
+/// heaps, so excluded and seen items never occupy result slots.
+/// `req.n = 0` yields an empty ranking; `req.n` beyond the surviving
+/// candidate count yields every survivor.
 pub fn execute_topn<B: ScoringBackend + ?Sized>(
     backend: &B,
     catalog: Option<&Catalog>,
@@ -201,10 +267,10 @@ pub fn execute_topn<B: ScoringBackend + ?Sized>(
     req: &TopNRequest,
     default_par: Parallelism,
 ) -> Result<Vec<(u32, f64)>, RequestError> {
-    let mut scored = execute_candidate_scores(backend, catalog, seen, req, default_par)?;
-    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-    scored.truncate(req.n);
-    Ok(scored)
+    let catalog = catalog.ok_or(RequestError::MissingCatalog)?;
+    let candidates = resolve_candidates(catalog, seen, req)?;
+    let par = req.par.unwrap_or(default_par);
+    Ok(backend.select_top_n(catalog, req.user, &candidates, req.n, par))
 }
 
 /// Fans a [`BatchRequest`] across the pool. Each sub-request validates

@@ -16,7 +16,14 @@
 //!   requests across the pool. Every request is validated against the
 //!   snapshot's [`gmlfm_data::Schema`] and [`Catalog`] into a typed
 //!   [`RequestError`] — out-of-range indices and unknown ids are
-//!   rejected, never scored as garbage and never a panic.
+//!   rejected, never scored as garbage and never a panic. Ranking
+//!   requests run the **sharded bounded-heap retrieval** path: candidate
+//!   filtering (exclusions, seen items) happens before selection, each
+//!   worker shard keeps a size-`n` [`gmlfm_serve::TopNHeap`], and shard
+//!   results merge under the deterministic total order (score desc,
+//!   item id asc) — `O(C·k + C·log n)` per request instead of a full
+//!   `O(C·log C)` catalogue sort, with an item-for-item identical
+//!   ranking.
 //! * **[`ModelServer`]** — a `Clone + Send + Sync` handle over a
 //!   [`ModelSnapshot`] (schema + frozen model + catalog + [`SeenItems`])
 //!   behind an atomic pointer: readers pin the current snapshot with one

@@ -74,6 +74,22 @@ impl ScoreRequest {
 /// with [`TopNRequest::include_seen`]; restrict to a candidate subset
 /// with [`TopNRequest::candidates`]; drop specific items with
 /// [`TopNRequest::exclude`].
+///
+/// ## Ordering and size contract
+///
+/// Results are ranked under a **deterministic total order**: score
+/// descending, equal scores broken by **ascending item id**
+/// ([`gmlfm_serve::rank_cmp`]). The same order applies on every
+/// execution path — the sharded bounded-heap retrieval of frozen
+/// snapshots, the single-heap selection of live estimators, and the
+/// full-sort references the parity tests pin against — so equal-score
+/// ordering is a contract, not a sort-implementation accident.
+///
+/// `n = 0` yields an empty ranking; `n` larger than the surviving
+/// candidate count (after exclusions and seen-item filtering, which run
+/// *before* selection) yields every survivor. Duplicate ids in an
+/// explicit candidate list are ranked as duplicates, exactly as a full
+/// sort would keep them.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TopNRequest {
     /// Catalog user id to rank for.

@@ -191,6 +191,11 @@ impl ModelServer {
 
     /// Answers a [`TopNRequest`] against the current snapshot: `(item,
     /// score)` pairs, best first, ties broken by ascending item id.
+    /// Retrieval is the sharded bounded-heap path — one
+    /// [`gmlfm_serve::TopNRanker`] and size-`n` [`gmlfm_serve::TopNHeap`]
+    /// per worker shard, merged deterministically — so a request over a
+    /// million-item catalogue never sorts (or even materialises) the
+    /// full score vector.
     pub fn top_n(&self, req: &TopNRequest) -> Result<Response<Vec<(u32, f64)>>, RequestError> {
         let state = self.state();
         let value = exec::execute_topn(

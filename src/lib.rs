@@ -16,7 +16,7 @@
 //! | [`models`] | `gmlfm-models` | the twelve baselines the paper compares against |
 //! | [`par`] | `gmlfm-par` | scoped thread pool, `par_map`/`par_chunks`/`par_blocks`, Hogwild cells |
 //! | [`core`] | `gmlfm-core` | **GML-FM** itself: distances, transforms, efficient evaluation, persistence |
-//! | [`serve`] | `gmlfm-serve` | autograd-free serving: `Freeze`, `FrozenModel`, top-N ranking via Eq. 10/11 |
+//! | [`serve`] | `gmlfm-serve` | autograd-free serving: `Freeze`, `FrozenModel`, Eq. 10/11 ranking, sharded bounded-heap top-N |
 //! | [`service`] | `gmlfm-service` | **online serving API**: typed requests/responses, hot-swappable `ModelServer` |
 //! | [`engine`] | `gmlfm-engine` | **unified pipeline**: `ModelSpec` → `Engine::builder()` → `Recommender` → versioned `Artifact` |
 //! | [`eval`] | `gmlfm-eval` | RMSE/HR/NDCG/MRR/AUC, protocols, significance tests |

@@ -13,11 +13,13 @@
 use rand::{Rng, SeedableRng, StdRng};
 
 pub mod collection;
+pub mod option;
 
 /// Re-exports matching `use proptest::prelude::*`.
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
     };
 }
 
@@ -116,6 +118,103 @@ impl_tuple_strategy! {
     (A/0, B/1, C/2)
     (A/0, B/1, C/2, D/3)
     (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+/// Strategy producing one fixed value (`proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a default whole-domain strategy (`proptest::arbitrary`).
+pub trait ArbitraryValue {
+    /// Draws one unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen()
+    }
+}
+
+// Whole-domain integers come from raw bits, truncated/reinterpreted —
+// uniform over the full domain. (`gen_range(MIN..MAX)` would be wrong
+// here: the vendored rand's debias math documents a span-below-2^63
+// assumption, and a full signed domain overflows its `low + r % span`
+// in debug builds.)
+macro_rules! impl_arbitrary_bits {
+    ($($t:ty),+) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_bits!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `proptest::prelude::any::<T>()`: the type's whole-domain strategy.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Uniform choice between boxed strategies — what [`prop_oneof!`]
+/// builds. (Upstream supports per-arm weights; the workspace only uses
+/// the unweighted form.)
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given arms.
+    ///
+    /// # Panics
+    /// Panics when `arms` is empty.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof!: no arms");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let arm = rng.gen_range(0..self.arms.len());
+        self.arms[arm].generate(rng)
+    }
+}
+
+/// Uniform choice among strategies producing one value type
+/// (upstream-compatible unweighted subset).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        let arms: ::std::vec::Vec<::std::boxed::Box<dyn $crate::Strategy<Value = _>>> =
+            vec![$(::std::boxed::Box::new($arm)),+];
+        $crate::Union::new(arms)
+    }};
 }
 
 /// Drives one `proptest!`-generated test: draws `config.cases` inputs,
@@ -264,6 +363,25 @@ mod tests {
         for _ in 0..20 {
             let v = strat.generate(&mut rng);
             assert!(v % 10 == 0 && v < 50);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn oneof_just_option_and_any_compose(
+            pick in prop_oneof![Just(1u32), Just(5u32), 10u32..20],
+            opt in option::of(0u32..4),
+            flag in any::<bool>(),
+            // Whole-domain signed draws must not overflow the vendored
+            // rand's debias math (raw-bits impl, not gen_range).
+            wide in any::<i64>(),
+            narrow in any::<i8>(),
+        ) {
+            prop_assert!(pick == 1 || pick == 5 || (10..20).contains(&pick));
+            prop_assert!(opt.is_none() || opt.unwrap() < 4);
+            // Any drawn value is valid; the draws themselves are the test.
+            let _ = (flag, wide, narrow);
         }
     }
 }

@@ -1,0 +1,30 @@
+//! Option strategies: `proptest::option::of`.
+
+use crate::Strategy;
+use rand::{Rng, StdRng};
+
+/// Strategy producing `Option<S::Value>`, `None` about a quarter of the
+/// time (upstream's default `Probability` is 0.5 for `Some`; the exact
+/// split is unobservable to correct property tests, and a `Some` bias
+/// exercises the interesting payloads more).
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        if rng.gen::<f64>() < 0.25 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// `proptest::option::of(strategy)`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
