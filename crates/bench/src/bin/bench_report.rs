@@ -21,6 +21,25 @@
 //! `GMLFM_BENCH_RETRIEVAL_ITEMS` (comma-separated item counts) for
 //! quick smokes.
 //!
+//! A fourth section measures **IVF-indexed retrieval** against the
+//! exact sharded-heap path at 100k/1M items (`BENCH_ann.json`,
+//! override sizes with `GMLFM_BENCH_ANN_ITEMS`): index build time,
+//! whole-catalogue top-10 throughput through the same
+//! [`ScoringBackend`] dispatch that serves requests, and measured
+//! recall@10 of the index's default `nprobe` against the exact top-10.
+//! Scores the index returns are asserted bitwise-equal to exact
+//! scores, so candidate recall is the *only* approximation. The model
+//! is the trained shape ([`FrozenModel::synthetic_metric_damped`]):
+//! item-id embeddings damped to half scale against the shared
+//! attribute structure, because with fully iid random parameters most
+//! of every score is per-item noise no candidate index (or
+//! recommender) could exploit.
+//!
+//! Every synthetic fixture — catalogues, instances, models, splits —
+//! derives from one base seed, so runs are reproducible: set
+//! `GMLFM_BENCH_SEED` (default 2024) to shift the whole report. The
+//! seed is recorded in each JSON it writes.
+//!
 //! Run with `cargo run --release -p gmlfm-bench --bin bench_report`.
 //! Thread counts above the machine's available parallelism still run
 //! (blocks queue on the pool) but cannot speed up wall-clock; the
@@ -33,9 +52,10 @@ use gmlfm_data::{
 };
 use gmlfm_eval::evaluate_topn_frozen_with;
 use gmlfm_par::Parallelism;
-use gmlfm_serve::{rank_cmp, score_chunked_par, Freeze, FrozenModel};
+use gmlfm_serve::{rank_cmp, score_chunked_par, Freeze, FrozenModel, IvfBuildOptions, IvfIndex};
 use gmlfm_service::{
-    BatchRequest, Catalog, ModelServer, ModelSnapshot, Request, ScoreRequest, ScoringBackend, TopNRequest,
+    BatchRequest, Catalog, IndexedModel, ModelServer, ModelSnapshot, Request, ScoreRequest, ScoringBackend,
+    TopNRequest,
 };
 use gmlfm_tensor::seeded_rng;
 use std::num::NonZeroUsize;
@@ -65,8 +85,16 @@ fn throughput(ops_per_call: usize, mut job: impl FnMut()) -> f64 {
 
 /// A serving-scale frozen model: weighted squared-Euclidean metric
 /// (the GML-FM_md shape) — the shared synthetic fixture.
-fn serving_model(n: usize, k: usize) -> FrozenModel {
-    FrozenModel::synthetic_metric(n, k, 2024)
+fn serving_model(n: usize, k: usize, seed: u64) -> FrozenModel {
+    FrozenModel::synthetic_metric(n, k, seed)
+}
+
+/// Base seed every synthetic fixture in the report derives from.
+fn bench_seed() -> u64 {
+    std::env::var("GMLFM_BENCH_SEED")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(2024)
 }
 
 fn json_threads(rates: &[(usize, f64)]) -> String {
@@ -82,12 +110,13 @@ fn speedup(rates: &[(usize, f64)], hi: usize) -> f64 {
 
 fn main() {
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    println!("bench_report: available_parallelism = {cores}");
+    let seed = bench_seed();
+    println!("bench_report: available_parallelism = {cores}, seed = {seed}");
 
     // -- 1. chunked batch scoring ------------------------------------
     let n_features = 4096;
-    let model = serving_model(n_features, 16);
-    let mut rng = seeded_rng(7);
+    let model = serving_model(n_features, 16, seed);
+    let mut rng = seeded_rng(seed.wrapping_add(1));
     use rand::Rng;
     let instances: Vec<Instance> = (0..40_000)
         .map(|_| {
@@ -141,10 +170,11 @@ fn main() {
     }
 
     // -- 3. leave-one-out frozen evaluation ---------------------------
-    let dataset = generate(&DatasetSpec::AmazonAuto.config(2023).scaled(0.3));
+    let dataset = generate(&DatasetSpec::AmazonAuto.config(seed.wrapping_add(2)).scaled(0.3));
     let mask = FieldMask::all(&dataset.schema);
-    let split = loo_split(&dataset, &mask, 2, 50, 8);
-    let gml = GmlFm::new(dataset.schema.total_dim(), &GmlFmConfig::mahalanobis(16).with_seed(3));
+    let split = loo_split(&dataset, &mask, 2, 50, seed.wrapping_add(3));
+    let gml =
+        GmlFm::new(dataset.schema.total_dim(), &GmlFmConfig::mahalanobis(16).with_seed(seed.wrapping_add(4)));
     let frozen = gml.freeze();
     let serial_eval =
         evaluate_topn_frozen_with(&frozen, &dataset, &mask, &split.test, 10, Parallelism::serial());
@@ -177,6 +207,7 @@ fn main() {
         frozen: model.clone(),
         catalog: Some(catalog.clone()),
         seen: None,
+        index: None,
     };
     let server = ModelServer::new(make_snapshot()).expect("consistent snapshot");
 
@@ -255,7 +286,7 @@ fn main() {
     );
 
     let service_json = format!(
-        "{{\n  \"available_parallelism\": {cores},\n  \
+        "{{\n  \"available_parallelism\": {cores},\n  \"seed\": {seed},\n  \
          \"note\": \"request path asserted value-identical to direct FrozenModel calls; \
          swap latency measured with 2 reader threads hammering the handle\",\n  \
          \"score\": {{\"unit\": \"scores/s\", \"n\": {n_probe}, \"direct\": {direct_rate:.1}, \
@@ -285,11 +316,11 @@ fn main() {
         .unwrap_or_else(|| vec![10_000, 100_000, 1_000_000]);
     let mut retrieval_entries: Vec<String> = Vec::new();
     for &size in &retrieval_sizes {
-        let dataset = generate_scale(&ScaleConfig::new(64, size, 5));
+        let dataset = generate_scale(&ScaleConfig::new(64, size, seed.wrapping_add(5)));
         let mask = FieldMask::all(&dataset.schema);
         let catalog = Catalog::from_dataset(&dataset, &mask);
         // k = 8 keeps the 1M-item embedding tables (~140 MB) laptop-sized.
-        let model = serving_model(dataset.schema.total_dim(), 8);
+        let model = serving_model(dataset.schema.total_dim(), 8, seed);
         let candidates: Vec<u32> = (0..size as u32).collect();
         let user = 7u32;
         for n in [10usize, 100] {
@@ -329,7 +360,7 @@ fn main() {
         }
     }
     let retrieval_json = format!(
-        "{{\n  \"available_parallelism\": {cores},\n  \
+        "{{\n  \"available_parallelism\": {cores},\n  \"seed\": {seed},\n  \
          \"note\": \"whole-catalogue top-N requests/s, best of 3; both paths score every candidate \
          with identical rankers and are asserted item-for-item equal — the measured difference is \
          O(C log C) full sort + O(C) score buffer vs O(C log n) sharded bounded heaps\",\n  \
@@ -340,9 +371,107 @@ fn main() {
     std::fs::write(retrieval_path, &retrieval_json).expect("write BENCH_retrieval.json");
     println!("\nwrote {retrieval_path}:\n{retrieval_json}");
 
+    // -- 7. IVF index vs exact whole-catalogue top-N -------------------
+    // The sublinear path: cluster probing with norm-bound pruning over
+    // the packed HatQ linearization, dispatched through the same
+    // `ScoringBackend::select_top_n_indexed` the request path uses.
+    // Exact is the PR-5 sharded heap over all candidates. Recall@10 is
+    // measured (not estimated) against the exact top-10 across a fixed
+    // user panel; every score the index returns is asserted bitwise
+    // equal to the exact score for that item.
+    let ann_sizes: Vec<usize> = std::env::var("GMLFM_BENCH_ANN_ITEMS")
+        .ok()
+        .map(|raw| raw.split(',').filter_map(|v| v.trim().parse().ok()).collect())
+        .filter(|sizes: &Vec<usize>| !sizes.is_empty())
+        .unwrap_or_else(|| vec![100_000, 1_000_000]);
+    let ann_n = 10usize;
+    let ann_users: Vec<u32> = (0..32).collect();
+    let mut ann_entries: Vec<String> = Vec::new();
+    for &size in &ann_sizes {
+        let dataset = generate_scale(&ScaleConfig::new(128, size, seed.wrapping_add(6)));
+        let mask = FieldMask::all(&dataset.schema);
+        let catalog = Catalog::from_dataset(&dataset, &mask);
+        let item_field = dataset.schema.field_of_kind(FieldKind::Item).expect("item field");
+        let item_off = dataset.schema.offset(item_field);
+        // Trained-shape fixture: item-id embeddings at half the scale of
+        // the shared attribute embeddings (see module docs).
+        let model = FrozenModel::synthetic_metric_damped(
+            dataset.schema.total_dim(),
+            8,
+            seed.wrapping_add(7),
+            item_off..item_off + size,
+            0.5,
+        );
+        let t = Instant::now();
+        let index = IvfIndex::build(&model, &catalog, &IvfBuildOptions::default(), Parallelism::auto())
+            .expect("weighted squared-Euclidean metric model is indexable");
+        let build_s = t.elapsed().as_secs_f64();
+        let backend = IndexedModel { frozen: &model, index: Some(&index) };
+        let candidates: Vec<u32> = (0..size as u32).collect();
+        let nprobe = index.default_nprobe();
+        println!(
+            "ann_index       items={size:>8}: {} clusters, default nprobe {nprobe}, built in {build_s:.2}s",
+            index.n_clusters()
+        );
+        let mut hits = 0usize;
+        for &user in &ann_users {
+            let exact = model.select_top_n(&catalog, user, &candidates, ann_n, Parallelism::auto());
+            let ivf = backend
+                .select_top_n_indexed(&catalog, user, ann_n, None, &[], Parallelism::auto())
+                .expect("whole-catalogue request above min_candidates is index-eligible");
+            for (item, score) in &ivf {
+                if let Some((_, exact_score)) = exact.iter().find(|(e, _)| e == item) {
+                    assert_eq!(score, exact_score, "indexed score diverged from exact for item {item}");
+                    hits += 1;
+                }
+            }
+        }
+        let recall = hits as f64 / (ann_users.len() * ann_n) as f64;
+        for t in THREADS {
+            let par = Parallelism::threads(t);
+            let exact_rps = throughput(1, || {
+                std::hint::black_box(model.select_top_n(&catalog, 7, &candidates, ann_n, par));
+            });
+            let ivf_rps = throughput(1, || {
+                std::hint::black_box(
+                    backend
+                        .select_top_n_indexed(&catalog, 7, ann_n, None, &[], par)
+                        .expect("index-eligible request"),
+                );
+            });
+            let speedup = ivf_rps / exact_rps;
+            println!(
+                "ann_topn        items={size:>8} n={ann_n:<4} threads={t}: \
+                 exact {exact_rps:>8.2} req/s, ivf {ivf_rps:>8.2} req/s \
+                 ({speedup:.1}x, recall@10 {recall:.3})"
+            );
+            ann_entries.push(format!(
+                "{{\"n_items\": {size}, \"n\": {ann_n}, \"threads\": {t}, \
+                 \"clusters\": {clusters}, \"nprobe\": {nprobe}, \"build_s\": {build_s:.3}, \
+                 \"exact_rps\": {exact_rps:.3}, \"ivf_rps\": {ivf_rps:.3}, \
+                 \"speedup\": {speedup:.3}, \"recall_at_10\": {recall:.4}}}",
+                clusters = index.n_clusters(),
+            ));
+        }
+    }
+    let ann_json = format!(
+        "{{\n  \"available_parallelism\": {cores},\n  \"seed\": {seed},\n  \
+         \"note\": \"whole-catalogue top-10 requests/s, best of 3, through the serving dispatch \
+         (ScoringBackend::select_top_n_indexed) at the index's default nprobe; exact is the sharded \
+         bounded-heap scan of all candidates; recall@10 measured against the exact top-10 over {users} \
+         users with returned scores asserted bitwise-equal to exact; model is synthetic_metric_damped \
+         (item-id embeddings at half scale — the trained shape)\",\n  \
+         \"entries\": [\n    {entries}\n  ]\n}}\n",
+        users = ann_users.len(),
+        entries = ann_entries.join(",\n    "),
+    );
+    let ann_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ann.json");
+    std::fs::write(ann_path, &ann_json).expect("write BENCH_ann.json");
+    println!("\nwrote {ann_path}:\n{ann_json}");
+
     // -- report -------------------------------------------------------
     let json = format!(
-        "{{\n  \"available_parallelism\": {cores},\n  \"gmlfm_threads_env\": {env},\n  \
+        "{{\n  \"available_parallelism\": {cores},\n  \"seed\": {seed},\n  \"gmlfm_threads_env\": {env},\n  \
          \"note\": \"throughput in ops/s, best of 3; parallel outputs asserted bit-identical to serial; \
          speedups are hardware-bound by available_parallelism\",\n  \
          \"batch_scoring\": {{\"unit\": \"instances/s\", \"n\": {n_inst}, \"threads\": {batch}, \"speedup_4v1\": {b4:.2}}},\n  \

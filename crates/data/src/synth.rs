@@ -509,6 +509,22 @@ impl ScaleConfig {
             seed,
         }
     }
+
+    /// Overrides the `category` field's cardinality. More categories
+    /// give the catalogue finer attribute structure — what coarse
+    /// retrieval indexes cluster on — at the cost of a wider one-hot
+    /// dimension.
+    pub fn categories(mut self, n: usize) -> Self {
+        self.n_categories = n;
+        self
+    }
+
+    /// Overrides the seen-set size sampled per user (deduplicated, so
+    /// the realised count can be slightly lower).
+    pub fn interactions(mut self, n: usize) -> Self {
+        self.interactions_per_user = n;
+        self
+    }
 }
 
 /// Generates a catalog-scale dataset from a [`ScaleConfig`]:

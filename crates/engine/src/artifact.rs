@@ -20,12 +20,17 @@
 //!   ([`gmlfm_service::SeenItems`]) behind the serving API's default
 //!   seen-item exclusion. v1 artifacts still load (the `seen` field
 //!   decodes as absent, so top-n requests simply exclude nothing).
+//! * **v3** — adds the optional IVF retrieval `index`
+//!   ([`gmlfm_serve::IvfIndex`]: per-cluster φ-means, radii and item
+//!   assignments), so load → serve needs no index rebuild. v1/v2
+//!   artifacts still load (the `index` field decodes as absent, so
+//!   top-n requests serve through the exact sharded-heap path).
 
 use crate::error::EngineError;
 use crate::spec::{distance_from_name, distance_name, ModelSpec};
 use gmlfm_data::schema::Field;
 use gmlfm_data::{FieldKind, Schema};
-use gmlfm_serve::{FrozenModel, SecondOrder};
+use gmlfm_serve::{FrozenModel, IvfIndex, SecondOrder};
 use gmlfm_service::{ModelSnapshot, SeenItems};
 use gmlfm_tensor::Matrix;
 use serde::json::{self, Value};
@@ -34,7 +39,7 @@ use std::fs;
 use std::path::Path;
 
 /// The artifact format version this build writes.
-pub const ARTIFACT_VERSION: u32 = 2;
+pub const ARTIFACT_VERSION: u32 = 3;
 
 /// The oldest artifact format version this build still reads.
 pub const MIN_ARTIFACT_VERSION: u32 = 1;
@@ -252,6 +257,48 @@ impl SchemaRepr {
     }
 }
 
+/// Serialisable form of an [`IvfIndex`] (v3+): the per-cluster means
+/// plus the per-item cluster assignment and deviation-norm vectors,
+/// from which the member lists and cluster radii are rebuilt on load.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct IndexRepr {
+    kind: String,
+    k: usize,
+    phi_mean: MatrixRepr,
+    item_norms: Vec<f64>,
+    assignments: Vec<u32>,
+    default_nprobe: usize,
+    min_candidates: usize,
+}
+
+impl IndexRepr {
+    pub(crate) fn from_index(index: &IvfIndex) -> Self {
+        Self {
+            kind: index.kind().name().to_string(),
+            k: index.k(),
+            phi_mean: MatrixRepr::from_matrix(index.phi_mean()),
+            item_norms: index.item_norms(),
+            assignments: index.assignments(),
+            default_nprobe: index.default_nprobe(),
+            min_candidates: index.min_candidates(),
+        }
+    }
+
+    pub(crate) fn into_index(self) -> Result<IvfIndex, EngineError> {
+        let phi_mean = self.phi_mean.into_matrix()?;
+        IvfIndex::from_parts(
+            &self.kind,
+            self.k,
+            phi_mean,
+            self.item_norms,
+            self.assignments,
+            self.default_nprobe,
+            self.min_candidates,
+        )
+        .map_err(EngineError::BadArtifact)
+    }
+}
+
 /// The serving catalog (re-exported from [`gmlfm_service`], where the
 /// request path that consumes it lives).
 pub use gmlfm_service::Catalog;
@@ -271,23 +318,30 @@ pub struct Artifact {
     /// Per-user training-time seen sets (v2+), backing the serving API's
     /// default seen-item exclusion.
     pub seen: Option<SeenItems>,
+    /// IVF retrieval index (v3+), rebuilt into a [`IvfIndex`] on load.
+    pub(crate) index: Option<IndexRepr>,
 }
 
 // Hand-written (the derive requires every key): the `seen` field did not
-// exist before format version 2, so it decodes as `None` when absent.
+// exist before format version 2, nor `index` before 3, so both decode
+// as `None` when absent.
 impl Deserialize for Artifact {
     fn deserialize_json(v: &Value) -> Result<Self, json::Error> {
+        fn optional<T: Deserialize>(v: &Value, name: &str) -> Result<Option<T>, json::Error> {
+            match v.get(name) {
+                Some(value) => Option::<T>::deserialize_json(value)
+                    .map_err(|e| json::Error::new(format!("field '{name}': {e}"))),
+                None => Ok(None),
+            }
+        }
         Ok(Self {
             format_version: json::field(v, "format_version")?,
             spec: json::field(v, "spec")?,
             schema: json::field(v, "schema")?,
             frozen: json::field(v, "frozen")?,
             catalog: json::field(v, "catalog")?,
-            seen: match v.get("seen") {
-                Some(seen) => Option::<SeenItems>::deserialize_json(seen)
-                    .map_err(|e| json::Error::new(format!("field 'seen': {e}")))?,
-                None => None,
-            },
+            seen: optional(v, "seen")?,
+            index: optional(v, "index")?,
         })
     }
 }
@@ -302,6 +356,7 @@ impl Artifact {
         frozen: &FrozenModel,
         catalog: Option<Catalog>,
         seen: Option<SeenItems>,
+        index: Option<&IvfIndex>,
     ) -> Self {
         Self {
             format_version: ARTIFACT_VERSION,
@@ -310,6 +365,7 @@ impl Artifact {
             frozen: FrozenRepr::from_frozen(frozen),
             catalog,
             seen,
+            index: index.map(IndexRepr::from_index),
         }
     }
 
@@ -324,6 +380,7 @@ impl Artifact {
             frozen: self.frozen.into_frozen()?,
             catalog: self.catalog,
             seen: self.seen,
+            index: self.index.map(IndexRepr::into_index).transpose()?,
         })
     }
 
@@ -377,9 +434,10 @@ mod tests {
 
     #[test]
     fn supported_version_range_gates_before_body_decode() {
-        // v0 never existed and the future v3 is unknown: both rejected at
-        // the gate. v1 and v2 pass the gate — the error (if any) comes
-        // from the missing body fields, proving decode was attempted.
+        // v0 never existed and the future v4 is unknown: both rejected at
+        // the gate. v1 through v3 pass the gate — the error (if any)
+        // comes from the missing body fields, proving decode was
+        // attempted.
         for version in [0u32, ARTIFACT_VERSION + 1] {
             let err = Artifact::from_json(&format!("{{\"format_version\": {version}}}")).unwrap_err();
             assert!(
@@ -387,7 +445,7 @@ mod tests {
                 "{err}"
             );
         }
-        for version in [MIN_ARTIFACT_VERSION, ARTIFACT_VERSION] {
+        for version in MIN_ARTIFACT_VERSION..=ARTIFACT_VERSION {
             let err = Artifact::from_json(&format!("{{\"format_version\": {version}}}")).unwrap_err();
             assert!(matches!(err, EngineError::Json(_)), "v{version}: {err}");
         }

@@ -29,7 +29,7 @@ use crate::spec::ModelSpec;
 use gmlfm_data::{loo_split, rating_split, Dataset, FieldKind, FieldMask, Instance, LooTestCase, Schema};
 use gmlfm_eval::{evaluate_rating, evaluate_topn_backend, RatingMetrics, TopnMetrics};
 use gmlfm_par::Parallelism;
-use gmlfm_serve::FrozenModel;
+use gmlfm_serve::{FrozenModel, IvfBuildOptions, IvfIndex, RetrievalStrategy};
 use gmlfm_service::{
     exec, BatchRequest, ModelServer, ModelSnapshot, Reply, RequestError, Response, ScoreRequest,
     ScoringBackend, SeenItems, TopNRequest,
@@ -96,6 +96,7 @@ impl Engine {
             spec: None,
             train: TrainConfig::default(),
             par: Parallelism::auto(),
+            retrieval: RetrievalStrategy::Exact,
         }
     }
 
@@ -119,6 +120,7 @@ pub struct EngineBuilder {
     spec: Option<ModelSpec>,
     train: TrainConfig,
     par: Parallelism,
+    retrieval: RetrievalStrategy,
 }
 
 impl EngineBuilder {
@@ -167,6 +169,19 @@ impl EngineBuilder {
         self
     }
 
+    /// Candidate-selection strategy for whole-catalogue top-n requests
+    /// (defaults to [`RetrievalStrategy::Exact`]).
+    /// [`RetrievalStrategy::Ivf`] builds a [`gmlfm_serve::IvfIndex`]
+    /// over the serving catalog after freezing — scores stay exact, the
+    /// candidate set becomes approximate (see [`RetrievalStrategy`]) —
+    /// and persists it in the artifact (format v3) so load → serve
+    /// needs no rebuild. Models without the metric linearisation, or
+    /// catalogs too small to profit, skip the build and serve exactly.
+    pub fn retrieval(mut self, strategy: RetrievalStrategy) -> Self {
+        self.retrieval = strategy;
+        self
+    }
+
     /// Runs the pipeline: split, construct, train, freeze (when
     /// supported), and wrap into a [`Recommender`] with its serving
     /// catalog, seen sets and evaluation holdout.
@@ -206,12 +221,22 @@ impl EngineBuilder {
         let catalog = Catalog::from_dataset(&dataset, &mask);
         let schema = dataset.schema;
         let serving = match estimator.freeze_if_supported() {
-            Some(frozen) => Serving::Service(ModelServer::new(ModelSnapshot {
-                schema: schema.clone(),
-                frozen,
-                catalog: Some(catalog),
-                seen,
-            })?),
+            Some(frozen) => {
+                let index = match self.retrieval {
+                    RetrievalStrategy::Exact => None,
+                    RetrievalStrategy::Ivf { nprobe } => {
+                        let opts = IvfBuildOptions { nprobe, ..IvfBuildOptions::default() };
+                        IvfIndex::build(&frozen, &catalog, &opts, self.par)
+                    }
+                };
+                Serving::Service(ModelServer::new(ModelSnapshot {
+                    schema: schema.clone(),
+                    frozen,
+                    catalog: Some(catalog),
+                    seen,
+                    index,
+                })?)
+            }
             None => Serving::Live { est: estimator, catalog: Some(catalog), seen },
         };
         Ok(Recommender { spec, schema, serving, holdout: Some(holdout), report: Some(report), par: self.par })
@@ -341,6 +366,16 @@ impl Recommender {
     pub fn frozen(&self) -> Option<&FrozenModel> {
         match &self.serving {
             Serving::Service(server) => Some(server.frozen()),
+            Serving::Live { .. } => None,
+        }
+    }
+
+    /// The IVF retrieval index of the current snapshot, when the
+    /// pipeline built one ([`EngineBuilder::retrieval`]) or the loaded
+    /// artifact carried one.
+    pub fn index(&self) -> Option<&IvfIndex> {
+        match &self.serving {
+            Serving::Service(server) => server.snapshot().1.index.as_ref(),
             Serving::Live { .. } => None,
         }
     }
@@ -517,6 +552,7 @@ impl Recommender {
                     &snap.frozen,
                     snap.catalog.clone(),
                     snap.seen.clone(),
+                    snap.index.as_ref(),
                 ))
             }
             Serving::Live { .. } => {

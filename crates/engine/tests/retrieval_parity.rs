@@ -71,6 +71,7 @@ fn fixture() -> &'static Fixture {
                     frozen: frozen.clone(),
                     catalog: Some(catalog.clone()),
                     seen: None,
+                    index: None,
                 })
                 .expect("consistent snapshot");
                 (name, frozen, server)

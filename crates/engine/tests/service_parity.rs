@@ -196,7 +196,7 @@ fn fit_builds_seen_sets_and_serving_excludes_them_by_default() {
 }
 
 #[test]
-fn seen_sets_persist_in_v2_artifacts_and_v1_artifacts_still_load() {
+fn seen_sets_persist_in_current_artifacts_and_v1_artifacts_still_load() {
     let dataset = generate(&DatasetSpec::AmazonAuto.config(87).scaled(0.15));
     let rec = Engine::builder()
         .dataset(dataset)
@@ -206,7 +206,7 @@ fn seen_sets_persist_in_v2_artifacts_and_v1_artifacts_still_load() {
         .fit()
         .expect("pipeline");
     let json = rec.artifact().expect("freezable").to_json();
-    assert!(json.contains("\"format_version\":2"), "this build writes v2");
+    assert!(json.contains("\"format_version\":3"), "this build writes v3");
 
     // v2 round trip: the seen sets travel with the artifact.
     let reloaded = Engine::load_json(&json).expect("round trip");
@@ -224,7 +224,7 @@ fn seen_sets_persist_in_v2_artifacts_and_v1_artifacts_still_load() {
         out
     };
     let v1 = json
-        .replacen("\"format_version\":2", "\"format_version\":1", 1)
+        .replacen("\"format_version\":3", "\"format_version\":1", 1)
         .replacen(&seen_json, "", 1);
     assert!(!v1.contains("\"seen\""), "seen field must be gone from the v1 fixture");
     let legacy = Engine::load_json(&v1).expect("v1 artifacts still load");

@@ -360,6 +360,7 @@ mod tests {
             frozen,
             catalog: Some(Catalog::from_dataset(&d, &mask)),
             seen: None,
+            index: None,
         })
         .expect("consistent snapshot");
         let served = evaluate_topn_service(&server, &split.test, 10);

@@ -140,6 +140,7 @@ pub fn run_topn_spec(
                 frozen,
                 catalog: Some(Catalog::from_dataset(dataset, mask)),
                 seen: None,
+                index: None,
             })
             .expect("a freshly frozen estimator is schema-consistent");
             evaluate_topn_service(&server, &split.test, 10)

@@ -254,12 +254,44 @@ impl FrozenModel {
     /// training — retrieval and serving costs are independent of the
     /// parameter values.
     pub fn synthetic_metric(n: usize, k: usize, seed: u64) -> Self {
+        Self::synthetic_metric_damped(n, k, seed, 0..0, 1.0)
+    }
+
+    /// [`FrozenModel::synthetic_metric`] with the parameter rows of the
+    /// `damped` feature range scaled by `factor` — the ANN-benchmark
+    /// shape of a *trained* model.
+    ///
+    /// With fully iid random parameters every item's private id
+    /// embedding carries as much score variance as the shared attribute
+    /// embeddings, i.e. most of each score is per-item noise that no
+    /// coarse structure (and no recommender) could predict. Training
+    /// does the opposite: the score mass concentrates on generalising
+    /// structure shared across items. Damping the item-id block (factor
+    /// `0.5` quarters its variance share) reproduces that shape without
+    /// paying for training, which is what retrieval-recall measurements
+    /// should be run against.
+    pub fn synthetic_metric_damped(
+        n: usize,
+        k: usize,
+        seed: u64,
+        damped: std::ops::Range<usize>,
+        factor: f64,
+    ) -> Self {
         let mut rng = gmlfm_tensor::seeded_rng(seed);
-        let v = gmlfm_tensor::init::normal(&mut rng, n, k, 0.0, 0.3);
-        let v_hat = gmlfm_tensor::init::normal(&mut rng, n, k, 0.0, 0.3);
-        let q: Vec<f64> = (0..n).map(|r| dot(v_hat.row(r), v_hat.row(r))).collect();
+        let mut v = gmlfm_tensor::init::normal(&mut rng, n, k, 0.0, 0.3);
+        let mut v_hat = gmlfm_tensor::init::normal(&mut rng, n, k, 0.0, 0.3);
         let h = Some(gmlfm_tensor::init::normal(&mut rng, 1, k, 0.0, 0.3).into_vec());
-        let w = gmlfm_tensor::init::normal(&mut rng, 1, n, 0.0, 0.1).into_vec();
+        let mut w = gmlfm_tensor::init::normal(&mut rng, 1, n, 0.0, 0.1).into_vec();
+        for r in damped {
+            for x in v.row_mut(r) {
+                *x *= factor;
+            }
+            for x in v_hat.row_mut(r) {
+                *x *= factor;
+            }
+            w[r] *= factor;
+        }
+        let q: Vec<f64> = (0..n).map(|r| dot(v_hat.row(r), v_hat.row(r))).collect();
         Self::from_parts(0.1, w, v, SecondOrder::metric(v_hat, q, h, Distance::SquaredEuclidean))
     }
 

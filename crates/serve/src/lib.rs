@@ -41,11 +41,13 @@
 pub mod batch;
 pub mod freeze;
 pub mod frozen;
+pub mod index;
 pub mod rank;
 pub mod topn;
 
 pub use batch::{score_chunked, score_chunked_par};
 pub use freeze::Freeze;
 pub use frozen::{FrozenModel, HatQ, SecondOrder};
+pub use index::{ItemFeatureSource, IvfBuildOptions, IvfIndex, RetrievalStrategy};
 pub use rank::TopNRanker;
 pub use topn::{merge_sharded, rank_cmp, sharded_top_n, TopNHeap};

@@ -136,6 +136,19 @@ impl<'m> TopNRanker<'m> {
         self.ctx.len()
     }
 
+    /// The fixed context features (template minus item slots), in
+    /// template order — what the IVF index derives its query-side
+    /// linearisation from.
+    pub(crate) fn context_features(&self) -> &[u32] {
+        &self.ctx
+    }
+
+    /// `w₀ + Σ_ctx w[f] + second-order(ctx)` — the context-only part of
+    /// every candidate's score.
+    pub(crate) fn context_score(&self) -> f64 {
+        self.ctx_score
+    }
+
     /// Scores one candidate: `item_feats` fills the template's item slots
     /// (same order). Equal to [`FrozenModel::predict`] on the substituted
     /// instance, up to float re-association in the delta paths.

@@ -112,6 +112,18 @@ impl Catalog {
     }
 }
 
+/// The item-table view the IVF index builds from and scans with
+/// ([`gmlfm_serve::IvfIndex`]).
+impl gmlfm_serve::ItemFeatureSource for Catalog {
+    fn item_count(&self) -> usize {
+        self.n_items()
+    }
+
+    fn features_of(&self, item: u32) -> &[u32] {
+        &self.item_feats[item as usize]
+    }
+}
+
 /// Positions (within the active fields of `mask`) that carry item-side
 /// values and therefore change between ranking candidates.
 fn item_side_slots(dataset: &Dataset, mask: &FieldMask) -> Vec<usize> {

@@ -13,8 +13,9 @@ use crate::error::RequestError;
 use crate::protocol::{BatchRequest, Reply, Request, ScoreRequest, TopNRequest};
 use gmlfm_data::{FieldKind, Schema};
 use gmlfm_par::Parallelism;
-use gmlfm_serve::{sharded_top_n, FrozenModel, TopNHeap};
+use gmlfm_serve::{sharded_top_n, FrozenModel, IvfIndex, RetrievalStrategy, TopNHeap};
 use std::borrow::Cow;
+use std::cell::RefCell;
 use std::num::NonZeroUsize;
 
 /// What executes a validated request: one score per feature vector,
@@ -66,6 +67,95 @@ pub trait ScoringBackend {
             heap.push(item, score);
         }
         heap.into_sorted()
+    }
+
+    /// Index-backed whole-catalogue retrieval, when this backend can
+    /// serve it: the top `n` non-excluded items via an IVF probe
+    /// ([`gmlfm_serve::IvfIndex::search`]), scores bitwise the exact
+    /// ranker's. `excluded` is the **sorted, deduplicated** union of the
+    /// request's explicit exclusions and the user's seen items.
+    ///
+    /// Returns `None` when the backend holds no usable index for this
+    /// request (no index, candidate pool below the index's
+    /// `min_candidates`, `n` too large a fraction of the pool, catalogue
+    /// size mismatch) — the caller then falls back to the exact sharded
+    /// heap scan. The default implementation always falls back.
+    fn select_top_n_indexed(
+        &self,
+        _catalog: &Catalog,
+        _user: u32,
+        _n: usize,
+        _nprobe: Option<usize>,
+        _excluded: &[u32],
+        _par: Parallelism,
+    ) -> Option<Vec<(u32, f64)>> {
+        None
+    }
+}
+
+/// A frozen model paired with its (optional) IVF index: the backend a
+/// [`crate::ModelServer`] snapshot actually serves through. Scoring and
+/// exact retrieval delegate to the model; whole-catalogue top-n
+/// requests additionally get the indexed path when the index can serve
+/// them (see [`ScoringBackend::select_top_n_indexed`]).
+#[derive(Debug, Clone, Copy)]
+pub struct IndexedModel<'a> {
+    /// The frozen scoring model.
+    pub frozen: &'a FrozenModel,
+    /// The catalogue index, when the snapshot carries one.
+    pub index: Option<&'a IvfIndex>,
+}
+
+impl ScoringBackend for IndexedModel<'_> {
+    fn score_feats(&self, feats: &[u32]) -> f64 {
+        self.frozen.score_feats(feats)
+    }
+
+    fn candidate_scores(
+        &self,
+        catalog: &Catalog,
+        user: u32,
+        candidates: &[u32],
+        par: Parallelism,
+    ) -> Vec<f64> {
+        self.frozen.candidate_scores(catalog, user, candidates, par)
+    }
+
+    fn select_top_n(
+        &self,
+        catalog: &Catalog,
+        user: u32,
+        candidates: &[u32],
+        n: usize,
+        par: Parallelism,
+    ) -> Vec<(u32, f64)> {
+        self.frozen.select_top_n(catalog, user, candidates, n, par)
+    }
+
+    fn select_top_n_indexed(
+        &self,
+        catalog: &Catalog,
+        user: u32,
+        n: usize,
+        nprobe: Option<usize>,
+        excluded: &[u32],
+        par: Parallelism,
+    ) -> Option<Vec<(u32, f64)>> {
+        let index = self.index?;
+        if index.n_items() != catalog.n_items() {
+            return None;
+        }
+        // Below these sizes the probe bookkeeping costs more than the
+        // scan it saves — serve exactly.
+        let surviving = catalog.n_items() - excluded.len();
+        if surviving < index.min_candidates() || n.saturating_mul(4) > surviving {
+            return None;
+        }
+        let template = catalog.template(user).expect("caller validated the user");
+        let nprobe = nprobe.unwrap_or_else(|| index.default_nprobe()).clamp(1, index.n_clusters());
+        Some(index.search(self.frozen, catalog, template, catalog.item_slots(), n, nprobe, par, &|item| {
+            excluded.binary_search(&item).is_ok()
+        }))
     }
 }
 
@@ -201,15 +291,9 @@ pub fn execute_score<B: ScoringBackend + ?Sized>(
     Ok(backend.score_feats(&feats))
 }
 
-/// Validates a [`TopNRequest`] and resolves the candidate list: the
-/// requested set (or the whole catalogue) minus the explicit exclusions
-/// and — unless opted out — the user's training-time seen items. Order
-/// of the surviving candidates is preserved.
-pub fn resolve_candidates(
-    catalog: &Catalog,
-    seen: Option<&SeenItems>,
-    req: &TopNRequest,
-) -> Result<Vec<u32>, RequestError> {
+/// Validates a [`TopNRequest`] against the catalog: user id, explicit
+/// exclusions, and any explicit candidate list.
+fn validate_topn(catalog: &Catalog, req: &TopNRequest) -> Result<(), RequestError> {
     check_user(catalog, req.user)?;
     for &item in &req.exclude {
         check_item(catalog, item)?;
@@ -219,6 +303,15 @@ pub fn resolve_candidates(
             check_item(catalog, item)?;
         }
     }
+    Ok(())
+}
+
+/// Fills `out` with the surviving candidates of a *validated* request:
+/// the requested set (or the whole catalogue) minus the explicit
+/// exclusions and — unless opted out — the user's training-time seen
+/// items. Order of the surviving candidates is preserved.
+fn fill_candidates(catalog: &Catalog, seen: Option<&SeenItems>, req: &TopNRequest, out: &mut Vec<u32>) {
+    out.clear();
     let seen_items: &[u32] = match (req.exclude_seen, seen) {
         (true, Some(seen)) => seen.items(req.user),
         _ => &[],
@@ -226,10 +319,41 @@ pub fn resolve_candidates(
     // Explicit exclusion lists are tiny in practice; the seen list is
     // sorted, so membership there is a binary search.
     let keep = |item: u32| !req.exclude.contains(&item) && seen_items.binary_search(&item).is_err();
-    Ok(match &req.candidates {
-        Some(candidates) => candidates.iter().copied().filter(|&i| keep(i)).collect(),
-        None => (0..catalog.n_items() as u32).filter(|&i| keep(i)).collect(),
-    })
+    match &req.candidates {
+        Some(candidates) => out.extend(candidates.iter().copied().filter(|&i| keep(i))),
+        None => out.extend((0..catalog.n_items() as u32).filter(|&i| keep(i))),
+    }
+}
+
+/// Fills `out` with the sorted, deduplicated union of the request's
+/// explicit exclusions and the user's seen items — the skip set the
+/// indexed retrieval path probes against (equivalent, item for item, to
+/// the filtering of [`fill_candidates`] on a whole-catalogue request).
+fn fill_excluded(seen: Option<&SeenItems>, req: &TopNRequest, out: &mut Vec<u32>) {
+    out.clear();
+    if req.exclude_seen {
+        if let Some(seen) = seen {
+            out.extend_from_slice(seen.items(req.user));
+        }
+    }
+    out.extend_from_slice(&req.exclude);
+    out.sort_unstable();
+    out.dedup();
+}
+
+/// Validates a [`TopNRequest`] and resolves the candidate list: the
+/// requested set (or the whole catalogue) minus the explicit exclusions
+/// and — unless opted out — the user's training-time seen items. Order
+/// of the surviving candidates is preserved.
+pub fn resolve_candidates(
+    catalog: &Catalog,
+    seen: Option<&SeenItems>,
+    req: &TopNRequest,
+) -> Result<Vec<u32>, RequestError> {
+    validate_topn(catalog, req)?;
+    let mut out = Vec::new();
+    fill_candidates(catalog, seen, req, &mut out);
+    Ok(out)
 }
 
 /// Validates and runs a [`TopNRequest`] through `backend`, returning
@@ -249,17 +373,38 @@ pub fn execute_candidate_scores<B: ScoringBackend + ?Sized>(
     Ok(candidates.into_iter().zip(scores).collect())
 }
 
+/// Request-scoped scratch reused across the top-n hot path: the
+/// resolved candidate list is `O(catalogue)` and rebuilding its backing
+/// allocation on every request dominated steady-state serving's
+/// allocator traffic. One scratch per thread; `mem::take` keeps a
+/// re-entrant caller (a backend that itself executes requests) safe —
+/// the inner call simply allocates fresh buffers.
+#[derive(Default)]
+struct TopNScratch {
+    candidates: Vec<u32>,
+    excluded: Vec<u32>,
+}
+
+thread_local! {
+    static TOPN_SCRATCH: RefCell<TopNScratch> = RefCell::new(TopNScratch::default());
+}
+
 /// Validates and runs a [`TopNRequest`] through `backend`: the top
 /// `req.n` candidates, best first, under the deterministic retrieval
 /// order ([`gmlfm_serve::rank_cmp`]: score descending, ties broken by ascending item
 /// id).
 ///
-/// Selection goes through [`ScoringBackend::select_top_n`] — sharded
-/// bounded heaps for frozen snapshots — never a full sort, and the
-/// exclusion filtering of [`resolve_candidates`] runs **before** the
-/// heaps, so excluded and seen items never occupy result slots.
-/// `req.n = 0` yields an empty ranking; `req.n` beyond the surviving
-/// candidate count yields every survivor.
+/// Whole-catalogue requests that don't pin
+/// [`RetrievalStrategy::Exact`] are first offered to
+/// [`ScoringBackend::select_top_n_indexed`] (the IVF path of indexed
+/// snapshots — approximate candidate set, exact scores); everything
+/// else, and any request the index declines, goes through
+/// [`ScoringBackend::select_top_n`] — sharded bounded heaps for frozen
+/// snapshots — never a full sort. Exclusion filtering (explicit lists
+/// and seen items) runs **before** selection on both paths, so excluded
+/// items never occupy result slots. `req.n = 0` yields an empty
+/// ranking; `req.n` beyond the surviving candidate count yields every
+/// survivor.
 pub fn execute_topn<B: ScoringBackend + ?Sized>(
     backend: &B,
     catalog: Option<&Catalog>,
@@ -268,9 +413,34 @@ pub fn execute_topn<B: ScoringBackend + ?Sized>(
     default_par: Parallelism,
 ) -> Result<Vec<(u32, f64)>, RequestError> {
     let catalog = catalog.ok_or(RequestError::MissingCatalog)?;
-    let candidates = resolve_candidates(catalog, seen, req)?;
+    validate_topn(catalog, req)?;
     let par = req.par.unwrap_or(default_par);
-    Ok(backend.select_top_n(catalog, req.user, &candidates, req.n, par))
+    let mut scratch = TOPN_SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+
+    // Indexed retrieval: only whole-catalogue requests are eligible —
+    // an explicit candidate list already *is* a (usually small)
+    // candidate set, and scanning it exactly is both cheaper and what
+    // the request's order-sensitive semantics require.
+    let indexed = if req.candidates.is_none() && req.strategy != Some(RetrievalStrategy::Exact) {
+        let nprobe = match req.strategy {
+            Some(RetrievalStrategy::Ivf { nprobe }) => nprobe,
+            _ => None,
+        };
+        fill_excluded(seen, req, &mut scratch.excluded);
+        backend.select_top_n_indexed(catalog, req.user, req.n, nprobe, &scratch.excluded, par)
+    } else {
+        None
+    };
+    let value = match indexed {
+        Some(value) => value,
+        None => {
+            fill_candidates(catalog, seen, req, &mut scratch.candidates);
+            backend.select_top_n(catalog, req.user, &scratch.candidates, req.n, par)
+        }
+    };
+
+    TOPN_SCRATCH.with(|s| *s.borrow_mut() = scratch);
+    Ok(value)
 }
 
 /// Fans a [`BatchRequest`] across the pool. Each sub-request validates

@@ -48,6 +48,7 @@ pub mod server;
 
 pub use catalog::{Catalog, SeenItems};
 pub use error::RequestError;
-pub use exec::ScoringBackend;
+pub use exec::{IndexedModel, ScoringBackend};
+pub use gmlfm_serve::RetrievalStrategy;
 pub use protocol::{BatchRequest, Reply, Request, Response, ScoreRequest, TopNRequest};
 pub use server::{ModelServer, ModelSnapshot};

@@ -10,6 +10,7 @@
 
 use gmlfm_data::Instance;
 use gmlfm_par::Parallelism;
+use gmlfm_serve::RetrievalStrategy;
 
 /// What to score, in one of four addressing modes.
 ///
@@ -107,12 +108,18 @@ pub struct TopNRequest {
     /// Per-request worker count; `None` uses the server's default
     /// ([`Parallelism::auto`] standalone, serial inside a batch).
     pub par: Option<Parallelism>,
+    /// Candidate-selection strategy; `None` lets the snapshot decide
+    /// (IVF when it carries an index and the request is eligible,
+    /// exact otherwise). Scores are exact either way — see
+    /// [`RetrievalStrategy`] for the approximation contract and the
+    /// automatic exact-fallback conditions.
+    pub strategy: Option<RetrievalStrategy>,
 }
 
 impl TopNRequest {
     /// A whole-catalogue, exclude-seen request for `user`'s top `n`.
     pub fn new(user: u32, n: usize) -> Self {
-        Self { user, n, candidates: None, exclude: Vec::new(), exclude_seen: true, par: None }
+        Self { user, n, candidates: None, exclude: Vec::new(), exclude_seen: true, par: None, strategy: None }
     }
 
     /// Restricts ranking to this candidate set (kept in the given order
@@ -137,6 +144,14 @@ impl TopNRequest {
     /// Sets an explicit per-request worker count.
     pub fn parallelism(mut self, par: Parallelism) -> Self {
         self.par = Some(par);
+        self
+    }
+
+    /// Pins the candidate-selection strategy instead of letting the
+    /// snapshot decide ([`RetrievalStrategy::Exact`] forces the full
+    /// sharded-heap scan even when an index is installed).
+    pub fn strategy(mut self, strategy: RetrievalStrategy) -> Self {
+        self.strategy = Some(strategy);
         self
     }
 }

@@ -31,11 +31,11 @@
 
 use crate::catalog::{Catalog, SeenItems};
 use crate::error::RequestError;
-use crate::exec;
+use crate::exec::{self, IndexedModel};
 use crate::protocol::{BatchRequest, Reply, Response, ScoreRequest, TopNRequest};
 use gmlfm_data::Schema;
 use gmlfm_par::Parallelism;
-use gmlfm_serve::FrozenModel;
+use gmlfm_serve::{FrozenModel, IvfIndex};
 use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -55,6 +55,11 @@ pub struct ModelSnapshot {
     /// Training-time seen sets backing default seen-item exclusion;
     /// `None` (e.g. a pre-seen-sets artifact) excludes nothing.
     pub seen: Option<SeenItems>,
+    /// IVF retrieval index over the catalog
+    /// ([`gmlfm_serve::IvfIndex`]); `None` serves every top-n request
+    /// through the exact sharded-heap path. Validated against the
+    /// frozen model and catalog at install time.
+    pub index: Option<IvfIndex>,
 }
 
 /// One installed generation.
@@ -198,8 +203,9 @@ impl ModelServer {
     /// full score vector.
     pub fn top_n(&self, req: &TopNRequest) -> Result<Response<Vec<(u32, f64)>>, RequestError> {
         let state = self.state();
+        let backend = IndexedModel { frozen: &state.snap.frozen, index: state.snap.index.as_ref() };
         let value = exec::execute_topn(
-            &state.snap.frozen,
+            &backend,
             state.snap.catalog.as_ref(),
             state.snap.seen.as_ref(),
             req,
@@ -228,8 +234,9 @@ impl ModelServer {
     /// individually; the batch itself always succeeds.
     pub fn batch(&self, req: &BatchRequest) -> Response<Vec<Result<Reply, RequestError>>> {
         let state = self.state();
+        let backend = IndexedModel { frozen: &state.snap.frozen, index: state.snap.index.as_ref() };
         let value = exec::execute_batch(
-            &state.snap.frozen,
+            &backend,
             &state.snap.schema,
             state.snap.catalog.as_ref(),
             state.snap.seen.as_ref(),
@@ -260,6 +267,7 @@ impl std::fmt::Debug for ModelServer {
             .field("n_features", &snap.frozen.n_features())
             .field("has_catalog", &snap.catalog.is_some())
             .field("has_seen", &snap.seen.is_some())
+            .field("has_index", &snap.index.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -280,6 +288,18 @@ fn check_snapshot(snap: &ModelSnapshot) -> Result<(), RequestError> {
                     reason: format!("catalog feature index {max} outside the model's {n} features"),
                 });
             }
+        }
+    }
+    if let Some(index) = &snap.index {
+        let Some(catalog) = &snap.catalog else {
+            return Err(RequestError::SchemaMismatch {
+                reason: "snapshot carries a retrieval index but no catalog".into(),
+            });
+        };
+        if let Err(reason) = index.compatible_with(&snap.frozen, catalog.n_items()) {
+            return Err(RequestError::SchemaMismatch {
+                reason: format!("retrieval index incompatible with the snapshot: {reason}"),
+            });
         }
     }
     Ok(())

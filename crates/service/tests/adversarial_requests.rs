@@ -70,8 +70,14 @@ fn server() -> ModelServer {
     // Weighted squared-Euclidean metric — the decoupled hot path the
     // serving deployments run.
     let frozen = FrozenModel::synthetic_metric(DIM, 5, 23);
-    ModelServer::new(ModelSnapshot { schema: schema(), frozen, catalog: Some(catalog()), seen: Some(seen()) })
-        .expect("consistent snapshot")
+    ModelServer::new(ModelSnapshot {
+        schema: schema(),
+        frozen,
+        catalog: Some(catalog()),
+        seen: Some(seen()),
+        index: None,
+    })
+    .expect("consistent snapshot")
 }
 
 /// Arbitrary (often malformed) score requests.
@@ -107,6 +113,7 @@ fn topn_request() -> impl Strategy<Value = TopNRequest> {
             exclude,
             exclude_seen,
             par: Some(Parallelism::threads(threads)),
+            strategy: None,
         },
     )
 }

@@ -43,7 +43,7 @@ fn snapshot(generation: u64) -> ModelSnapshot {
     let n = N_USERS + N_ITEMS;
     let frozen =
         FrozenModel::from_parts(marker(generation), vec![0.0; n], Matrix::zeros(n, 3), SecondOrder::Dot);
-    ModelSnapshot { schema: schema(), frozen, catalog: Some(catalog()), seen: None }
+    ModelSnapshot { schema: schema(), frozen, catalog: Some(catalog()), seen: None, index: None }
 }
 
 #[test]
@@ -221,8 +221,9 @@ fn cold_start_requests_resolve_named_side_features() {
         (0..N_USERS as u32).map(|u| vec![u, N_USERS as u32, item_off]).collect(),
         (0..N_ITEMS as u32).map(|i| vec![item_off + i]).collect(),
     );
-    let server = ModelServer::new(ModelSnapshot { schema, frozen, catalog: Some(catalog), seen: None })
-        .expect("consistent snapshot");
+    let server =
+        ModelServer::new(ModelSnapshot { schema, frozen, catalog: Some(catalog), seen: None, index: None })
+            .expect("consistent snapshot");
 
     // Cold user with gender=1 scoring item 4: active features are the
     // item one-hot and gender one-hot — no user id at all.

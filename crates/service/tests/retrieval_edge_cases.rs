@@ -28,7 +28,7 @@ fn server_with_seen(seen: SeenItems) -> ModelServer {
         (0..N_USERS as u32).map(|u| vec![u, N_USERS as u32]).collect(),
         (0..N_ITEMS as u32).map(|i| vec![N_USERS as u32 + i]).collect(),
     );
-    ModelServer::new(ModelSnapshot { schema, frozen, catalog: Some(catalog), seen: Some(seen) })
+    ModelServer::new(ModelSnapshot { schema, frozen, catalog: Some(catalog), seen: Some(seen), index: None })
         .expect("consistent snapshot")
 }
 

@@ -10,15 +10,20 @@
 //!    path — per-worker shards, one bounded heap each, deterministic
 //!    merge — and time it against the old full-sort selection over the
 //!    *same* scores;
-//! 3. run candidate-subset and exclusion requests to show the pre-heap
+//! 3. with `--index`, build the metric-space IVF index and serve the
+//!    same whole-catalogue requests sublinearly: cluster probing with
+//!    norm-bound pruning, exact scores on everything that survives,
+//!    measured recall@10 against the exact path;
+//! 4. run candidate-subset and exclusion requests to show the pre-heap
 //!    filtering (excluded items never occupy heap slots);
-//! 4. hot-swap a retrained model **mid-traffic** while reader threads
+//! 5. hot-swap a retrained model **mid-traffic** while reader threads
 //!    hammer the handle: every response stays consistent with exactly
 //!    one generation.
 //!
 //! ```sh
-//! cargo run --release --example serve_millions            # 1M items
-//! cargo run --release --example serve_millions 100000     # CI smoke
+//! cargo run --release --example serve_millions                    # 1M items
+//! cargo run --release --example serve_millions 100000             # CI smoke
+//! cargo run --release --example serve_millions 100000 --index     # + IVF index
 //! ```
 //!
 //! The models are serving-shaped but untrained (random parameters):
@@ -26,9 +31,9 @@
 //! at this scale is a different example's job.
 
 use gml_fm::data::{generate_scale, ScaleConfig};
-use gml_fm::serve::{rank_cmp, FrozenModel};
+use gml_fm::serve::{rank_cmp, FrozenModel, IvfBuildOptions, IvfIndex, RetrievalStrategy};
 use gml_fm::service::{Catalog, ModelServer, ModelSnapshot, ScoringBackend, SeenItems, TopNRequest};
-use gmlfm_data::FieldMask;
+use gmlfm_data::{FieldKind, FieldMask};
 use gmlfm_par::Parallelism;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
@@ -43,7 +48,8 @@ fn frozen_model(dim: usize, seed: u64) -> FrozenModel {
 }
 
 fn main() {
-    let n_items: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(1_000_000);
+    let n_items: usize = std::env::args().skip(1).find_map(|v| v.parse().ok()).unwrap_or(1_000_000);
+    let use_index = std::env::args().any(|a| a == "--index");
 
     // -- 1. the catalogue --------------------------------------------------
     let t = Instant::now();
@@ -67,6 +73,7 @@ fn main() {
         frozen: frozen_model(dim, seed),
         catalog: Some(catalog.clone()),
         seen: Some(seen.clone()),
+        index: None,
     };
     let server = ModelServer::new(make_snapshot(1)).expect("consistent snapshot");
     println!("frozen model (k = {K}) built and serving in {:.1}s\n", t.elapsed().as_secs_f64());
@@ -105,7 +112,64 @@ fn main() {
         sort_ms / heap_ms
     );
 
-    // -- 3. candidate subsets and exclusions, filtered pre-heap ------------
+    // -- 3. IVF-indexed retrieval (--index) --------------------------------
+    // A trained-shape model (item-id embeddings damped to half the
+    // attribute scale) behind a snapshot that carries its IVF index:
+    // default-strategy requests go through cluster probing + norm-bound
+    // pruning; a `RetrievalStrategy::Exact` pin on the same server is
+    // the reference. Scores on the intersection must be bitwise equal —
+    // the index approximates the candidate set, never the scores.
+    if use_index {
+        let item_field = dataset.schema.field_of_kind(FieldKind::Item).expect("item field");
+        let item_off = dataset.schema.offset(item_field);
+        let damped = FrozenModel::synthetic_metric_damped(dim, K, 1, item_off..item_off + n_items, 0.5);
+        let t = Instant::now();
+        let index = IvfIndex::build(&damped, &catalog, &IvfBuildOptions::default(), Parallelism::auto())
+            .expect("weighted squared-Euclidean metric model is indexable");
+        println!(
+            "\nIVF index: {} clusters over {n_items} items, default nprobe {}, built in {:.1}s",
+            index.n_clusters(),
+            index.default_nprobe(),
+            t.elapsed().as_secs_f64()
+        );
+        let indexed = ModelServer::new(ModelSnapshot {
+            schema: dataset.schema.clone(),
+            frozen: damped,
+            catalog: Some(catalog.clone()),
+            seen: Some(seen.clone()),
+            index: Some(index),
+        })
+        .expect("consistent snapshot");
+
+        let recall_users = 16u32;
+        let (mut ivf_s, mut exact_s, mut hits) = (0.0f64, 0.0f64, 0usize);
+        for u in 0..recall_users {
+            let t = Instant::now();
+            let ivf = indexed.top_n(&TopNRequest::new(u, 10)).expect("valid request");
+            ivf_s += t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            let exact = indexed
+                .top_n(&TopNRequest::new(u, 10).strategy(RetrievalStrategy::Exact))
+                .expect("valid request");
+            exact_s += t.elapsed().as_secs_f64();
+            for (item, score) in &ivf.value {
+                if let Some((_, exact_score)) = exact.value.iter().find(|(e, _)| e == item) {
+                    assert_eq!(score, exact_score, "indexed score diverged from exact for item {item}");
+                    hits += 1;
+                }
+            }
+        }
+        println!(
+            "indexed top-10 over {recall_users} users: {:.1} ms/req vs {:.1} ms/req exact \
+             ({:.1}x, recall@10 {:.3}, scores bitwise-exact on the overlap)",
+            1e3 * ivf_s / recall_users as f64,
+            1e3 * exact_s / recall_users as f64,
+            exact_s / ivf_s,
+            hits as f64 / (recall_users as usize * 10) as f64
+        );
+    }
+
+    // -- 4. candidate subsets and exclusions, filtered pre-heap ------------
     let slate: Vec<u32> = (0..n_items as u32).step_by((n_items / 1000).max(1)).collect();
     let banned: Vec<u32> = slate.iter().copied().take(5).collect();
     let resp = server
@@ -119,7 +183,7 @@ fn main() {
         resp.value.len()
     );
 
-    // -- 4. hot swap mid-traffic ------------------------------------------
+    // -- 5. hot swap mid-traffic ------------------------------------------
     let stop = AtomicBool::new(false);
     let swapped_gen = std::thread::scope(|s| {
         let mut readers = Vec::new();

@@ -75,7 +75,7 @@ fn main() {
 
     // Production handoff: ship the artifact; the serving process loads it
     // and answers the identical request without any training machinery.
-    let artifact = Artifact::new(spec, &dataset.schema, &frozen, Some(catalog), None);
+    let artifact = Artifact::new(spec, &dataset.schema, &frozen, Some(catalog), None, None);
     let served = Engine::load_json(&artifact.to_json()).expect("load artifact");
     let top = served.top_n(user, 10).expect("rank from the artifact");
     assert_eq!(top[0].0, scored[0].0, "artifact serving must agree on the top item");
