@@ -1,0 +1,383 @@
+//! A minimal token-level Rust lexer — just enough structure for the
+//! lint pass to tell *code* apart from comments and string literals.
+//!
+//! The lints in this crate key off identifiers (`unsafe`, `unwrap`,
+//! `HashMap`), macro bangs (`panic!`), and paths (`Ordering::Acquire`).
+//! A plain substring grep misfires on all of them: `"unsafe"` inside a
+//! string, `unwrap` in a doc comment, `panic` in a test name. The lexer
+//! resolves exactly the constructs that cause those misfires:
+//!
+//! * line comments (`//`, and the `///` / `//!` doc forms) and block
+//!   comments (`/* */`, nested, per the Rust grammar);
+//! * string literals (`"…"` with escapes), raw strings (`r"…"`,
+//!   `r#"…"#` at any hash depth), byte and byte-raw strings;
+//! * char literals, disambiguated from lifetimes (`'a'` vs `'a`);
+//! * identifiers/keywords, numbers, and single-char punctuation.
+//!
+//! It is *not* a parser: no expression structure, no type grammar.
+//! Every lint that needs structure (test-module exclusion, "is this
+//! ident a method call") works from local token patterns, which is
+//! exactly as much syntax as the rules require.
+
+/// One lexed token with its 1-indexed source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// 1-indexed line of the token's first character.
+    pub line: usize,
+}
+
+/// What a token is; carries text only where a lint inspects it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// `// …` comment text, including the slashes (doc comments too).
+    LineComment(String),
+    /// `/* … */` comment text, including the delimiters.
+    BlockComment(String),
+    /// String literal of any flavour (escaped, raw, byte); text dropped.
+    Str,
+    /// Char literal (`'x'`, `'\n'`); text dropped.
+    Char,
+    /// Lifetime (`'a`, `'static`); text dropped.
+    Lifetime,
+    /// Numeric literal; text dropped.
+    Num,
+    /// Any other single character (`.`, `(`, `:`, `!`, `{`, …).
+    Punct(char),
+}
+
+/// Lexes a whole source file into a token stream. Unterminated
+/// constructs (an unclosed string or block comment) consume the rest of
+/// the input rather than erroring: the lints degrade to "no findings in
+/// the tail", which is the right failure mode for a linter over code
+/// that `rustc` itself will reject.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1 }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+}
+
+impl Lexer {
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                '/' if self.peek(1) == Some('/') => {
+                    let text = self.take_line_comment();
+                    out.push(Token { kind: TokenKind::LineComment(text), line });
+                }
+                '/' if self.peek(1) == Some('*') => {
+                    let text = self.take_block_comment();
+                    out.push(Token { kind: TokenKind::BlockComment(text), line });
+                }
+                '"' => {
+                    self.take_string();
+                    out.push(Token { kind: TokenKind::Str, line });
+                }
+                'r' | 'b' if self.at_raw_or_byte_string() => {
+                    self.take_raw_or_byte_string();
+                    out.push(Token { kind: TokenKind::Str, line });
+                }
+                '\'' => {
+                    let kind = self.take_char_or_lifetime();
+                    out.push(Token { kind, line });
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    let text = self.take_ident();
+                    out.push(Token { kind: TokenKind::Ident(text), line });
+                }
+                c if c.is_ascii_digit() => {
+                    self.take_number();
+                    out.push(Token { kind: TokenKind::Num, line });
+                }
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                c => {
+                    self.bump();
+                    out.push(Token { kind: TokenKind::Punct(c), line });
+                }
+            }
+        }
+        out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn take_line_comment(&mut self) -> String {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        text
+    }
+
+    fn take_block_comment(&mut self) -> String {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        text
+    }
+
+    /// Consumes a `"…"` literal (opening quote under the cursor),
+    /// honouring `\"` and `\\` escapes.
+    fn take_string(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Whether the cursor sits at the start of a raw/byte string prefix:
+    /// `r"`, `r#`, `b"`, `br"`, `br#`, `rb` is not Rust. A plain
+    /// identifier starting with `r`/`b` (e.g. `result`) is rejected by
+    /// requiring the quote/hash to follow immediately.
+    fn at_raw_or_byte_string(&self) -> bool {
+        match self.peek(0) {
+            Some('r') => matches!(self.peek(1), Some('"') | Some('#')) && self.raw_hashes_then_quote(1),
+            Some('b') => match self.peek(1) {
+                Some('"') => true,
+                Some('r') => matches!(self.peek(2), Some('"') | Some('#')) && self.raw_hashes_then_quote(2),
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// From `start` (just past the `r`), true when zero or more `#`s are
+    /// followed by `"` — i.e. this really is a raw string, not `r#fn`
+    /// (a raw identifier).
+    fn raw_hashes_then_quote(&self, start: usize) -> bool {
+        let mut i = start;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn take_raw_or_byte_string(&mut self) {
+        if self.peek(0) == Some('b') {
+            self.bump();
+        }
+        if self.peek(0) == Some('r') {
+            self.bump();
+            let mut hashes = 0usize;
+            while self.peek(0) == Some('#') {
+                hashes += 1;
+                self.bump();
+            }
+            self.bump(); // opening quote
+                         // Scan to `"` followed by `hashes` `#`s.
+            'outer: while let Some(c) = self.bump() {
+                if c == '"' {
+                    for i in 0..hashes {
+                        if self.peek(i) != Some('#') {
+                            continue 'outer;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+        } else {
+            // b"…" — same escape rules as a plain string.
+            self.take_string();
+        }
+    }
+
+    /// `'x'` / `'\n'` → [`TokenKind::Char`]; `'a` / `'static` →
+    /// [`TokenKind::Lifetime`]. The grammar's actual rule: a lifetime is
+    /// a quote followed by an identifier *not* closed by another quote.
+    fn take_char_or_lifetime(&mut self) -> TokenKind {
+        self.bump(); // opening quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume `\x`, then to the quote.
+                self.bump();
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                TokenKind::Char
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                if self.peek(1) == Some('\'') {
+                    self.bump();
+                    self.bump();
+                    TokenKind::Char
+                } else {
+                    while let Some(c) = self.peek(0) {
+                        if c.is_alphanumeric() || c == '_' {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    TokenKind::Lifetime
+                }
+            }
+            Some(_) => {
+                // `'('`-style single-char literal.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                TokenKind::Char
+            }
+            None => TokenKind::Char,
+        }
+    }
+
+    fn take_ident(&mut self) -> String {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        text
+    }
+
+    fn take_number(&mut self) {
+        // Greedy over digit-ish chars; `1.5` splits at the dot, which is
+        // fine — no lint inspects numbers.
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let a = "unsafe unwrap()"; // unsafe in a comment
+            /* unwrap() in a block
+               comment */
+            let b = r#"panic!("still a string")"#;
+            let c = b"unsafe";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "unsafe" || i == "unwrap" || i == "panic"), "{ids:?}");
+    }
+
+    #[test]
+    fn real_code_tokens_survive() {
+        let ids = idents("unsafe { x.unwrap() }");
+        assert_eq!(ids, vec!["unsafe", "x", "unwrap"]);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_the_following_code() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x.trim() }");
+        assert!(ids.contains(&"trim".to_string()), "{ids:?}");
+        let toks = lex("let c = 'x'; let l: &'static str = \"s\";");
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Char));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Lifetime));
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_the_outer_level() {
+        let ids = idents("/* a /* nested */ still comment */ real_code");
+        assert_eq!(ids, vec!["real_code"]);
+    }
+
+    #[test]
+    fn line_numbers_are_one_indexed_and_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<(String, usize)> = toks
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some((s, t.line)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lines, vec![("a".into(), 1), ("b".into(), 2), ("c".into(), 4)]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let ids = idents("let r#fn = 1; other");
+        assert!(ids.contains(&"fn".to_string()) || ids.contains(&"other".to_string()));
+        // The `#` must not have swallowed the rest of the file.
+        assert!(ids.contains(&"other".to_string()));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings_early() {
+        let ids = idents(r#"let s = "a \" unsafe \" b"; tail"#);
+        assert_eq!(ids, vec!["let", "s", "tail"]);
+    }
+}

@@ -1,0 +1,275 @@
+//! `gmlfm-analyze` — the workspace's correctness tooling: a token-level
+//! lint suite for the invariants `rustc` and clippy don't know about,
+//! plus a bounded deterministic model checker for the unsafe
+//! concurrency protocols. Std-only by design: the analyzer gates CI, so
+//! it builds before — and independently of — everything it checks.
+//!
+//! Four lints (see [`lints`] for the rules, [`scope_for`] for which
+//! files each applies to):
+//!
+//! * **L1 undocumented-unsafe** — every `unsafe` block/fn/impl needs a
+//!   `// SAFETY:` comment; the sites feed the committed `UNSAFETY.md`
+//!   audit table ([`inventory`]).
+//! * **L2 panic-freedom** — no `unwrap`/`expect`/`panic!`-family in the
+//!   serving hot paths (`gmlfm-service`, and `gmlfm-serve`'s scoring/
+//!   retrieval files): a malformed request must surface as a typed
+//!   error, never tear down a worker.
+//! * **L3 determinism** — no `HashMap`/`HashSet` where iteration order
+//!   reaches deterministic outputs; `available_parallelism()` only
+//!   inside the one cached accessor, so shard boundaries can't move
+//!   mid-computation.
+//! * **L4 atomic-ordering discipline** — every `Ordering::…` in the
+//!   concurrency core carries a `// ORDERING:` justification naming its
+//!   pairing.
+//!
+//! The model checker ([`sched`]) exhaustively enumerates thread
+//! interleavings of the three unsafe protocols ([`models`]): the
+//! `ModelServer` hot-swap slot, the pool's completion latch with
+//! help-draining, and `RacySlice`'s CAS accumulation. Deliberately
+//! broken hazard variants prove the checker can fail — a suite whose
+//! failure path is untested is a rubber stamp.
+
+pub mod inventory;
+pub mod lexer;
+pub mod lints;
+pub mod models;
+pub mod sched;
+
+use lints::{FileReport, LintScope};
+use sched::Verdict;
+use std::path::{Path, PathBuf};
+
+/// The workspace root, resolved from this crate's own manifest dir
+/// (`crates/analyze` → up two levels). Keeps the tool runnable from any
+/// CWD via `cargo run -p gmlfm-analyze`.
+pub fn workspace_root() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest.ancestors().nth(2).unwrap_or(manifest).to_path_buf()
+}
+
+/// All first-party `.rs` files, sorted by path for deterministic output.
+/// Scans `src/`, `crates/`, `examples/`, `tests/`; `vendor/` (offline
+/// dependency stand-ins, not ours to lint) and `target/` are outside the
+/// roots, and hidden directories are skipped.
+pub fn workspace_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for top in ["src", "crates", "examples", "tests"] {
+        collect_rs(&root.join(top), &mut out);
+    }
+    out.sort();
+    out
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// `gmlfm-serve` files on the request scoring/retrieval hot path (its
+/// offline freezing half is allowed to be assertive about model shape).
+const SERVE_HOT_PATH: [&str; 5] = [
+    "crates/serve/src/frozen.rs",
+    "crates/serve/src/rank.rs",
+    "crates/serve/src/topn.rs",
+    "crates/serve/src/index.rs",
+    "crates/serve/src/batch.rs",
+];
+
+/// The one accessor allowed to call `available_parallelism()` (it
+/// caches), and the benchmark report that prints machine facts.
+const AVAILABLE_PARALLELISM_ALLOWLIST: [&str; 2] =
+    ["crates/par/src/lib.rs", "crates/bench/src/bin/bench_report.rs"];
+
+/// Which lints apply to a file, from its repo-relative forward-slash
+/// path. L1 (undocumented unsafe) always applies and is not listed here.
+pub fn scope_for(rel: &str) -> LintScope {
+    LintScope {
+        panic_freedom: rel.starts_with("crates/service/src/") || SERVE_HOT_PATH.contains(&rel),
+        no_hash_collections: rel.starts_with("crates/serve/src/")
+            || rel == "crates/par/src/lib.rs"
+            || rel == "crates/service/src/exec.rs",
+        no_available_parallelism: !AVAILABLE_PARALLELISM_ALLOWLIST.contains(&rel),
+        ordering_justification: rel == "crates/par/src/pool.rs"
+            || rel == "crates/par/src/hogwild.rs"
+            || rel == "crates/service/src/server.rs",
+    }
+}
+
+/// One linted file: repo-relative path plus its report.
+#[derive(Debug)]
+pub struct LintedFile {
+    pub rel: String,
+    pub report: FileReport,
+}
+
+/// Lints every workspace source file under its path-resolved scope.
+/// Unreadable files are skipped (they can't be part of the build).
+pub fn run_lints(root: &Path) -> Vec<LintedFile> {
+    workspace_sources(root)
+        .iter()
+        .filter_map(|path| {
+            let rel = path.strip_prefix(root).ok()?.to_string_lossy().replace('\\', "/");
+            let src = std::fs::read_to_string(path).ok()?;
+            let report = lints::lint_file(&src, scope_for(&rel));
+            Some(LintedFile { rel, report })
+        })
+        .collect()
+}
+
+/// Projects the lint run down to the `unsafe` inventory (files with at
+/// least one site, in scan order).
+pub fn unsafe_inventory(files: &[LintedFile]) -> Vec<inventory::FileInventory> {
+    files
+        .iter()
+        .filter(|f| !f.report.unsafe_sites.is_empty())
+        .map(|f| inventory::FileInventory { path: f.rel.clone(), sites: f.report.unsafe_sites.clone() })
+        .collect()
+}
+
+/// One protocol model's checked outcome.
+#[derive(Debug)]
+pub struct ProtocolCheck {
+    pub name: &'static str,
+    /// True for the real protocols; false for the hazard variants,
+    /// which the checker is *required* to fail (calibration: a checker
+    /// that can't find the planted bug proves nothing by passing).
+    pub expect_pass: bool,
+    pub verdict: Verdict,
+}
+
+impl ProtocolCheck {
+    /// The verdict matches the expectation (and is never a budget blowout).
+    pub fn ok(&self) -> bool {
+        match &self.verdict {
+            Verdict::Pass(_) => self.expect_pass,
+            Verdict::Fail { .. } => !self.expect_pass,
+            Verdict::BudgetExceeded { .. } => false,
+        }
+    }
+}
+
+/// Runs the interleaving suite: the three real protocols (must pass
+/// exhaustively) and four planted-bug variants (must fail). Model sizes
+/// are fixed small so the full space fits a CI-friendly budget; the
+/// regression tests run larger instances.
+pub fn run_interleave_suite(budget: usize) -> Vec<ProtocolCheck> {
+    vec![
+        ProtocolCheck {
+            name: "slot-swap/read (ModelServer)",
+            expect_pass: true,
+            verdict: sched::check(&models::SlotModel::new(2, 2, 2), budget),
+        },
+        ProtocolCheck {
+            name: "completion latch + help-drain (pool Scope)",
+            expect_pass: true,
+            verdict: sched::check(&models::LatchModel::new(2, 2), budget),
+        },
+        ProtocolCheck {
+            name: "CAS fetch_add (RacySlice)",
+            expect_pass: true,
+            verdict: sched::check(&models::RacyModel::new(2, 2), budget),
+        },
+        ProtocolCheck {
+            name: "hazard: torn generation/snapshot publication",
+            expect_pass: false,
+            verdict: sched::check(&models::TornSlotModel::new(1, 1, 1), budget),
+        },
+        ProtocolCheck {
+            name: "hazard: free-on-swap (no retention table)",
+            expect_pass: false,
+            verdict: sched::check(&models::FreeOnSwapSlotModel::new(1, 1, 1), budget),
+        },
+        ProtocolCheck {
+            name: "hazard: park on stale check (lost wakeup)",
+            expect_pass: false,
+            verdict: sched::check(&models::LostWakeupLatchModel::new(1, 1), budget),
+        },
+        ProtocolCheck {
+            name: "hazard: non-atomic load/store add",
+            expect_pass: false,
+            verdict: sched::check(&models::RacyModel::lossy(2, 1), budget),
+        },
+    ]
+}
+
+/// Schedule budget for the CI-facing suite. The largest fixed model
+/// (the latch with its retry interleavings) explores well under this;
+/// hitting it means a model grew, which should be an explicit decision.
+pub const CI_SCHEDULE_BUDGET: usize = 500_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_resolution_matches_the_documented_map() {
+        assert!(scope_for("crates/service/src/exec.rs").panic_freedom);
+        assert!(scope_for("crates/serve/src/rank.rs").panic_freedom);
+        assert!(!scope_for("crates/serve/src/freeze.rs").panic_freedom);
+        assert!(!scope_for("crates/train/src/lib.rs").panic_freedom);
+        assert!(scope_for("crates/serve/src/topn.rs").no_hash_collections);
+        assert!(!scope_for("crates/engine/src/pipeline.rs").no_hash_collections);
+        assert!(!scope_for("crates/par/src/lib.rs").no_available_parallelism);
+        assert!(scope_for("crates/par/src/pool.rs").no_available_parallelism);
+        assert!(scope_for("crates/par/src/hogwild.rs").ordering_justification);
+        assert!(!scope_for("crates/serve/src/frozen.rs").ordering_justification);
+    }
+
+    #[test]
+    fn workspace_scan_finds_this_file_and_skips_vendor() {
+        let root = workspace_root();
+        let files = workspace_sources(&root);
+        assert!(
+            files.iter().any(|p| p.ends_with("crates/analyze/src/lib.rs")),
+            "scan must include first-party sources"
+        );
+        assert!(
+            !files.iter().any(|p| p.to_string_lossy().contains("/vendor/")),
+            "scan must not descend into vendor/"
+        );
+        // Deterministic order.
+        let again = workspace_sources(&root);
+        assert_eq!(files, again);
+    }
+
+    #[test]
+    fn the_tree_is_clean_under_the_suite() {
+        // The repo's own gate, as a unit test: no lint findings anywhere.
+        let files = run_lints(&workspace_root());
+        let findings: Vec<String> = files
+            .iter()
+            .flat_map(|f| {
+                f.report
+                    .findings
+                    .iter()
+                    .map(move |d| format!("{}:{}: {}: {}", f.rel, d.line, d.lint, d.message))
+            })
+            .collect();
+        assert!(findings.is_empty(), "lint findings:\n{}", findings.join("\n"));
+    }
+
+    #[test]
+    fn interleave_suite_is_calibrated() {
+        for check in run_interleave_suite(CI_SCHEDULE_BUDGET) {
+            assert!(
+                check.ok(),
+                "{}: expected {} but got {:?}",
+                check.name,
+                if check.expect_pass { "pass" } else { "fail" },
+                check.verdict
+            );
+        }
+    }
+}

@@ -1,0 +1,533 @@
+//! The four workspace lints, evaluated over the [`crate::lexer`] token
+//! stream of each source file.
+//!
+//! | id | rule |
+//! |----|------|
+//! | L1 | every `unsafe` block/fn/impl carries a `// SAFETY:` comment |
+//! | L2 | no `unwrap`/`expect`/panicking macros on serving hot paths |
+//! | L3 | no `HashMap`/`HashSet`, no uncached `available_parallelism`, in deterministic-output code |
+//! | L4 | every `Ordering::*` use in the concurrency core carries a `// ORDERING:` comment |
+//!
+//! Scope is path-based and centralised in [`lint_file`]'s caller (see
+//! [`crate::run_lints`]); this module implements the per-file token
+//! rules, all of which share two pieces of local structure: the
+//! *justification comment* rule (a trailing same-line comment or a
+//! contiguous `//` block directly above) and *test-region exclusion*
+//! (`#[cfg(test)] mod … { … }` spans, where the panic-freedom rules do
+//! not apply).
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// One lint finding, formatted as `file:line: Lx: message` by the CLI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// `L1` … `L4`.
+    pub lint: &'static str,
+    /// 1-indexed source line.
+    pub line: usize,
+    pub message: String,
+}
+
+/// One inventoried `unsafe` site (the machine-readable side of L1, fed
+/// into `UNSAFETY.md` by [`crate::inventory`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsafeSite {
+    /// 1-indexed line of the `unsafe` keyword.
+    pub line: usize,
+    /// `block`, `fn`, `impl`, or `trait`.
+    pub kind: &'static str,
+    /// First line of the SAFETY comment, `// SAFETY:` prefix stripped
+    /// (empty when the site is undocumented — an L1 finding).
+    pub justification: String,
+}
+
+/// Which rules apply to one file; resolved from its path by the caller.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LintScope {
+    /// L2: ban `unwrap`/`expect`/`panic!`-family in non-test code.
+    pub panic_freedom: bool,
+    /// L3: ban `HashMap`/`HashSet` in non-test code.
+    pub no_hash_collections: bool,
+    /// L3: ban `available_parallelism` anywhere in the file.
+    pub no_available_parallelism: bool,
+    /// L4: require `// ORDERING:` on every `Ordering::…` use.
+    pub ordering_justification: bool,
+}
+
+/// Output of linting one file: diagnostics plus the unsafe inventory
+/// (the latter collected for *every* file — L1 is workspace-wide).
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub findings: Vec<Finding>,
+    pub unsafe_sites: Vec<UnsafeSite>,
+}
+
+/// Lints one file's source under `scope`. L1 always runs; the scoped
+/// rules run when their flag is set.
+pub fn lint_file(src: &str, scope: LintScope) -> FileReport {
+    let tokens = lex(src);
+    let test_lines = test_region_lines(&tokens);
+    let mut report = FileReport::default();
+
+    l1_undocumented_unsafe(&tokens, &mut report);
+    if scope.panic_freedom {
+        l2_panic_freedom(&tokens, &test_lines, &mut report);
+    }
+    if scope.no_hash_collections {
+        l3_hash_collections(&tokens, &test_lines, &mut report);
+    }
+    if scope.no_available_parallelism {
+        l3_available_parallelism(&tokens, &mut report);
+    }
+    if scope.ordering_justification {
+        l4_ordering_justification(&tokens, &test_lines, &mut report);
+    }
+    report
+}
+
+/// Line spans covered by `#[cfg(test)] mod … { … }` regions, where the
+/// panic-freedom and determinism rules don't apply (tests assert by
+/// panicking; that's their job).
+fn test_region_lines(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let sig: Vec<(usize, &TokenKind)> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment(_) | TokenKind::BlockComment(_)))
+        .map(|(i, t)| (i, &t.kind))
+        .collect();
+    let mut spans = Vec::new();
+    let mut s = 0usize;
+    while s < sig.len() {
+        // Match `# [ cfg ( test ) ] mod name {`, tolerating further
+        // attributes between the `]` and the `mod`.
+        if !is_cfg_test_attr(&sig, s) {
+            s += 1;
+            continue;
+        }
+        // Skip to past this attribute's closing `]` (index s+6).
+        let mut i = s + 7;
+        // Allow more attributes (e.g. `#[allow(…)]`) before `mod`.
+        while matches!(sig.get(i).map(|(_, k)| *k), Some(TokenKind::Punct('#'))) {
+            i += 1;
+            let mut depth = 0usize;
+            while let Some((_, k)) = sig.get(i) {
+                match k {
+                    TokenKind::Punct('[') => depth += 1,
+                    TokenKind::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+        let is_mod = matches!(sig.get(i).map(|(_, k)| *k), Some(TokenKind::Ident(w)) if w == "mod");
+        if !is_mod {
+            s += 1;
+            continue;
+        }
+        // Find the module's opening brace, then its matching close.
+        let mut j = i + 1;
+        while let Some((_, k)) = sig.get(j) {
+            if matches!(k, TokenKind::Punct('{') | TokenKind::Punct(';')) {
+                break;
+            }
+            j += 1;
+        }
+        if matches!(sig.get(j).map(|(_, k)| *k), Some(TokenKind::Punct('{'))) {
+            let open_line = tokens[sig[j].0].line;
+            let mut depth = 0usize;
+            let mut close_line = open_line;
+            let mut k_idx = j;
+            while let Some((ti, k)) = sig.get(k_idx) {
+                match k {
+                    TokenKind::Punct('{') => depth += 1,
+                    TokenKind::Punct('}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            close_line = tokens[*ti].line;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k_idx += 1;
+            }
+            spans.push((open_line, close_line));
+            s = k_idx.max(s + 1);
+        } else {
+            s += 1;
+        }
+    }
+    spans
+}
+
+/// `sig[s..]` starts with exactly `# [ cfg ( test ) ]`.
+fn is_cfg_test_attr(sig: &[(usize, &TokenKind)], s: usize) -> bool {
+    let want: [&dyn Fn(&TokenKind) -> bool; 7] = [
+        &|k| matches!(k, TokenKind::Punct('#')),
+        &|k| matches!(k, TokenKind::Punct('[')),
+        &|k| matches!(k, TokenKind::Ident(w) if w == "cfg"),
+        &|k| matches!(k, TokenKind::Punct('(')),
+        &|k| matches!(k, TokenKind::Ident(w) if w == "test"),
+        &|k| matches!(k, TokenKind::Punct(')')),
+        &|k| matches!(k, TokenKind::Punct(']')),
+    ];
+    want.iter()
+        .enumerate()
+        .all(|(off, pred)| sig.get(s + off).is_some_and(|(_, k)| pred(k)))
+}
+
+fn in_spans(line: usize, spans: &[(usize, usize)]) -> bool {
+    spans.iter().any(|&(a, b)| (a..=b).contains(&line))
+}
+
+/// Whether a token at `idx` has a justification comment: a marker-bearing
+/// comment on the same line (trailing) or a contiguous comment block
+/// ending on the immediately preceding code-free lines.
+fn has_justification(tokens: &[Token], idx: usize, marker: &str) -> bool {
+    let line = tokens[idx].line;
+    // Trailing same-line comment.
+    let trailing = tokens.iter().any(|t| {
+        t.line == line
+            && matches!(&t.kind, TokenKind::LineComment(text) | TokenKind::BlockComment(text)
+                if text.contains(marker))
+    });
+    if trailing {
+        return true;
+    }
+    // Contiguous comment block directly above: walk up line by line;
+    // every line until the marker must be a comment-only line.
+    let mut want = line.saturating_sub(1);
+    while want > 0 {
+        let on_line: Vec<&Token> = tokens.iter().filter(|t| t.line == want).collect();
+        if on_line.is_empty() {
+            // Blank line (or a line fully inside a multi-line construct)
+            // breaks contiguity.
+            return false;
+        }
+        let all_comments = on_line.iter().all(|t| {
+            matches!(t.kind, TokenKind::LineComment(_) | TokenKind::BlockComment(_))
+                // An attribute line (`#[inline]`) between comment and
+                // item keeps contiguity: `// SAFETY:` above `#[inline]`
+                // above `unsafe fn` is documented.
+                || matches!(t.kind, TokenKind::Punct('#') | TokenKind::Punct('[') | TokenKind::Punct(']')
+                    | TokenKind::Punct('(') | TokenKind::Punct(')') | TokenKind::Ident(_))
+                    && line_is_attribute(on_line.as_slice())
+        });
+        if !all_comments {
+            return false;
+        }
+        if on_line.iter().any(|t| {
+            matches!(&t.kind, TokenKind::LineComment(text) | TokenKind::BlockComment(text)
+                if text.contains(marker))
+        }) {
+            return true;
+        }
+        want -= 1;
+    }
+    false
+}
+
+/// A line whose first token is `#` is an attribute line.
+fn line_is_attribute(on_line: &[&Token]) -> bool {
+    matches!(on_line.first().map(|t| &t.kind), Some(TokenKind::Punct('#')))
+}
+
+/// The first line of the justification comment block for `idx`, marker
+/// prefix stripped — what the unsafe inventory records.
+fn justification_text(tokens: &[Token], idx: usize, marker: &str) -> Option<String> {
+    let line = tokens[idx].line;
+    let extract = |text: &str| -> Option<String> {
+        let at = text.find(marker)?;
+        Some(text[at + marker.len()..].trim().trim_end_matches("*/").trim().to_string())
+    };
+    // Trailing first, then the block above (mirrors has_justification).
+    for t in tokens.iter().filter(|t| t.line == line) {
+        if let TokenKind::LineComment(text) | TokenKind::BlockComment(text) = &t.kind {
+            if let Some(j) = extract(text) {
+                return Some(j);
+            }
+        }
+    }
+    let mut want = line.saturating_sub(1);
+    while want > 0 {
+        let on_line: Vec<&Token> = tokens.iter().filter(|t| t.line == want).collect();
+        if on_line.is_empty() {
+            return None;
+        }
+        for t in &on_line {
+            if let TokenKind::LineComment(text) | TokenKind::BlockComment(text) = &t.kind {
+                if let Some(j) = extract(text) {
+                    return Some(j);
+                }
+            }
+        }
+        if !on_line
+            .iter()
+            .all(|t| matches!(t.kind, TokenKind::LineComment(_) | TokenKind::BlockComment(_)))
+            && !line_is_attribute(on_line.as_slice())
+        {
+            return None;
+        }
+        want -= 1;
+    }
+    None
+}
+
+/// Significant-token view: indices of non-comment tokens.
+fn significant(tokens: &[Token]) -> Vec<usize> {
+    tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment(_) | TokenKind::BlockComment(_)))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn ident_at<'t>(tokens: &'t [Token], sig: &[usize], pos: usize) -> Option<&'t str> {
+    match &tokens[*sig.get(pos)?].kind {
+        TokenKind::Ident(w) => Some(w),
+        _ => None,
+    }
+}
+
+fn punct_at(tokens: &[Token], sig: &[usize], pos: usize) -> Option<char> {
+    match &tokens[*sig.get(pos)?].kind {
+        TokenKind::Punct(c) => Some(*c),
+        _ => None,
+    }
+}
+
+/// L1: every `unsafe` keyword introduces a block, fn, impl, or trait;
+/// each needs a `SAFETY:` comment. Also records the inventory.
+fn l1_undocumented_unsafe(tokens: &[Token], report: &mut FileReport) {
+    let sig = significant(tokens);
+    for (pos, &idx) in sig.iter().enumerate() {
+        if !matches!(&tokens[idx].kind, TokenKind::Ident(w) if w == "unsafe") {
+            continue;
+        }
+        // Classify from the next significant token.
+        let kind = match (ident_at(tokens, &sig, pos + 1), punct_at(tokens, &sig, pos + 1)) {
+            (_, Some('{')) => "block",
+            (Some("fn"), _) => "fn",
+            (Some("impl"), _) => "impl",
+            (Some("trait"), _) => "trait",
+            (Some("extern"), _) => "fn",
+            // `unsafe` in other positions (e.g. a fn-pointer type) needs
+            // no justification of its own.
+            _ => continue,
+        };
+        let justification = justification_text(tokens, idx, "SAFETY:").unwrap_or_default();
+        if !has_justification(tokens, idx, "SAFETY:") {
+            report.findings.push(Finding {
+                lint: "L1",
+                line: tokens[idx].line,
+                message: format!(
+                    "`unsafe` {kind} without a `// SAFETY:` comment (same line or the comment block directly above)"
+                ),
+            });
+        }
+        report
+            .unsafe_sites
+            .push(UnsafeSite { line: tokens[idx].line, kind, justification });
+    }
+}
+
+/// L2: `.unwrap(` / `.expect(` method calls and `panic!`-family macros
+/// outside test regions.
+fn l2_panic_freedom(tokens: &[Token], test_lines: &[(usize, usize)], report: &mut FileReport) {
+    const BANNED_MACROS: [&str; 4] = ["panic", "todo", "unimplemented", "unreachable"];
+    let sig = significant(tokens);
+    for (pos, &idx) in sig.iter().enumerate() {
+        let TokenKind::Ident(word) = &tokens[idx].kind else { continue };
+        let line = tokens[idx].line;
+        if in_spans(line, test_lines) {
+            continue;
+        }
+        // `.unwrap(` / `.expect(` — exact ident, preceded by `.`,
+        // followed by `(` (so `unwrap_or_else` and field names pass).
+        if (word == "unwrap" || word == "expect")
+            && pos > 0
+            && punct_at(tokens, &sig, pos - 1) == Some('.')
+            && punct_at(tokens, &sig, pos + 1) == Some('(')
+        {
+            report.findings.push(Finding {
+                lint: "L2",
+                line,
+                message: format!(
+                    "`.{word}()` on a serving hot path — return a typed error or restructure so infallibility is in the types"
+                ),
+            });
+        }
+        // `panic!(` family — ident followed by `!`. `assert!`/
+        // `debug_assert!` stay allowed: they check invariants rather
+        // than mark unfinished or "can't happen" paths.
+        if BANNED_MACROS.contains(&word.as_str()) && punct_at(tokens, &sig, pos + 1) == Some('!') {
+            report.findings.push(Finding {
+                lint: "L2",
+                line,
+                message: format!(
+                    "`{word}!` on a serving hot path — handle the case or encode it in the types"
+                ),
+            });
+        }
+    }
+}
+
+/// L3a: `HashMap`/`HashSet` in code feeding deterministic outputs
+/// (iteration order is randomised per process — results would differ
+/// run to run).
+fn l3_hash_collections(tokens: &[Token], test_lines: &[(usize, usize)], report: &mut FileReport) {
+    for t in tokens {
+        let TokenKind::Ident(word) = &t.kind else { continue };
+        if (word == "HashMap" || word == "HashSet") && !in_spans(t.line, test_lines) {
+            report.findings.push(Finding {
+                lint: "L3",
+                line: t.line,
+                message: format!(
+                    "`{word}` in deterministic-output code — iteration order is per-process random; use BTreeMap/BTreeSet or a Vec"
+                ),
+            });
+        }
+    }
+}
+
+/// L3b: `available_parallelism` outside the one cached accessor —
+/// anywhere else, the thread count read can change between calls and
+/// shift shard boundaries mid-computation.
+fn l3_available_parallelism(tokens: &[Token], report: &mut FileReport) {
+    for t in tokens {
+        if matches!(&t.kind, TokenKind::Ident(w) if w == "available_parallelism") {
+            report.findings.push(Finding {
+                lint: "L3",
+                line: t.line,
+                message: "`available_parallelism()` outside the cached `Parallelism::auto()` accessor — thread counts must be read once and carried as a value".into(),
+            });
+        }
+    }
+}
+
+/// L4: each line using `Ordering::…` needs an `ORDERING:` comment
+/// (trailing, or in the contiguous comment block above).
+fn l4_ordering_justification(tokens: &[Token], test_lines: &[(usize, usize)], report: &mut FileReport) {
+    let sig = significant(tokens);
+    let mut flagged_lines = Vec::new();
+    for (pos, &idx) in sig.iter().enumerate() {
+        if !matches!(&tokens[idx].kind, TokenKind::Ident(w) if w == "Ordering") {
+            continue;
+        }
+        // `Ordering` followed by `::` — a use site, not an import list
+        // entry (`use …::{…, Ordering};`) or a bare mention.
+        if punct_at(tokens, &sig, pos + 1) != Some(':') || punct_at(tokens, &sig, pos + 2) != Some(':') {
+            continue;
+        }
+        let line = tokens[idx].line;
+        if in_spans(line, test_lines) || flagged_lines.contains(&line) {
+            continue;
+        }
+        flagged_lines.push(line);
+        if !has_justification(tokens, idx, "ORDERING:") {
+            report.findings.push(Finding {
+                lint: "L4",
+                line,
+                message: "`Ordering::…` without a `// ORDERING:` justification (same line or the comment block directly above)".into(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_all(src: &str) -> FileReport {
+        lint_file(
+            src,
+            LintScope {
+                panic_freedom: true,
+                no_hash_collections: true,
+                no_available_parallelism: true,
+                ordering_justification: true,
+            },
+        )
+    }
+
+    #[test]
+    fn documented_unsafe_passes_and_is_inventoried() {
+        let src = "
+// SAFETY: the pointer is valid for the borrow's duration.
+unsafe { ptr.read() }
+";
+        let report = lint_all(src);
+        assert!(report.findings.iter().all(|f| f.lint != "L1"), "{:?}", report.findings);
+        assert_eq!(report.unsafe_sites.len(), 1);
+        assert_eq!(report.unsafe_sites[0].kind, "block");
+        assert!(report.unsafe_sites[0].justification.starts_with("the pointer is valid"));
+    }
+
+    #[test]
+    fn undocumented_unsafe_fires() {
+        let report = lint_all("unsafe { ptr.read() }");
+        assert!(report.findings.iter().any(|f| f.lint == "L1"));
+    }
+
+    #[test]
+    fn unsafe_impl_and_fn_are_classified() {
+        let src = "
+// SAFETY: all access is atomic.
+unsafe impl Sync for X {}
+// SAFETY: caller upholds the aliasing contract.
+unsafe fn read_it() {}
+";
+        let report = lint_all(src);
+        assert!(report.findings.iter().all(|f| f.lint != "L1"), "{:?}", report.findings);
+        let kinds: Vec<&str> = report.unsafe_sites.iter().map(|s| s.kind).collect();
+        assert_eq!(kinds, vec!["impl", "fn"]);
+    }
+
+    #[test]
+    fn test_modules_are_exempt_from_l2_but_not_l1() {
+        let src = "
+fn hot() -> i32 { 1 }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { super::hot(); Some(1).unwrap(); panic!(\"assert style\"); }
+}
+";
+        let report = lint_all(src);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn unwrap_variants_do_not_false_positive() {
+        let src = "fn f(x: Option<i32>) -> i32 { x.unwrap_or(0) + x.unwrap_or_else(|| 1) }";
+        let report = lint_all(src);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn ordering_import_line_is_not_a_use_site() {
+        let src = "use std::sync::atomic::{AtomicBool, Ordering};";
+        let report = lint_all(src);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn unjustified_ordering_fires_and_justified_passes() {
+        let bad = "fn f(a: &AtomicBool) { a.store(true, Ordering::Release); }";
+        assert!(lint_all(bad).findings.iter().any(|f| f.lint == "L4"));
+        let good = "
+fn f(a: &AtomicBool) {
+    // ORDERING: Release pairs with the reader's Acquire.
+    a.store(true, Ordering::Release);
+}
+";
+        assert!(lint_all(good).findings.is_empty(), "{:?}", lint_all(good).findings);
+    }
+}

@@ -1,0 +1,238 @@
+//! Fires / doesn't-fire fixture pairs for each lint — the self-test
+//! that keeps the lint driver honest in both directions. Every rule
+//! gets (a) a minimal violation it MUST flag and (b) a near-miss it
+//! MUST NOT flag, with the near-misses drawn from the constructs that
+//! break substring greps: `unsafe` inside strings and comments, raw
+//! strings, lifetimes vs char literals, `unwrap_or_else`, import lists.
+
+use gmlfm_analyze::lints::{lint_file, FileReport, LintScope};
+
+fn all_scopes() -> LintScope {
+    LintScope {
+        panic_freedom: true,
+        no_hash_collections: true,
+        no_available_parallelism: true,
+        ordering_justification: true,
+    }
+}
+
+fn lint(src: &str) -> FileReport {
+    lint_file(src, all_scopes())
+}
+
+fn fires(report: &FileReport, lint: &str) -> bool {
+    report.findings.iter().any(|f| f.lint == lint)
+}
+
+// --- L1: undocumented unsafe -----------------------------------------
+
+#[test]
+fn l1_fires_on_each_undocumented_unsafe_form() {
+    for src in [
+        "fn f(p: *const u8) -> u8 { unsafe { *p } }",
+        "unsafe fn g() {}",
+        "struct X; unsafe impl Sync for X {}",
+        "unsafe trait Zeroable {}",
+    ] {
+        let report = lint(src);
+        assert!(fires(&report, "L1"), "must fire on: {src}");
+        assert_eq!(report.unsafe_sites.len(), 1, "one site in: {src}");
+        assert!(report.unsafe_sites[0].justification.is_empty());
+    }
+}
+
+#[test]
+fn l1_accepts_trailing_and_preceding_safety_comments() {
+    let trailing = "fn f(p: *const u8) -> u8 { unsafe { *p } } // SAFETY: caller checked p";
+    assert!(!fires(&lint(trailing), "L1"));
+
+    let above = "
+// SAFETY: p is non-null by construction.
+unsafe fn g(p: *const u8) {}
+";
+    assert!(!fires(&lint(above), "L1"));
+
+    let through_attribute = "
+// SAFETY: the buffer outlives the borrow.
+#[inline]
+unsafe fn h() {}
+";
+    assert!(!fires(&lint(through_attribute), "L1"));
+}
+
+#[test]
+fn l1_blank_line_breaks_the_justification_block() {
+    let src = "
+// SAFETY: stale — refers to something else entirely.
+
+unsafe fn g() {}
+";
+    assert!(fires(&lint(src), "L1"));
+}
+
+#[test]
+fn l1_ignores_unsafe_in_strings_and_comments() {
+    let src = r##"
+// this mentions unsafe { } but is a comment
+fn f() -> &'static str { "unsafe { code }" }
+fn g() -> &'static str { r#"unsafe impl Sync"# }
+"##;
+    let report = lint(src);
+    assert!(!fires(&report, "L1"), "{:?}", report.findings);
+    assert!(report.unsafe_sites.is_empty());
+}
+
+#[test]
+fn l1_inventories_documented_sites_with_their_text() {
+    let src = "
+// SAFETY: index is bounds-checked by the caller.
+unsafe { slice.get_unchecked(i) }
+";
+    let report = lint(src);
+    assert_eq!(report.unsafe_sites.len(), 1);
+    assert_eq!(report.unsafe_sites[0].kind, "block");
+    assert_eq!(report.unsafe_sites[0].justification, "index is bounds-checked by the caller.");
+}
+
+// --- L2: panic freedom -----------------------------------------------
+
+#[test]
+fn l2_fires_on_unwrap_expect_and_panicking_macros() {
+    for src in [
+        "fn f(x: Option<i32>) -> i32 { x.unwrap() }",
+        "fn f(x: Option<i32>) -> i32 { x.expect(\"present\") }",
+        "fn f() { panic!(\"boom\") }",
+        "fn f() { todo!() }",
+        "fn f() { unimplemented!() }",
+        "fn f(x: u8) { match x { 0 => {}, _ => unreachable!() } }",
+    ] {
+        assert!(fires(&lint(src), "L2"), "must fire on: {src}");
+    }
+}
+
+#[test]
+fn l2_near_misses_do_not_fire() {
+    for src in [
+        // Fallible-with-default variants are the *fix*, not a violation.
+        "fn f(x: Option<i32>) -> i32 { x.unwrap_or(0) }",
+        "fn f(x: Option<i32>) -> i32 { x.unwrap_or_else(|| 0) }",
+        "fn f(x: Option<i32>) -> i32 { x.unwrap_or_default() }",
+        // Field/ident mentions, not method calls.
+        "struct S { unwrap: bool } fn f(s: S) -> bool { s.unwrap }",
+        // Assertions check invariants; they stay allowed.
+        "fn f(n: usize) { assert!(n > 0); debug_assert!(n < 10); }",
+        // Strings and comments.
+        "fn f() -> &'static str { \"call .unwrap() and panic!\" } // unwrap() here too",
+        // `expect` in a doc comment.
+        "/// Callers may expect( this to hold.\nfn f() {}",
+    ] {
+        let report = lint(src);
+        assert!(!fires(&report, "L2"), "must not fire on: {src} — {:?}", report.findings);
+    }
+}
+
+#[test]
+fn l2_is_suspended_inside_cfg_test_modules_only() {
+    let src = "
+fn hot(x: Option<i32>) -> i32 { x.unwrap() }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { Some(1).unwrap(); panic!(\"fine in tests\"); }
+}
+";
+    let report = lint(src);
+    let l2_lines: Vec<usize> = report.findings.iter().filter(|f| f.lint == "L2").map(|f| f.line).collect();
+    // Exactly the hot-path unwrap on line 2; nothing from the test mod.
+    assert_eq!(l2_lines, vec![2], "{:?}", report.findings);
+}
+
+// --- L3: determinism -------------------------------------------------
+
+#[test]
+fn l3_fires_on_hash_collections_outside_tests() {
+    let src = "use std::collections::HashMap; fn f() { let m: HashMap<u32, u32> = HashMap::new(); }";
+    assert!(fires(&lint(src), "L3"));
+    assert!(fires(&lint("fn f(s: std::collections::HashSet<u32>) {}"), "L3"));
+}
+
+#[test]
+fn l3_allows_btree_collections_and_test_hashmaps() {
+    let clean = "use std::collections::BTreeMap; fn f() { let m: BTreeMap<u32, u32> = BTreeMap::new(); }";
+    assert!(!fires(&lint(clean), "L3"));
+    let test_only = "
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    #[test]
+    fn t() { let _m: HashMap<u32, u32> = HashMap::new(); }
+}
+";
+    assert!(!fires(&lint(test_only), "L3"));
+}
+
+#[test]
+fn l3_fires_on_available_parallelism_even_in_tests() {
+    // The uncached-thread-count rule is about *any* second read site
+    // existing; a test calling it still bypasses the cached accessor.
+    let src = "fn f() -> usize { std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) }";
+    assert!(fires(&lint(src), "L3"));
+}
+
+#[test]
+fn l3_scope_flags_gate_each_rule() {
+    let hash_src = "fn f(m: std::collections::HashMap<u32, u32>) {}";
+    let off = LintScope { no_hash_collections: false, ..all_scopes() };
+    assert!(!fires(&lint_file(hash_src, off), "L3"));
+}
+
+// --- L4: ordering justification --------------------------------------
+
+#[test]
+fn l4_fires_on_bare_ordering_and_accepts_justified_uses() {
+    let bare = "fn f(a: &AtomicUsize) -> usize { a.load(Ordering::Acquire) }";
+    assert!(fires(&lint(bare), "L4"));
+
+    let trailing =
+        "fn f(a: &AtomicUsize) -> usize { a.load(Ordering::Acquire) } // ORDERING: pairs with store";
+    assert!(!fires(&lint(trailing), "L4"));
+
+    let above = "
+fn f(a: &AtomicUsize) -> usize {
+    // ORDERING: Acquire pairs with the writer's Release store.
+    a.load(Ordering::Acquire)
+}
+";
+    assert!(!fires(&lint(above), "L4"));
+}
+
+#[test]
+fn l4_import_lists_and_qualified_imports_pass() {
+    for src in [
+        "use std::sync::atomic::{AtomicUsize, Ordering};",
+        "use std::sync::atomic::Ordering;",
+        "use core::cmp::Ordering;",
+    ] {
+        let report = lint(src);
+        assert!(!fires(&report, "L4"), "must not fire on: {src} — {:?}", report.findings);
+    }
+}
+
+#[test]
+fn l4_flags_a_line_once_even_with_two_orderings() {
+    // compare_exchange takes two orderings on one line; one diagnostic.
+    let src =
+        "fn f(a: &AtomicUsize) { let _ = a.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed); }";
+    let report = lint(src);
+    assert_eq!(report.findings.iter().filter(|f| f.lint == "L4").count(), 1);
+}
+
+// --- diagnostics -----------------------------------------------------
+
+#[test]
+fn findings_carry_one_indexed_lines() {
+    let src = "fn ok() {}\nfn bad(x: Option<i32>) -> i32 { x.unwrap() }\n";
+    let report = lint(src);
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].line, 2);
+}

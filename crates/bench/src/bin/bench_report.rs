@@ -322,18 +322,18 @@ fn main() {
         // k = 8 keeps the 1M-item embedding tables (~140 MB) laptop-sized.
         let model = serving_model(dataset.schema.total_dim(), 8, seed);
         let candidates: Vec<u32> = (0..size as u32).collect();
-        let user = 7u32;
+        let template = catalog.template(7).expect("bench user in range");
         for n in [10usize, 100] {
             for t in THREADS {
                 let par = Parallelism::threads(t);
                 let full_sort = || {
-                    let scores = model.candidate_scores(&catalog, user, &candidates, par);
+                    let scores = model.candidate_scores(&catalog, template, &candidates, par);
                     let mut scored: Vec<(u32, f64)> = candidates.iter().copied().zip(scores).collect();
                     scored.sort_by(rank_cmp);
                     scored.truncate(n);
                     scored
                 };
-                let sharded_heap = || model.select_top_n(&catalog, user, &candidates, n, par);
+                let sharded_heap = || model.select_top_n(&catalog, template, &candidates, n, par);
                 assert_eq!(
                     sharded_heap(),
                     full_sort(),
@@ -415,9 +415,10 @@ fn main() {
         );
         let mut hits = 0usize;
         for &user in &ann_users {
-            let exact = model.select_top_n(&catalog, user, &candidates, ann_n, Parallelism::auto());
+            let template = catalog.template(user).expect("bench user in range");
+            let exact = model.select_top_n(&catalog, template, &candidates, ann_n, Parallelism::auto());
             let ivf = backend
-                .select_top_n_indexed(&catalog, user, ann_n, None, &[], Parallelism::auto())
+                .select_top_n_indexed(&catalog, template, ann_n, None, &[], Parallelism::auto())
                 .expect("whole-catalogue request above min_candidates is index-eligible");
             for (item, score) in &ivf {
                 if let Some((_, exact_score)) = exact.iter().find(|(e, _)| e == item) {
@@ -427,15 +428,16 @@ fn main() {
             }
         }
         let recall = hits as f64 / (ann_users.len() * ann_n) as f64;
+        let bench_template = catalog.template(7).expect("bench user in range");
         for t in THREADS {
             let par = Parallelism::threads(t);
             let exact_rps = throughput(1, || {
-                std::hint::black_box(model.select_top_n(&catalog, 7, &candidates, ann_n, par));
+                std::hint::black_box(model.select_top_n(&catalog, bench_template, &candidates, ann_n, par));
             });
             let ivf_rps = throughput(1, || {
                 std::hint::black_box(
                     backend
-                        .select_top_n_indexed(&catalog, 7, ann_n, None, &[], par)
+                        .select_top_n_indexed(&catalog, bench_template, ann_n, None, &[], par)
                         .expect("index-eligible request"),
                 );
             });

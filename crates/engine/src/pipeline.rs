@@ -279,13 +279,14 @@ impl ScoringBackend for LiveBackend<'_> {
     fn candidate_scores(
         &self,
         catalog: &Catalog,
-        user: u32,
+        template: &[u32],
         candidates: &[u32],
         _par: Parallelism,
     ) -> Vec<f64> {
+        use gmlfm_serve::ItemFeatureSource;
         let instances: Vec<Instance> = candidates
             .iter()
-            .map(|&item| Instance::new(catalog.feats(user, item).expect("caller validated"), 0.0))
+            .map(|&item| Instance::new(catalog.splice(template, catalog.features_of(item)), 0.0))
             .collect();
         self.0.scorer().scores(&instances)
     }

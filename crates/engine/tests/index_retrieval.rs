@@ -158,8 +158,9 @@ proptest! {
             // Non-metric models never build an index; the indexed
             // backend must report ineligibility, not guess.
             let backend = IndexedModel { frozen: &v.frozen, index: None };
+            let template = f.catalog.template(0).expect("fixture has user 0");
             prop_assert!(backend
-                .select_top_n_indexed(&f.catalog, 0, 10, None, &[], Parallelism::serial())
+                .select_top_n_indexed(&f.catalog, template, 10, None, &[], Parallelism::serial())
                 .is_none());
             return Ok(());
         };
@@ -172,7 +173,7 @@ proptest! {
             let got = backend
                 .select_top_n_indexed(
                     &f.catalog,
-                    user,
+                    f.catalog.template(user).expect("fixture user in range"),
                     n,
                     Some(index.n_clusters()),
                     &[],

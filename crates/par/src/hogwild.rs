@@ -56,6 +56,10 @@ pub struct RacySlice<'a> {
 // threads. All access is bounds checked and goes through relaxed
 // atomics; the `&mut` constructor borrow rules out safe aliases.
 unsafe impl Send for RacySlice<'_> {}
+// SAFETY: same argument as `Send` above — every access path is a
+// bounds-checked relaxed atomic on the exclusively borrowed buffer, so
+// shared references across threads cannot introduce data races beyond
+// the documented benign-race contract.
 unsafe impl Sync for RacySlice<'_> {}
 
 impl<'a> RacySlice<'a> {
@@ -94,6 +98,9 @@ impl<'a> RacySlice<'a> {
     /// Panics when `i` is out of bounds.
     #[inline]
     pub fn load(&self, i: usize) -> f64 {
+        // ORDERING: Relaxed by contract — Hogwild reads tolerate stale
+        // values and no control flow may depend on cross-cell ordering
+        // (module docs); the atomic only rules out torn reads.
         f64::from_bits(self.cell(i).load(Ordering::Relaxed))
     }
 
@@ -103,6 +110,8 @@ impl<'a> RacySlice<'a> {
     /// Panics when `i` is out of bounds.
     #[inline]
     pub fn store(&self, i: usize, value: f64) {
+        // ORDERING: Relaxed by contract — no reader orders against this
+        // write (module docs); the atomic only rules out torn writes.
         self.cell(i).store(value.to_bits(), Ordering::Relaxed);
     }
 
@@ -116,7 +125,13 @@ impl<'a> RacySlice<'a> {
     #[inline]
     pub fn add(&self, i: usize, delta: f64) {
         let cell = self.cell(i);
+        // ORDERING: Relaxed on both halves — the read-modify-write is
+        // deliberately non-atomic (a racing `add` may be lost, the
+        // documented sparse-update trade); stronger orderings would not
+        // change that, only slow the hot loop down.
         let cur = f64::from_bits(cell.load(Ordering::Relaxed));
+        // ORDERING: Relaxed — the store half of the same deliberately
+        // non-atomic pair; see the comment above the load.
         cell.store((cur + delta).to_bits(), Ordering::Relaxed);
     }
 
@@ -131,9 +146,15 @@ impl<'a> RacySlice<'a> {
     #[inline]
     pub fn fetch_add(&self, i: usize, delta: f64) {
         let cell = self.cell(i);
+        // ORDERING: Relaxed — losslessness comes from the CAS retry
+        // loop itself (every delta lands on *some* observed value), not
+        // from inter-thread ordering; nothing is published through this
+        // cell (module docs), so Acquire/Release would buy nothing.
         let mut cur = cell.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + delta).to_bits();
+            // ORDERING: Relaxed success and failure — see the loop-level
+            // justification above; the failure load only reseeds `cur`.
             match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
                 Ok(_) => return,
                 Err(now) => cur = now,

@@ -34,6 +34,7 @@
 //! the env var changes defaults, it does not override explicit
 //! requests. Results are unaffected either way: the order-preserving
 //! helpers are bit-identical at every thread count.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod hogwild;
 pub mod pool;
@@ -96,6 +97,13 @@ impl Parallelism {
     /// The requested thread count.
     pub fn get(self) -> usize {
         self.0.get()
+    }
+
+    /// The requested thread count as a [`NonZeroUsize`] — the form the
+    /// sharded-retrieval helpers consume, with non-zeroness carried by
+    /// the type instead of re-asserted at call sites.
+    pub fn get_nonzero(self) -> NonZeroUsize {
+        self.0
     }
 
     /// True when this request runs inline on the calling thread.

@@ -98,6 +98,9 @@ impl ThreadPool {
         };
         let out = f(&scope);
         scope.wait();
+        // ORDERING: Acquire pairs with the Release store in
+        // `ScopeState::run` — a panic flag raised by any job is visible
+        // here once `wait` has observed that job's completion.
         if scope.state.panicked.load(Ordering::Acquire) {
             panic!("gmlfm-par: a scoped job panicked");
         }
@@ -107,6 +110,9 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
+        // ORDERING: Release pairs with the workers' Acquire load — any
+        // writes made before requesting shutdown are visible to a worker
+        // that observes the flag and exits.
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.job_ready.notify_all();
         for handle in self.workers.drain(..) {
@@ -123,6 +129,9 @@ fn worker_loop(shared: &PoolShared) {
                 if let Some(job) = queue.pop_front() {
                     break job;
                 }
+                // ORDERING: Acquire pairs with the Release store in
+                // `ThreadPool::drop`; a worker that sees the flag also
+                // sees everything the dropping thread did before it.
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
@@ -146,6 +155,9 @@ impl ScopeState {
     /// worker, then marks the job complete.
     fn run(&self, body: impl FnOnce()) {
         if catch_unwind(AssertUnwindSafe(body)).is_err() {
+            // ORDERING: Release pairs with the Acquire load in
+            // `ThreadPool::scoped`; the flag is published before the
+            // pending count below signals this job's completion.
             self.panicked.store(true, Ordering::Release);
         }
         let mut pending = self.pending.lock().expect("gmlfm-par: scope poisoned");

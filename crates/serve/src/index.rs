@@ -201,11 +201,44 @@ impl IndexKind {
 
     /// The linearisation a model supports, when it has one.
     pub fn of_model(model: &FrozenModel) -> Option<Self> {
+        MetricTables::of(model).map(|tables| tables.kind())
+    }
+}
+
+/// The model tables behind a supported linearisation, resolved once per
+/// index entry point. Holding the resolved variant (rather than an
+/// [`IndexKind`] tag looked up against the model again) makes the φ/ψ/g
+/// kernels exhaustive matches: the weighted arms carry `h` by
+/// construction, with no "weighted kind implies h" re-assertion.
+#[derive(Clone, Copy)]
+enum MetricTables<'m> {
+    /// Unweighted squared-Euclidean metric (`w_ij = 1`).
+    Unweighted { hat: &'m HatQ },
+    /// Weighted squared-Euclidean metric (Eq. 10/11).
+    Weighted { hat: &'m HatQ, h: &'m [f64] },
+}
+
+impl<'m> MetricTables<'m> {
+    /// The metric tables of a model the index supports, or `None` when
+    /// the model has no squared-Euclidean linearisation (callers then
+    /// serve exactly).
+    fn of(model: &'m FrozenModel) -> Option<Self> {
         match model.second_order_kind() {
-            SecondOrder::Metric { distance: Distance::SquaredEuclidean, h, .. } => {
-                Some(if h.is_some() { IndexKind::Weighted } else { IndexKind::Unweighted })
+            SecondOrder::Metric { distance: Distance::SquaredEuclidean, hat, h } => {
+                Some(match h.as_deref() {
+                    Some(h) => MetricTables::Weighted { hat, h },
+                    None => MetricTables::Unweighted { hat },
+                })
             }
             _ => None,
+        }
+    }
+
+    /// The serialisable kind tag of these tables.
+    fn kind(&self) -> IndexKind {
+        match self {
+            MetricTables::Unweighted { .. } => IndexKind::Unweighted,
+            MetricTables::Weighted { .. } => IndexKind::Weighted,
         }
     }
 }
@@ -256,7 +289,8 @@ impl IvfIndex {
         opts: &IvfBuildOptions,
         par: Parallelism,
     ) -> Option<IvfIndex> {
-        let kind = IndexKind::of_model(model)?;
+        let tables = MetricTables::of(model)?;
+        let kind = tables.kind();
         let n = items.item_count();
         if n == 0 {
             return None;
@@ -288,7 +322,7 @@ impl IvfIndex {
         let mut sample = Matrix::zeros(sample_n, psi_dim);
         for i in 0..sample_n {
             let item = (i as u64 * n as u64 / sample_n as u64) as u32;
-            psi_into(model, kind, items.features_of(item), sample.row_mut(i));
+            psi_into(model, &tables, items.features_of(item), sample.row_mut(i));
         }
 
         // 2. Sample k-means: centroids spread over the sample, a few
@@ -343,7 +377,7 @@ impl IvfIndex {
             let mut psi = vec![0.0f64; psi_dim];
             range
                 .map(|item| {
-                    psi_into(model, kind, items.features_of(item as u32), &mut psi);
+                    psi_into(model, &tables, items.features_of(item as u32), &mut psi);
                     two_level_nearest(&psi, &centroids, &group_centroids, &groups) as u32
                 })
                 .collect()
@@ -358,7 +392,7 @@ impl IvfIndex {
         for (item, &a) in assignments.iter().enumerate() {
             let c = a as usize;
             counts[c] += 1;
-            phi_into(model, kind, items.features_of(item as u32), &mut phi);
+            phi_into(model, &tables, items.features_of(item as u32), &mut phi);
             axpy_row(mean.row_mut(c), &phi);
         }
         for (c, &count) in counts.iter().enumerate() {
@@ -374,7 +408,7 @@ impl IvfIndex {
         let mut member_norms: Vec<Vec<f64>> = vec![Vec::new(); n_clusters];
         for (item, &a) in assignments.iter().enumerate() {
             let c = a as usize;
-            phi_into(model, kind, items.features_of(item as u32), &mut phi);
+            phi_into(model, &tables, items.features_of(item as u32), &mut phi);
             let r = sqdist(&phi, mean.row(c)).sqrt();
             if r > radius[c] {
                 radius[c] = r;
@@ -585,7 +619,14 @@ impl IvfIndex {
         if n == 0 || self.members.is_empty() {
             return Vec::new();
         }
-        let probe = self.probe_order(model, template, item_slots, nprobe);
+        // Unreachable through `ModelServer` (snapshot installation
+        // checks `compatible_with`, covered by the debug assertion
+        // above); a direct caller pairing the index with a non-metric
+        // model gets the empty ranking, not a panic.
+        let Some(tables) = MetricTables::of(model) else {
+            return Vec::new();
+        };
+        let probe = self.probe_order(model, &tables, template, item_slots, nprobe);
         let ctx_score = probe.ctx_score;
 
         let shards = par.get().clamp(1, probe.clusters.len().max(1));
@@ -633,13 +674,14 @@ impl IvfIndex {
     fn probe_order(
         &self,
         model: &FrozenModel,
+        tables: &MetricTables<'_>,
         template: &[u32],
         item_slots: &[usize],
         nprobe: usize,
     ) -> ProbeList {
         let ranker = model.ranker(template, item_slots);
         let ctx_score = ranker.context_score();
-        let g = query_vector(model, self.kind, ranker.context_features());
+        let g = query_vector(model, tables, ranker.context_features());
         let norm_g = dot(&g, &g).sqrt();
         let mut clusters: Vec<(usize, f64, f64)> = (0..self.members.len())
             .map(|c| {
@@ -674,8 +716,8 @@ fn bound_slack(ctx_score: f64, ub: f64) -> f64 {
 }
 
 /// The item-side linearisation `φ(item)` (see the [module docs](self)),
-/// written into `out` (length `kind.phi_dim(k)`).
-fn phi_into(model: &FrozenModel, kind: IndexKind, item_feats: &[u32], out: &mut [f64]) {
+/// written into `out` (length `tables.kind().phi_dim(k)`).
+fn phi_into(model: &FrozenModel, tables: &MetricTables<'_>, item_feats: &[u32], out: &mut [f64]) {
     out.fill(0.0);
     let mut t0 = model.second_order(item_feats);
     for &f in item_feats {
@@ -683,9 +725,8 @@ fn phi_into(model: &FrozenModel, kind: IndexKind, item_feats: &[u32], out: &mut 
     }
     out[0] = t0;
     let k = model.k();
-    let (hat, h) = metric_tables(model);
-    match kind {
-        IndexKind::Unweighted => {
+    match tables {
+        MetricTables::Unweighted { hat } => {
             out[1] = item_feats.len() as f64;
             for &f in item_feats {
                 let (vhf, qf) = hat.row(f as usize);
@@ -695,8 +736,7 @@ fn phi_into(model: &FrozenModel, kind: IndexKind, item_feats: &[u32], out: &mut 
                 }
             }
         }
-        IndexKind::Weighted => {
-            let h = h.expect("weighted kind implies h");
+        MetricTables::Weighted { hat, h } => {
             let (t1, rest) = out[1..].split_at_mut(k);
             let (t2, t3) = rest.split_at_mut(k);
             for &f in item_feats {
@@ -719,14 +759,12 @@ fn phi_into(model: &FrozenModel, kind: IndexKind, item_feats: &[u32], out: &mut 
 /// the `k²` outer-product block only through its marginals
 /// (`Σ h⊙v_f`, `Σ v̂_f`), which preserves the shared-attribute
 /// structure clustering feeds on at a fraction of the k-means cost.
-fn psi_into(model: &FrozenModel, kind: IndexKind, item_feats: &[u32], out: &mut [f64]) {
-    match kind {
-        IndexKind::Unweighted => phi_into(model, kind, item_feats, out),
-        IndexKind::Weighted => {
+fn psi_into(model: &FrozenModel, tables: &MetricTables<'_>, item_feats: &[u32], out: &mut [f64]) {
+    match tables {
+        MetricTables::Unweighted { .. } => phi_into(model, tables, item_feats, out),
+        MetricTables::Weighted { hat, h } => {
             out.fill(0.0);
             let k = model.k();
-            let (hat, h) = metric_tables(model);
-            let h = h.expect("weighted kind implies h");
             let mut t0 = model.second_order(item_feats);
             for &f in item_feats {
                 t0 += model.w[f as usize];
@@ -745,13 +783,12 @@ fn psi_into(model: &FrozenModel, kind: IndexKind, item_feats: &[u32], out: &mut 
 
 /// The context-side query vector `g(ctx)` pairing with `φ` (see the
 /// [module docs](self)).
-fn query_vector(model: &FrozenModel, kind: IndexKind, ctx: &[u32]) -> Vec<f64> {
+fn query_vector(model: &FrozenModel, tables: &MetricTables<'_>, ctx: &[u32]) -> Vec<f64> {
     let k = model.k();
-    let (hat, _) = metric_tables(model);
-    let mut g = vec![0.0f64; kind.phi_dim(k)];
+    let mut g = vec![0.0f64; tables.kind().phi_dim(k)];
     g[0] = 1.0;
-    match kind {
-        IndexKind::Unweighted => {
+    match tables {
+        MetricTables::Unweighted { hat } => {
             let mut u = 0.0;
             for &f in ctx {
                 let (vhf, qf) = hat.row(f as usize);
@@ -763,7 +800,7 @@ fn query_vector(model: &FrozenModel, kind: IndexKind, ctx: &[u32]) -> Vec<f64> {
             g[1] = u;
             g[2] = ctx.len() as f64;
         }
-        IndexKind::Weighted => {
+        MetricTables::Weighted { hat, .. } => {
             let (a, b, c) = model.metric_partials(ctx, hat);
             g[1..1 + k].copy_from_slice(&b);
             g[1 + k..1 + 2 * k].copy_from_slice(&a);
@@ -775,18 +812,6 @@ fn query_vector(model: &FrozenModel, kind: IndexKind, ctx: &[u32]) -> Vec<f64> {
         }
     }
     g
-}
-
-/// The metric tables of a model the index supports.
-///
-/// # Panics
-/// Panics for non-metric models — gated by [`IndexKind::of_model`]
-/// before any index is built.
-fn metric_tables(model: &FrozenModel) -> (&HatQ, Option<&[f64]>) {
-    match model.second_order_kind() {
-        SecondOrder::Metric { hat, h, .. } => (hat, h.as_deref()),
-        _ => unreachable!("index built for a non-metric model"),
-    }
 }
 
 fn sqdist(a: &[f64], b: &[f64]) -> f64 {
@@ -951,14 +976,14 @@ mod tests {
     fn linearisation_matches_ranker_scores() {
         for weighted in [true, false] {
             let fx = fixture(60, 7, weighted, 11);
-            let kind = IndexKind::of_model(&fx.model).expect("metric model");
+            let tables = MetricTables::of(&fx.model).expect("metric model");
             let mut ranker = fx.model.ranker(&fx.template, &fx.item_slots);
-            let g = query_vector(&fx.model, kind, ranker.context_features());
+            let g = query_vector(&fx.model, &tables, ranker.context_features());
             let ctx_score = ranker.context_score();
-            let mut phi = vec![0.0; kind.phi_dim(fx.model.k())];
+            let mut phi = vec![0.0; tables.kind().phi_dim(fx.model.k())];
             for (i, feats) in fx.items.iter().enumerate() {
                 let exact = ranker.score(feats);
-                phi_into(&fx.model, kind, feats, &mut phi);
+                phi_into(&fx.model, &tables, feats, &mut phi);
                 let linear = ctx_score + dot(&g, &phi);
                 assert!(
                     (exact - linear).abs() <= 1e-9 * exact.abs().max(1.0),

@@ -23,35 +23,45 @@
 //! datasets with item-side attributes rank exactly like plain
 //! user × item ones.
 
-use crate::frozen::{dot, FrozenModel, SecondOrder};
+use crate::frozen::{dot, FrozenModel, HatQ, SecondOrder};
 use gmlfm_core::Distance;
 use gmlfm_tensor::Matrix;
 
-/// Context-side partial sums, by second-order mode.
-enum State {
+/// Context-side scoring state, by second-order mode. Each variant
+/// carries the model tables its delta formula reads, attached when the
+/// state is built — so the per-candidate dispatch is a single exhaustive
+/// match with no "mode disagrees with state" arm to fall into.
+enum State<'m> {
+    /// Modes whose cross pairs decouple per candidate feature; scored
+    /// through [`Cross`].
+    Decoupled(Cross<'m>),
+    /// TransFM: cross pairs against the fixed context, oriented by
+    /// template position (the translated distance is order-dependent) —
+    /// `O(|ctx|·k)` per candidate feature, allocation-free.
+    Translated { v_trans: &'m Matrix },
+}
+
+/// Context-side partial sums for the decoupled modes.
+enum Cross<'m> {
     /// Vanilla FM: `a = Σ_ctx v_f` — `O(k)` per candidate feature.
     Dot { a: Vec<f64> },
     /// Weighted metric (Eq. 10/11) partial sums: `a = Σ v_f`,
     /// `b = Σ q_f v_f`, `C = Σ v_f v̂_fᵀ` — `O(k²)` per candidate
     /// feature, independent of the context size. Built when the context
     /// is wide (`|ctx| > k`).
-    MetricWeighted { a: Vec<f64>, b: Vec<f64>, c: Matrix },
+    MetricWeighted { a: Vec<f64>, b: Vec<f64>, c: Matrix, hat: &'m HatQ, h: &'m [f64] },
     /// Weighted metric with a narrow context: cross pairs iterated
     /// directly over the context features — `O(|ctx|·k)` per candidate
     /// feature, allocation-free, cheaper than the `O(k²)` partials when
     /// `|ctx| < k`.
-    MetricWeightedDirect,
+    MetricWeightedDirect { hat: &'m HatQ, h: &'m [f64] },
     /// Unweighted metric: `s = Σ v̂_f`, `u = Σ q_f` — `O(k)` per
     /// candidate feature.
-    MetricUnweighted { s: Vec<f64>, u: f64 },
+    MetricUnweighted { s: Vec<f64>, u: f64, hat: &'m HatQ },
     /// Metric distances without a decoupled form (Manhattan, Chebyshev,
     /// cosine): cross pairs evaluated directly against the fixed context
     /// — `O(|ctx|·k)` per candidate feature, allocation-free.
-    MetricPairwise,
-    /// TransFM: cross pairs against the fixed context, oriented by
-    /// template position (the translated distance is order-dependent) —
-    /// `O(|ctx|·k)` per candidate feature, allocation-free.
-    TranslatedDirect,
+    MetricPairwise { hat: &'m HatQ, h: Option<&'m [f64]>, distance: Distance },
 }
 
 /// Scores candidate items against a fixed context in `O(item-delta)` per
@@ -67,7 +77,7 @@ pub struct TopNRanker<'m> {
     ctx_pos: Vec<usize>,
     /// `w₀ + Σ_ctx w[f] + second-order(ctx)`.
     ctx_score: f64,
-    state: State,
+    state: State<'m>,
 }
 
 impl<'m> TopNRanker<'m> {
@@ -94,7 +104,7 @@ impl<'m> TopNRanker<'m> {
         Self { model, item_slots: item_slots.to_vec(), ctx, ctx_pos, ctx_score, state }
     }
 
-    fn build_state(model: &FrozenModel, ctx: &[u32]) -> State {
+    fn build_state(model: &'m FrozenModel, ctx: &[u32]) -> State<'m> {
         let k = model.k();
         match &model.second {
             SecondOrder::Dot => {
@@ -104,15 +114,15 @@ impl<'m> TopNRanker<'m> {
                         *slot += vv;
                     }
                 }
-                State::Dot { a }
+                State::Decoupled(Cross::Dot { a })
             }
             SecondOrder::Metric { distance: Distance::SquaredEuclidean, hat, h } => {
-                if h.is_some() {
+                if let Some(h) = h.as_deref() {
                     if ctx.len() <= k {
-                        return State::MetricWeightedDirect;
+                        return State::Decoupled(Cross::MetricWeightedDirect { hat, h });
                     }
                     let (a, b, c) = model.metric_partials(ctx, hat);
-                    State::MetricWeighted { a, b, c }
+                    State::Decoupled(Cross::MetricWeighted { a, b, c, hat, h })
                 } else {
                     let mut s = vec![0.0; k];
                     let mut u = 0.0;
@@ -123,11 +133,13 @@ impl<'m> TopNRanker<'m> {
                             *slot += vh;
                         }
                     }
-                    State::MetricUnweighted { s, u }
+                    State::Decoupled(Cross::MetricUnweighted { s, u, hat })
                 }
             }
-            SecondOrder::Metric { .. } => State::MetricPairwise,
-            SecondOrder::Translated { .. } => State::TranslatedDirect,
+            SecondOrder::Metric { distance, hat, h } => {
+                State::Decoupled(Cross::MetricPairwise { hat, h: h.as_deref(), distance: *distance })
+            }
+            SecondOrder::Translated { v_trans } => State::Translated { v_trans },
         }
     }
 
@@ -166,30 +178,36 @@ impl<'m> TopNRanker<'m> {
             out += model.w[f as usize];
         }
         // Cross pairs (context × candidate), per candidate feature.
-        if let (State::TranslatedDirect, SecondOrder::Translated { v_trans }) = (&self.state, &model.second) {
-            for (&slot, &f) in self.item_slots.iter().zip(item_feats) {
-                out += self.translated_cross_delta(v_trans, slot, f);
+        match &self.state {
+            State::Translated { v_trans } => {
+                for (&slot, &f) in self.item_slots.iter().zip(item_feats) {
+                    out += self.translated_cross_delta(v_trans, slot, f);
+                }
+                // Pairs within the candidate group, oriented by slot
+                // position.
+                out + self.translated_candidate_pairs(v_trans, item_feats)
             }
-            // Pairs within the candidate group, oriented by slot position.
-            return out + self.translated_candidate_pairs(v_trans, item_feats);
+            State::Decoupled(cross) => {
+                for &f in item_feats {
+                    out += self.cross_delta(cross, f);
+                }
+                // Pairs within the candidate group (item id × its
+                // attributes).
+                out + model.second_order(item_feats)
+            }
         }
-        for &f in item_feats {
-            out += self.cross_delta(f);
-        }
-        // Pairs within the candidate group (item id × its attributes).
-        out + model.second_order(item_feats)
     }
 
     /// `Σ_{i ∈ ctx} w_ij · D(v̂ᵢ, v̂ⱼ)` for one candidate feature `j`,
     /// from the context partial sums (or, in the pairwise modes, the
     /// context features directly).
-    fn cross_delta(&self, j: u32) -> f64 {
+    fn cross_delta(&self, cross: &Cross<'m>, j: u32) -> f64 {
         let model = self.model;
         let k = model.k();
         let vj = model.v.row(j as usize);
-        match (&self.state, &model.second) {
-            (State::Dot { a }, _) => dot(a, vj),
-            (State::MetricWeighted { a, b, c }, SecondOrder::Metric { hat, h: Some(h), .. }) => {
+        match cross {
+            Cross::Dot { a } => dot(a, vj),
+            Cross::MetricWeighted { a, b, c, hat, h } => {
                 let (vhj, qj) = hat.row(j as usize);
                 let mut first = 0.0; // (h⊙vⱼ)·b + qⱼ (h⊙vⱼ)·a
                 let mut cross = 0.0; // (h⊙vⱼ)ᵀ C v̂ⱼ
@@ -203,11 +221,11 @@ impl<'m> TopNRanker<'m> {
                 }
                 first - 2.0 * cross
             }
-            (State::MetricUnweighted { s, u }, SecondOrder::Metric { hat, .. }) => {
+            Cross::MetricUnweighted { s, u, hat } => {
                 let (vhj, qj) = hat.row(j as usize);
                 u + self.ctx.len() as f64 * qj - 2.0 * dot(s, vhj)
             }
-            (State::MetricWeightedDirect, SecondOrder::Metric { hat, h: Some(h), .. }) => {
+            Cross::MetricWeightedDirect { hat, h } => {
                 let (vhj, qj) = hat.row(j as usize);
                 let mut out = 0.0;
                 for &i in &self.ctx {
@@ -218,16 +236,15 @@ impl<'m> TopNRanker<'m> {
                 }
                 out
             }
-            (State::MetricPairwise, SecondOrder::Metric { hat, h, distance }) => {
+            Cross::MetricPairwise { hat, h, distance } => {
                 let vhj = hat.v_hat(j as usize);
                 let mut out = 0.0;
                 for &i in &self.ctx {
-                    let w_ij = model.pair_weight(h.as_deref(), i, j);
+                    let w_ij = model.pair_weight(*h, i, j);
                     out += w_ij * distance.eval(hat.v_hat(i as usize), vhj);
                 }
                 out
             }
-            _ => unreachable!("cross_delta called with a mismatched ranker state"),
         }
     }
 

@@ -92,12 +92,19 @@ impl Catalog {
     /// The full feature vector for a `(user, item)` pair — the user's
     /// template with the item group spliced in.
     pub fn feats(&self, user: u32, item: u32) -> Option<Vec<u32>> {
-        let mut out = self.template(user)?.to_vec();
-        let item_feats = self.item_features(item)?;
+        Some(self.splice(self.template(user)?, self.item_features(item)?))
+    }
+
+    /// Splices an item feature group (in [`Catalog::item_slots`] order)
+    /// into a resolved user template. Infallible by construction: both
+    /// slices came out of this catalog's own tables, so the slot indices
+    /// are in range for the template width.
+    pub fn splice(&self, template: &[u32], item_feats: &[u32]) -> Vec<u32> {
+        let mut out = template.to_vec();
         for (&slot, &f) in self.item_slots.iter().zip(item_feats) {
             out[slot] = f;
         }
-        Some(out)
+        out
     }
 
     /// The largest feature index any template or item group carries

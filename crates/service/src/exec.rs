@@ -13,10 +13,9 @@ use crate::error::RequestError;
 use crate::protocol::{BatchRequest, Reply, Request, ScoreRequest, TopNRequest};
 use gmlfm_data::{FieldKind, Schema};
 use gmlfm_par::Parallelism;
-use gmlfm_serve::{sharded_top_n, FrozenModel, IvfIndex, RetrievalStrategy, TopNHeap};
+use gmlfm_serve::{sharded_top_n, FrozenModel, ItemFeatureSource, IvfIndex, RetrievalStrategy, TopNHeap};
 use std::borrow::Cow;
 use std::cell::RefCell;
-use std::num::NonZeroUsize;
 
 /// What executes a validated request: one score per feature vector,
 /// catalogue candidate scoring for the evaluation protocols, and
@@ -31,19 +30,26 @@ pub trait ScoringBackend {
     /// Scores one validated feature vector.
     fn score_feats(&self, feats: &[u32]) -> f64;
 
-    /// Scores validated `candidates` for catalog `user`, returning one
-    /// score per candidate **in candidate order**.
+    /// Scores `candidates` for the user whose resolved feature
+    /// `template` is given ([`Catalog::template`]), returning one score
+    /// per candidate **in candidate order**.
+    ///
+    /// The template is the validation evidence: it only exists for an
+    /// in-range user, so implementations never re-check the user id.
+    /// Candidates come out of [`resolve_candidates`] against the same
+    /// catalog, so their item-table rows are in range by construction.
     fn candidate_scores(
         &self,
         catalog: &Catalog,
-        user: u32,
+        template: &[u32],
         candidates: &[u32],
         par: Parallelism,
     ) -> Vec<f64>;
 
-    /// Selects the top `n` of validated `candidates` for catalog `user`
-    /// under the retrieval total order ([`gmlfm_serve::rank_cmp`]: score descending,
-    /// ties by ascending item id), best first.
+    /// Selects the top `n` of resolved `candidates` for the user with
+    /// feature `template` under the retrieval total order
+    /// ([`gmlfm_serve::rank_cmp`]: score descending, ties by ascending
+    /// item id), best first.
     ///
     /// The default implementation scores everything through
     /// [`candidate_scores`] and selects with one bounded [`TopNHeap`] —
@@ -56,12 +62,12 @@ pub trait ScoringBackend {
     fn select_top_n(
         &self,
         catalog: &Catalog,
-        user: u32,
+        template: &[u32],
         candidates: &[u32],
         n: usize,
         par: Parallelism,
     ) -> Vec<(u32, f64)> {
-        let scores = self.candidate_scores(catalog, user, candidates, par);
+        let scores = self.candidate_scores(catalog, template, candidates, par);
         let mut heap = TopNHeap::new(n);
         for (&item, score) in candidates.iter().zip(scores) {
             heap.push(item, score);
@@ -83,7 +89,7 @@ pub trait ScoringBackend {
     fn select_top_n_indexed(
         &self,
         _catalog: &Catalog,
-        _user: u32,
+        _template: &[u32],
         _n: usize,
         _nprobe: Option<usize>,
         _excluded: &[u32],
@@ -114,28 +120,28 @@ impl ScoringBackend for IndexedModel<'_> {
     fn candidate_scores(
         &self,
         catalog: &Catalog,
-        user: u32,
+        template: &[u32],
         candidates: &[u32],
         par: Parallelism,
     ) -> Vec<f64> {
-        self.frozen.candidate_scores(catalog, user, candidates, par)
+        self.frozen.candidate_scores(catalog, template, candidates, par)
     }
 
     fn select_top_n(
         &self,
         catalog: &Catalog,
-        user: u32,
+        template: &[u32],
         candidates: &[u32],
         n: usize,
         par: Parallelism,
     ) -> Vec<(u32, f64)> {
-        self.frozen.select_top_n(catalog, user, candidates, n, par)
+        self.frozen.select_top_n(catalog, template, candidates, n, par)
     }
 
     fn select_top_n_indexed(
         &self,
         catalog: &Catalog,
-        user: u32,
+        template: &[u32],
         n: usize,
         nprobe: Option<usize>,
         excluded: &[u32],
@@ -151,7 +157,6 @@ impl ScoringBackend for IndexedModel<'_> {
         if surviving < index.min_candidates() || n.saturating_mul(4) > surviving {
             return None;
         }
-        let template = catalog.template(user).expect("caller validated the user");
         let nprobe = nprobe.unwrap_or_else(|| index.default_nprobe()).clamp(1, index.n_clusters());
         Some(index.search(self.frozen, catalog, template, catalog.item_slots(), n, nprobe, par, &|item| {
             excluded.binary_search(&item).is_ok()
@@ -167,11 +172,10 @@ impl ScoringBackend for FrozenModel {
     fn candidate_scores(
         &self,
         catalog: &Catalog,
-        user: u32,
+        template: &[u32],
         candidates: &[u32],
         par: Parallelism,
     ) -> Vec<f64> {
-        let template = catalog.template(user).expect("caller validated the user");
         let item_slots = catalog.item_slots();
         gmlfm_par::par_blocks(par, candidates.len(), |range| {
             // One ranker per worker block: the context partial sums are
@@ -179,10 +183,7 @@ impl ScoringBackend for FrozenModel {
             let mut ranker = self.ranker(template, item_slots);
             candidates[range]
                 .iter()
-                .map(|&item| {
-                    let group = catalog.item_features(item).expect("caller validated the candidates");
-                    ranker.score(group)
-                })
+                .map(|&item| ranker.score(catalog.features_of(item)))
                 .collect()
         })
     }
@@ -195,23 +196,19 @@ impl ScoringBackend for FrozenModel {
     fn select_top_n(
         &self,
         catalog: &Catalog,
-        user: u32,
+        template: &[u32],
         candidates: &[u32],
         n: usize,
         par: Parallelism,
     ) -> Vec<(u32, f64)> {
-        let template = catalog.template(user).expect("caller validated the user");
         let item_slots = catalog.item_slots();
-        let shards = NonZeroUsize::new(par.get()).expect("Parallelism is non-zero");
         sharded_top_n(
             candidates,
             n,
-            shards,
+            par.get_nonzero(),
             par,
             || self.ranker(template, item_slots),
-            |ranker, item| {
-                ranker.score(catalog.item_features(item).expect("caller validated the candidates"))
-            },
+            |ranker, item| ranker.score(catalog.features_of(item)),
         )
     }
 }
@@ -241,14 +238,13 @@ pub fn resolve_feats<'r>(
         }
         ScoreRequest::Pair { user, item } => {
             let catalog = catalog.ok_or(RequestError::MissingCatalog)?;
-            check_user(catalog, *user)?;
-            check_item(catalog, *item)?;
-            Ok(Cow::Owned(catalog.feats(*user, *item).expect("user and item validated above")))
+            let template = user_template(catalog, *user)?;
+            let group = item_group(catalog, *item)?;
+            Ok(Cow::Owned(catalog.splice(template, group)))
         }
         ScoreRequest::Cold { item, fields } => {
             let catalog = catalog.ok_or(RequestError::MissingCatalog)?;
-            check_item(catalog, *item)?;
-            let mut feats: Vec<u32> = catalog.item_features(*item).expect("item validated above").to_vec();
+            let mut feats: Vec<u32> = item_group(catalog, *item)?.to_vec();
             for (i, (name, value)) in fields.iter().enumerate() {
                 if fields[..i].iter().any(|(prev, _)| prev == name) {
                     return Err(RequestError::DuplicateField { field: name.clone() });
@@ -292,9 +288,11 @@ pub fn execute_score<B: ScoringBackend + ?Sized>(
 }
 
 /// Validates a [`TopNRequest`] against the catalog: user id, explicit
-/// exclusions, and any explicit candidate list.
-fn validate_topn(catalog: &Catalog, req: &TopNRequest) -> Result<(), RequestError> {
-    check_user(catalog, req.user)?;
+/// exclusions, and any explicit candidate list. Returns the user's
+/// resolved feature template — the evidence of validity the scoring
+/// backends consume instead of re-checking the user id.
+fn validate_topn<'c>(catalog: &'c Catalog, req: &TopNRequest) -> Result<&'c [u32], RequestError> {
+    let template = user_template(catalog, req.user)?;
     for &item in &req.exclude {
         check_item(catalog, item)?;
     }
@@ -303,7 +301,7 @@ fn validate_topn(catalog: &Catalog, req: &TopNRequest) -> Result<(), RequestErro
             check_item(catalog, item)?;
         }
     }
-    Ok(())
+    Ok(template)
 }
 
 /// Fills `out` with the surviving candidates of a *validated* request:
@@ -350,7 +348,7 @@ pub fn resolve_candidates(
     seen: Option<&SeenItems>,
     req: &TopNRequest,
 ) -> Result<Vec<u32>, RequestError> {
-    validate_topn(catalog, req)?;
+    let _template = validate_topn(catalog, req)?;
     let mut out = Vec::new();
     fill_candidates(catalog, seen, req, &mut out);
     Ok(out)
@@ -367,9 +365,11 @@ pub fn execute_candidate_scores<B: ScoringBackend + ?Sized>(
     default_par: Parallelism,
 ) -> Result<Vec<(u32, f64)>, RequestError> {
     let catalog = catalog.ok_or(RequestError::MissingCatalog)?;
-    let candidates = resolve_candidates(catalog, seen, req)?;
+    let template = validate_topn(catalog, req)?;
+    let mut candidates = Vec::new();
+    fill_candidates(catalog, seen, req, &mut candidates);
     let par = req.par.unwrap_or(default_par);
-    let scores = backend.candidate_scores(catalog, req.user, &candidates, par);
+    let scores = backend.candidate_scores(catalog, template, &candidates, par);
     Ok(candidates.into_iter().zip(scores).collect())
 }
 
@@ -413,7 +413,7 @@ pub fn execute_topn<B: ScoringBackend + ?Sized>(
     default_par: Parallelism,
 ) -> Result<Vec<(u32, f64)>, RequestError> {
     let catalog = catalog.ok_or(RequestError::MissingCatalog)?;
-    validate_topn(catalog, req)?;
+    let template = validate_topn(catalog, req)?;
     let par = req.par.unwrap_or(default_par);
     let mut scratch = TOPN_SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
 
@@ -427,7 +427,7 @@ pub fn execute_topn<B: ScoringBackend + ?Sized>(
             _ => None,
         };
         fill_excluded(seen, req, &mut scratch.excluded);
-        backend.select_top_n_indexed(catalog, req.user, req.n, nprobe, &scratch.excluded, par)
+        backend.select_top_n_indexed(catalog, template, req.n, nprobe, &scratch.excluded, par)
     } else {
         None
     };
@@ -435,7 +435,7 @@ pub fn execute_topn<B: ScoringBackend + ?Sized>(
         Some(value) => value,
         None => {
             fill_candidates(catalog, seen, req, &mut scratch.candidates);
-            backend.select_top_n(catalog, req.user, &scratch.candidates, req.n, par)
+            backend.select_top_n(catalog, template, &scratch.candidates, req.n, par)
         }
     };
 
@@ -463,12 +463,22 @@ pub fn execute_batch<B: ScoringBackend + Sync + ?Sized>(
     })
 }
 
-fn check_user(catalog: &Catalog, user: u32) -> Result<(), RequestError> {
-    if (user as usize) < catalog.n_users() {
-        Ok(())
-    } else {
-        Err(RequestError::UnknownUser { user, n_users: catalog.n_users() })
-    }
+/// Resolves a user id to its feature template, or the typed error. The
+/// returned slice is the *evidence* that the user is in range — passing
+/// it (rather than the raw id) downstream means the scoring paths never
+/// need a second, panicking lookup.
+fn user_template(catalog: &Catalog, user: u32) -> Result<&[u32], RequestError> {
+    catalog
+        .template(user)
+        .ok_or(RequestError::UnknownUser { user, n_users: catalog.n_users() })
+}
+
+/// Resolves an item id to its feature group, or the typed error — the
+/// item-side counterpart of [`user_template`].
+fn item_group(catalog: &Catalog, item: u32) -> Result<&[u32], RequestError> {
+    catalog
+        .item_features(item)
+        .ok_or(RequestError::UnknownItem { item, n_items: catalog.n_items() })
 }
 
 fn check_item(catalog: &Catalog, item: u32) -> Result<(), RequestError> {

@@ -39,6 +39,7 @@
 //! `Recommender::serve()` hands out the underlying [`ModelServer`], and
 //! its `score*`/`top_n`/holdout-evaluation methods all route through
 //! [`exec`].
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod catalog;
 pub mod error;

@@ -86,11 +86,26 @@ struct Slot {
     states: Mutex<Vec<*mut State>>,
 }
 
+impl Slot {
+    /// Locks the append-only state table, recovering from poisoning:
+    /// every mutation under this lock is a single `Vec::push`, so a
+    /// panicking writer cannot leave the table half-updated and the
+    /// poison flag carries no information worth propagating as a panic
+    /// on the request path.
+    fn lock_states(&self) -> std::sync::MutexGuard<'_, Vec<*mut State>> {
+        self.states.lock().unwrap_or_else(|poison| poison.into_inner())
+    }
+}
+
 // SAFETY: the raw pointers are uniquely owned by the slot (created by
 // `Box::into_raw`, freed only in `Drop`), and `State` itself is
 // `Send + Sync`; the pointers are just the slot's way of not holding a
 // movable `Box`.
 unsafe impl Send for Slot {}
+// SAFETY: same ownership argument as `Send` above — concurrent readers
+// only ever turn the pointers back into shared `&State` borrows (the
+// pointees are immutable after publication and `State: Sync`), and the
+// pointer tables themselves are guarded by the atomic slot and mutex.
 unsafe impl Sync for Slot {}
 
 impl Drop for Slot {
@@ -162,7 +177,7 @@ impl ModelServer {
     /// How many generations the slot retains (== the number of
     /// successful installs, including the first).
     pub fn retained(&self) -> usize {
-        self.slot.states.lock().expect("server mutex poisoned").len()
+        self.slot.lock_states().len()
     }
 
     /// Installs a new snapshot mid-traffic and returns its generation.
@@ -174,7 +189,7 @@ impl ModelServer {
     /// a typed [`RequestError`] is returned and nothing changes.
     pub fn swap(&self, snap: ModelSnapshot) -> Result<u64, RequestError> {
         check_snapshot(&snap)?;
-        let mut states = self.slot.states.lock().expect("server mutex poisoned");
+        let mut states = self.slot.lock_states();
         // Writers are serialised by the lock, so `current` cannot move
         // under us here; readers may still load it concurrently.
         let current = self.state();
@@ -182,6 +197,9 @@ impl ModelServer {
         let generation = current.generation + 1;
         let ptr = Box::into_raw(Box::new(State { generation, snap }));
         states.push(ptr);
+        // ORDERING: Release publishes the fully initialised `State` (and
+        // its `states` record) to readers; pairs with the Acquire load
+        // in `Slot`-dereferencing `state()`.
         self.slot.current.store(ptr, Ordering::Release);
         Ok(generation)
     }
@@ -255,6 +273,8 @@ impl ModelServer {
         // in `Slot::drop`. The returned borrow is tied to `&self`,
         // which keeps the `Arc<Slot>` — and therefore
         // every retained state — alive.
+        // ORDERING: Acquire pairs with the Release store in `swap` /
+        // `new`, so the dereferenced `State` is fully initialised.
         unsafe { &*self.slot.current.load(Ordering::Acquire) }
     }
 }

@@ -101,7 +101,12 @@ fn main() {
     let mut scored: Vec<(u32, f64)> = candidates
         .iter()
         .copied()
-        .zip(snap.frozen.candidate_scores(&catalog, user, &candidates, Parallelism::auto()))
+        .zip(snap.frozen.candidate_scores(
+            &catalog,
+            catalog.template(user).expect("user in catalog"),
+            &candidates,
+            Parallelism::auto(),
+        ))
         .collect();
     scored.sort_by(rank_cmp);
     scored.truncate(10);
