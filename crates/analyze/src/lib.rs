@@ -11,9 +11,10 @@
 //!   `// SAFETY:` comment; the sites feed the committed `UNSAFETY.md`
 //!   audit table ([`inventory`]).
 //! * **L2 panic-freedom** — no `unwrap`/`expect`/`panic!`-family in the
-//!   serving hot paths (`gmlfm-service`, and `gmlfm-serve`'s scoring/
-//!   retrieval files): a malformed request must surface as a typed
-//!   error, never tear down a worker.
+//!   serving hot paths (`gmlfm-service`, `gmlfm-serve`'s scoring/
+//!   retrieval files, and `gmlfm-net`'s frame/wire codecs and
+//!   connection loops): a malformed request — or a hostile byte
+//!   stream — must surface as a typed error, never tear down a worker.
 //! * **L3 determinism** — no `HashMap`/`HashSet` where iteration order
 //!   reaches deterministic outputs; `available_parallelism()` only
 //!   inside the one cached accessor, so shard boundaries can't move
@@ -87,6 +88,15 @@ const SERVE_HOT_PATH: [&str; 5] = [
     "crates/serve/src/batch.rs",
 ];
 
+/// `gmlfm-net` files on the serving hot path: the frame codec, the
+/// wire codec, and the connection/accept loops. A hostile byte stream
+/// or a doomed socket must surface as a typed error or a clean close —
+/// a panic here tears down a live connection handler. (The client and
+/// load generator run on the caller's side of the wire and may be
+/// assertive about harness misuse.)
+const NET_HOT_PATH: [&str; 3] =
+    ["crates/net/src/frame.rs", "crates/net/src/wire.rs", "crates/net/src/server.rs"];
+
 /// The one accessor allowed to call `available_parallelism()` (it
 /// caches), and the benchmark report that prints machine facts.
 const AVAILABLE_PARALLELISM_ALLOWLIST: [&str; 2] =
@@ -96,14 +106,18 @@ const AVAILABLE_PARALLELISM_ALLOWLIST: [&str; 2] =
 /// path. L1 (undocumented unsafe) always applies and is not listed here.
 pub fn scope_for(rel: &str) -> LintScope {
     LintScope {
-        panic_freedom: rel.starts_with("crates/service/src/") || SERVE_HOT_PATH.contains(&rel),
+        panic_freedom: rel.starts_with("crates/service/src/")
+            || SERVE_HOT_PATH.contains(&rel)
+            || NET_HOT_PATH.contains(&rel),
         no_hash_collections: rel.starts_with("crates/serve/src/")
             || rel == "crates/par/src/lib.rs"
             || rel == "crates/service/src/exec.rs",
         no_available_parallelism: !AVAILABLE_PARALLELISM_ALLOWLIST.contains(&rel),
         ordering_justification: rel == "crates/par/src/pool.rs"
             || rel == "crates/par/src/hogwild.rs"
-            || rel == "crates/service/src/server.rs",
+            || rel == "crates/service/src/server.rs"
+            || rel == "crates/net/src/server.rs"
+            || rel == "crates/net/src/frame.rs",
     }
 }
 
@@ -225,6 +239,16 @@ mod tests {
         assert!(scope_for("crates/par/src/pool.rs").no_available_parallelism);
         assert!(scope_for("crates/par/src/hogwild.rs").ordering_justification);
         assert!(!scope_for("crates/serve/src/frozen.rs").ordering_justification);
+        // The network serving hot path: codec + connection loops are
+        // panic-free; the files with atomics justify every ordering.
+        assert!(scope_for("crates/net/src/frame.rs").panic_freedom);
+        assert!(scope_for("crates/net/src/wire.rs").panic_freedom);
+        assert!(scope_for("crates/net/src/server.rs").panic_freedom);
+        assert!(!scope_for("crates/net/src/client.rs").panic_freedom);
+        assert!(!scope_for("crates/net/src/loadgen.rs").panic_freedom);
+        assert!(scope_for("crates/net/src/server.rs").ordering_justification);
+        assert!(scope_for("crates/net/src/frame.rs").ordering_justification);
+        assert!(!scope_for("crates/net/src/wire.rs").ordering_justification);
     }
 
     #[test]

@@ -35,6 +35,13 @@
 //! of every score is per-item noise no candidate index (or
 //! recommender) could exploit.
 //!
+//! A fifth section drives the **network transport** end to end: the
+//! same `ModelServer` behind a loopback `gmlfm-net` TCP server, hit by
+//! 1/2/4 closed-loop client threads through the length-prefixed JSON
+//! framing, recording sustained RPS and p50/p99/max latency per thread
+//! count (`BENCH_net.json`; run length per thread count via
+//! `GMLFM_BENCH_NET_SECS`, default 2 s).
+//!
 //! Every synthetic fixture — catalogues, instances, models, splits —
 //! derives from one base seed, so runs are reproducible: set
 //! `GMLFM_BENCH_SEED` (default 2024) to shift the whole report. The
@@ -51,6 +58,7 @@ use gmlfm_data::{
     generate, generate_scale, loo_split, DatasetSpec, FieldKind, FieldMask, Instance, ScaleConfig, Schema,
 };
 use gmlfm_eval::evaluate_topn_frozen_with;
+use gmlfm_net::{run_closed_loop, ClientConfig, NetRequest, NetServer, ServerConfig as NetServerConfig};
 use gmlfm_par::Parallelism;
 use gmlfm_serve::{rank_cmp, score_chunked_par, Freeze, FrozenModel, IvfBuildOptions, IvfIndex};
 use gmlfm_service::{
@@ -470,6 +478,76 @@ fn main() {
     let ann_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ann.json");
     std::fs::write(ann_path, &ann_json).expect("write BENCH_ann.json");
     println!("\nwrote {ann_path}:\n{ann_json}");
+
+    // -- 8. network serving over loopback ------------------------------
+    // The whole stack end to end: the same ModelServer behind the
+    // gmlfm-net TCP transport, driven by closed-loop clients (one
+    // request in flight per thread, so latency is service latency, not
+    // generator queueing). The request mix interleaves cheap single
+    // scores with one whole-catalogue top-10 per cycle. Run length per
+    // thread count is `GMLFM_BENCH_NET_SECS` seconds (default 2; CI
+    // smokes set it lower).
+    let net_secs: f64 = std::env::var("GMLFM_BENCH_NET_SECS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|s: &f64| *s > 0.0)
+        .unwrap_or(2.0);
+    let net_server =
+        NetServer::bind(std::sync::Arc::new(server.clone()), "127.0.0.1:0", NetServerConfig::default())
+            .expect("bind loopback");
+    let net_addr = net_server.local_addr();
+    let net_mix: Vec<NetRequest> = (0..8u32)
+        .map(|u| NetRequest::Score(ScoreRequest::pair(u, 100 + u)))
+        .chain(std::iter::once(NetRequest::TopN(TopNRequest::new(7, 10))))
+        .collect();
+    let net_client_config = ClientConfig::default();
+    let mut net_entries: Vec<String> = Vec::new();
+    for t in THREADS {
+        let stats = run_closed_loop(
+            net_addr,
+            &net_mix,
+            t,
+            std::time::Duration::from_secs_f64(net_secs),
+            &net_client_config,
+        );
+        assert_eq!(stats.errors, 0, "loopback load run must not shed or fail requests: {stats:?}");
+        println!(
+            "net_serving     threads={t}: {rps:>10.1} req/s, p50 {p50:>6} us, p99 {p99:>6} us, \
+             max {max:>6} us ({n} requests)",
+            rps = stats.rps,
+            p50 = stats.p50_us,
+            p99 = stats.p99_us,
+            max = stats.max_us,
+            n = stats.requests,
+        );
+        net_entries.push(format!(
+            "{{\"threads\": {t}, \"requests\": {n}, \"errors\": {errors}, \"rps\": {rps:.1}, \
+             \"p50_us\": {p50}, \"p99_us\": {p99}, \"max_us\": {max}}}",
+            n = stats.requests,
+            errors = stats.errors,
+            rps = stats.rps,
+            p50 = stats.p50_us,
+            p99 = stats.p99_us,
+            max = stats.max_us,
+        ));
+    }
+    let net_report = net_server.shutdown();
+    assert_eq!(net_report.worker_panics, 0, "no handler thread may die to a panic: {net_report:?}");
+    let net_json = format!(
+        "{{\n  \"available_parallelism\": {cores},\n  \"seed\": {seed},\n  \
+         \"note\": \"closed-loop loopback TCP load: one in-flight request per client thread over the \
+         length-prefixed JSON framing; mix is 8 single scores + 1 whole-catalogue top-10 per cycle; \
+         {secs}s per thread count ({env_var} overrides); zero errors asserted\",\n  \
+         \"duration_s\": {secs},\n  \"served\": {served},\n  \
+         \"entries\": [\n    {entries}\n  ]\n}}\n",
+        secs = net_secs,
+        env_var = "GMLFM_BENCH_NET_SECS",
+        served = net_report.served,
+        entries = net_entries.join(",\n    "),
+    );
+    let net_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_net.json");
+    std::fs::write(net_path, &net_json).expect("write BENCH_net.json");
+    println!("\nwrote {net_path}:\n{net_json}");
 
     // -- report -------------------------------------------------------
     let json = format!(

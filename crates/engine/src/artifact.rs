@@ -408,12 +408,43 @@ impl Artifact {
     }
 
     /// Writes the artifact as JSON, creating parent directories.
+    ///
+    /// The write is **crash-safe**: the bytes go to a sibling temp file,
+    /// are fsynced, and only then atomically renamed over `path`. A
+    /// crash or power loss mid-save leaves either the old artifact or
+    /// the new one — never a truncated or interleaved file — so a
+    /// serving process can always [`Artifact::load`] whatever is at
+    /// `path`.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), EngineError> {
-        if let Some(parent) = path.as_ref().parent() {
-            fs::create_dir_all(parent)?;
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
         }
-        fs::write(path, self.to_json())?;
-        Ok(())
+        // Temp file in the same directory, so the rename below cannot
+        // cross filesystems (cross-device renames are not atomic). The
+        // pid keeps concurrent savers from clobbering each other's
+        // partial writes; last rename wins, each one atomic.
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp.{}", std::process::id()));
+        let tmp = std::path::PathBuf::from(tmp);
+        let result = (|| {
+            let mut file = fs::File::create(&tmp)?;
+            use std::io::Write;
+            file.write_all(self.to_json().as_bytes())?;
+            // Flush file contents to stable storage before the rename
+            // makes them reachable under `path`.
+            file.sync_all()?;
+            drop(file);
+            fs::rename(&tmp, path)?;
+            Ok(())
+        })();
+        if result.is_err() {
+            // Best-effort cleanup; the failure we report is the write's.
+            let _ = fs::remove_file(&tmp);
+        }
+        result
     }
 
     /// Reads an artifact saved by [`Artifact::save`].

@@ -67,7 +67,7 @@ pub enum EngineError {
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EngineError::Io(e) => write!(f, "artifact I/O error: {e}"),
+            EngineError::Io(e) => write!(f, "I/O error: {e}"),
             EngineError::Json(e) => write!(f, "artifact parse error: {e}"),
             EngineError::UnsupportedVersion { found, supported } => {
                 write!(f, "artifact format version {found} (this build supports up to {supported})")

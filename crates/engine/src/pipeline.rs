@@ -28,6 +28,7 @@ use crate::estimator::{Estimator, FitData};
 use crate::spec::ModelSpec;
 use gmlfm_data::{loo_split, rating_split, Dataset, FieldKind, FieldMask, Instance, LooTestCase, Schema};
 use gmlfm_eval::{evaluate_rating, evaluate_topn_backend, RatingMetrics, TopnMetrics};
+use gmlfm_net::{NetServer, ServerConfig as NetServerConfig};
 use gmlfm_par::Parallelism;
 use gmlfm_serve::{FrozenModel, IvfBuildOptions, IvfIndex, RetrievalStrategy};
 use gmlfm_service::{
@@ -397,6 +398,26 @@ impl Recommender {
                 Err(EngineError::NotFreezable { model: self.spec.display_name().to_string() })
             }
         }
+    }
+
+    /// Serves this recommender over TCP: binds `addr` (port 0 for an
+    /// ephemeral port) and answers the typed Score/TopN/Batch protocol
+    /// with `gmlfm-net`'s robustness contract — length-prefixed JSON
+    /// frames, per-connection deadlines, bounded connection budget with
+    /// typed `overloaded` shedding, and graceful drain on
+    /// [`NetServer::shutdown`].
+    ///
+    /// The network server shares the same hot-swappable handle as
+    /// [`Recommender::serve`]: a [`ModelServer::swap`] through either
+    /// handle hot-reloads what the network answers, generation-stamped
+    /// and without mixing generations inside any in-flight reply.
+    pub fn serve_net(
+        &self,
+        addr: impl std::net::ToSocketAddrs,
+        config: NetServerConfig,
+    ) -> Result<NetServer, EngineError> {
+        let server = std::sync::Arc::new(self.serve()?);
+        NetServer::bind(server, addr, config).map_err(EngineError::Io)
     }
 
     /// Answers a typed [`ScoreRequest`] (the path every `score*`

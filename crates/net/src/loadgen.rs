@@ -1,0 +1,118 @@
+//! A closed-loop load generator for the network server: each client
+//! thread keeps exactly one request in flight, so measured latency is
+//! service latency (not queueing behind the generator itself) and the
+//! achieved rate is the sustained closed-loop throughput.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use crate::client::{ClientConfig, NetClient};
+use crate::wire::NetRequest;
+
+/// What a closed-loop run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadStats {
+    /// Client threads driving the loop.
+    pub threads: usize,
+    /// Successful requests completed.
+    pub requests: u64,
+    /// Failed requests (after client-side retries).
+    pub errors: u64,
+    /// Sustained rate: `requests / wall-clock seconds`.
+    pub rps: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+    /// Worst observed latency, microseconds.
+    pub max_us: u64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Drives the server at `addr` with `threads` closed-loop clients for
+/// `duration`, cycling each thread through `requests` (offset by thread
+/// id so threads exercise different request mixes concurrently).
+///
+/// Panics only on harness misuse (`requests` empty / `threads` zero);
+/// request failures are counted, not thrown.
+pub fn run_closed_loop(
+    addr: SocketAddr,
+    requests: &[NetRequest],
+    threads: usize,
+    duration: Duration,
+    config: &ClientConfig,
+) -> LoadStats {
+    assert!(!requests.is_empty(), "load generator needs at least one request");
+    assert!(threads > 0, "load generator needs at least one thread");
+
+    let started = Instant::now();
+    let results: Vec<(u64, u64, Vec<u64>)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let mut cfg = config.clone();
+                // De-correlate the retry jitter streams across threads.
+                cfg.jitter_seed = cfg.jitter_seed.wrapping_add(0x9E37_79B9_7F4A_7C15 * (t as u64 + 1));
+                scope.spawn(move || {
+                    let mut ok = 0u64;
+                    let mut errors = 0u64;
+                    let mut lat_us = Vec::new();
+                    let Ok(mut client) = NetClient::with_config(addr, cfg) else {
+                        return (0, 1, lat_us);
+                    };
+                    let mut i = t; // thread-offset start into the mix
+                    while started.elapsed() < duration {
+                        let req = &requests[i % requests.len()];
+                        i += 1;
+                        let t0 = Instant::now();
+                        match client.request(req) {
+                            Ok(_) => {
+                                ok += 1;
+                                lat_us.push(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                            }
+                            Err(_) => errors += 1,
+                        }
+                    }
+                    (ok, errors, lat_us)
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap_or((0, 1, Vec::new()))).collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+
+    let requests_done: u64 = results.iter().map(|r| r.0).sum();
+    let errors: u64 = results.iter().map(|r| r.1).sum();
+    let mut all: Vec<u64> = results.into_iter().flat_map(|r| r.2).collect();
+    all.sort_unstable();
+    LoadStats {
+        threads,
+        requests: requests_done,
+        errors,
+        rps: requests_done as f64 / elapsed,
+        p50_us: percentile(&all, 0.50),
+        p99_us: percentile(&all, 0.99),
+        max_us: all.last().copied().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_on_known_data() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 0.0), 1);
+        assert_eq!(percentile(&sorted, 0.50), 51); // nearest-rank on 0-based index
+        assert_eq!(percentile(&sorted, 0.99), 99);
+        assert_eq!(percentile(&sorted, 1.0), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+}

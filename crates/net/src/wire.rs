@@ -1,0 +1,550 @@
+//! The JSON wire format: typed protocol values ⇄ frame payloads.
+//!
+//! Every frame payload is one JSON object. Requests carry an `"op"`
+//! discriminant (`"score"` / `"topn"` / `"batch"`); replies are an
+//! envelope with `"ok"` — `true` plus a generation-stamped payload, or
+//! `false` plus a stable machine-readable `"code"` and a human `"message"`.
+//! The full grammar is documented in the README's "Network serving"
+//! section; the shapes here are the reference implementation.
+//!
+//! Decoding is **total**: any byte payload — non-UTF-8, malformed JSON,
+//! wrong shapes, absurd numbers — yields a typed [`WireError`], never a
+//! panic (this module is in the `gmlfm-analyze` L2 panic-freedom scope,
+//! and `tests/frame_proptest.rs` drives arbitrary bytes through it).
+//!
+//! One deliberate lossy corner: [`ScoreRequest::Instance`] encodes as a
+//! `"feats"` request, because scoring ignores the instance label — the
+//! two are indistinguishable to the server, and the wire keeps the
+//! smaller shape. And one precision bound: generation stamps ride a
+//! JSON number, exact up to 2^53 — generations increment by 1 per
+//! hot swap, so the bound is unreachable in any real deployment.
+
+use gmlfm_par::Parallelism;
+use gmlfm_serve::RetrievalStrategy;
+use gmlfm_service::{BatchRequest, Reply, Request, RequestError, ScoreRequest, TopNRequest};
+use serde::json::{self, Value};
+use serde::{Deserialize, Serialize};
+
+/// Stable error codes owned by the transport itself (request-validation
+/// codes come from [`RequestError::code`]).
+pub mod code {
+    /// The payload was not a well-formed request object.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// A frame declared a length above the server's cap.
+    pub const OVERSIZED_FRAME: &str = "oversized_frame";
+    /// The connection budget is exhausted; retry later.
+    pub const OVERLOADED: &str = "overloaded";
+    /// The server is draining; retry against another instance.
+    pub const SHUTTING_DOWN: &str = "shutting_down";
+}
+
+/// A payload that could not be decoded into a protocol value.
+#[derive(Debug)]
+pub struct WireError {
+    /// What was wrong with the payload.
+    pub message: String,
+}
+
+impl WireError {
+    fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed wire payload: {}", self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<json::Error> for WireError {
+    fn from(e: json::Error) -> Self {
+        WireError::new(e.to_string())
+    }
+}
+
+/// An error reply as it travels on the wire: a stable `code` (from
+/// [`RequestError::code`] or [`code`]) plus a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetError {
+    /// Machine-readable error code.
+    pub code: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl NetError {
+    /// An error reply with the given code and message.
+    pub fn new(code: impl Into<String>, message: impl Into<String>) -> Self {
+        Self { code: code.into(), message: message.into() }
+    }
+
+    /// The wire form of a request-validation error.
+    pub fn from_request_error(e: &RequestError) -> Self {
+        Self::new(e.code(), e.to_string())
+    }
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// One request as it travels on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetRequest {
+    /// A single scoring request.
+    Score(ScoreRequest),
+    /// A single ranking request.
+    TopN(TopNRequest),
+    /// Many requests answered against one snapshot.
+    Batch(BatchRequest),
+}
+
+/// The successful payload of a [`NetResponse`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetReply {
+    /// Payload of a score request.
+    Score(f64),
+    /// Payload of a top-n request: `(item, score)` pairs, best first.
+    TopN(Vec<(u32, f64)>),
+    /// Payload of a batch: one slot per sub-request, each independently
+    /// a reply or a typed error (slots are never `Batch` themselves).
+    Batch(Vec<Result<NetReply, NetError>>),
+}
+
+impl NetReply {
+    /// The wire form of an in-process [`Reply`].
+    pub fn from_reply(reply: &Reply) -> Self {
+        match reply {
+            Reply::Score(x) => NetReply::Score(*x),
+            Reply::TopN(items) => NetReply::TopN(items.clone()),
+        }
+    }
+}
+
+/// A successful reply stamped with the generation of the snapshot that
+/// produced it — the same contract as [`gmlfm_service::Response`],
+/// carried across the network boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetResponse {
+    /// Generation of the snapshot that answered this request.
+    pub generation: u64,
+    /// The reply payload.
+    pub reply: NetReply,
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn push_score_fields(req: &ScoreRequest, out: &mut String) {
+    match req {
+        // An instance scores identically to its bare feature list (the
+        // label is ignored), so both share the "feats" wire shape.
+        ScoreRequest::Instance(inst) => {
+            out.push_str("\"mode\":\"feats\",\"feats\":");
+            inst.feats.serialize_json(out);
+        }
+        ScoreRequest::Feats(feats) => {
+            out.push_str("\"mode\":\"feats\",\"feats\":");
+            feats.serialize_json(out);
+        }
+        ScoreRequest::Pair { user, item } => {
+            out.push_str("\"mode\":\"pair\",\"user\":");
+            user.serialize_json(out);
+            out.push_str(",\"item\":");
+            item.serialize_json(out);
+        }
+        ScoreRequest::Cold { item, fields } => {
+            out.push_str("\"mode\":\"cold\",\"item\":");
+            item.serialize_json(out);
+            out.push_str(",\"fields\":");
+            fields.serialize_json(out);
+        }
+    }
+}
+
+fn push_strategy(strategy: &Option<RetrievalStrategy>, out: &mut String) {
+    match strategy {
+        None => out.push_str("null"),
+        Some(RetrievalStrategy::Exact) => out.push_str("{\"kind\":\"exact\"}"),
+        Some(RetrievalStrategy::Ivf { nprobe }) => {
+            out.push_str("{\"kind\":\"ivf\",\"nprobe\":");
+            nprobe.serialize_json(out);
+            out.push('}');
+        }
+    }
+}
+
+fn push_topn_fields(req: &TopNRequest, out: &mut String) {
+    out.push_str("\"user\":");
+    req.user.serialize_json(out);
+    out.push_str(",\"n\":");
+    req.n.serialize_json(out);
+    out.push_str(",\"candidates\":");
+    req.candidates.serialize_json(out);
+    out.push_str(",\"exclude\":");
+    req.exclude.serialize_json(out);
+    out.push_str(",\"exclude_seen\":");
+    req.exclude_seen.serialize_json(out);
+    out.push_str(",\"par\":");
+    req.par.map(|p| p.get()).serialize_json(out);
+    out.push_str(",\"strategy\":");
+    push_strategy(&req.strategy, out);
+}
+
+fn push_request(req: &Request, out: &mut String) {
+    match req {
+        Request::Score(s) => {
+            out.push_str("{\"op\":\"score\",");
+            push_score_fields(s, out);
+            out.push('}');
+        }
+        Request::TopN(t) => {
+            out.push_str("{\"op\":\"topn\",");
+            push_topn_fields(t, out);
+            out.push('}');
+        }
+    }
+}
+
+/// Encodes a request as a frame payload.
+pub fn encode_request(req: &NetRequest) -> String {
+    let mut out = String::new();
+    match req {
+        NetRequest::Score(s) => {
+            out.push_str("{\"op\":\"score\",");
+            push_score_fields(s, &mut out);
+            out.push('}');
+        }
+        NetRequest::TopN(t) => {
+            out.push_str("{\"op\":\"topn\",");
+            push_topn_fields(t, &mut out);
+            out.push('}');
+        }
+        NetRequest::Batch(b) => {
+            out.push_str("{\"op\":\"batch\",\"par\":");
+            b.par.map(|p| p.get()).serialize_json(&mut out);
+            out.push_str(",\"requests\":[");
+            for (i, sub) in b.requests.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_request(sub, &mut out);
+            }
+            out.push_str("]}");
+        }
+    }
+    out
+}
+
+fn push_reply_fields(reply: &NetReply, out: &mut String) {
+    match reply {
+        NetReply::Score(x) => {
+            out.push_str("\"kind\":\"score\",\"value\":");
+            x.serialize_json(out);
+        }
+        NetReply::TopN(items) => {
+            out.push_str("\"kind\":\"topn\",\"items\":");
+            items.serialize_json(out);
+        }
+        NetReply::Batch(slots) => {
+            out.push_str("\"kind\":\"batch\",\"results\":[");
+            for (i, slot) in slots.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                match slot {
+                    Ok(r) => {
+                        out.push_str("{\"ok\":true,");
+                        push_reply_fields(r, out);
+                        out.push('}');
+                    }
+                    Err(e) => push_error_object(&e.code, &e.message, out),
+                }
+            }
+            out.push(']');
+        }
+    }
+}
+
+fn push_error_object(code: &str, message: &str, out: &mut String) {
+    out.push_str("{\"ok\":false,\"code\":");
+    json::write_escaped(code, out);
+    out.push_str(",\"message\":");
+    json::write_escaped(message, out);
+    out.push('}');
+}
+
+/// Encodes a successful reply envelope.
+pub fn encode_response(resp: &NetResponse) -> String {
+    let mut out = String::from("{\"ok\":true,\"generation\":");
+    resp.generation.serialize_json(&mut out);
+    out.push(',');
+    push_reply_fields(&resp.reply, &mut out);
+    out.push('}');
+    out
+}
+
+/// Encodes an error reply envelope.
+pub fn encode_error(code: &str, message: &str) -> String {
+    let mut out = String::new();
+    push_error_object(code, message, &mut out);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+fn parse_payload(payload: &[u8]) -> Result<Value, WireError> {
+    let text =
+        std::str::from_utf8(payload).map_err(|e| WireError::new(format!("payload is not UTF-8: {e}")))?;
+    Ok(json::parse(text)?)
+}
+
+fn decode_score(v: &Value) -> Result<ScoreRequest, WireError> {
+    let mode: String = json::field(v, "mode")?;
+    match mode.as_str() {
+        "feats" => Ok(ScoreRequest::Feats(json::field(v, "feats")?)),
+        "pair" => Ok(ScoreRequest::Pair { user: json::field(v, "user")?, item: json::field(v, "item")? }),
+        "cold" => Ok(ScoreRequest::Cold { item: json::field(v, "item")?, fields: json::field(v, "fields")? }),
+        other => Err(WireError::new(format!("unknown score mode '{other}'"))),
+    }
+}
+
+fn decode_strategy(v: &Value) -> Result<Option<RetrievalStrategy>, WireError> {
+    let Some(s) = v.get("strategy") else { return Ok(None) };
+    if s.is_null() {
+        return Ok(None);
+    }
+    let kind: String = json::field(s, "kind")?;
+    match kind.as_str() {
+        "exact" => Ok(Some(RetrievalStrategy::Exact)),
+        "ivf" => {
+            let nprobe = match s.get("nprobe") {
+                None => None,
+                Some(n) => Option::<usize>::deserialize_json_helper(n)?,
+            };
+            Ok(Some(RetrievalStrategy::Ivf { nprobe }))
+        }
+        other => Err(WireError::new(format!("unknown retrieval strategy '{other}'"))),
+    }
+}
+
+/// `Option<T>` deserialisation on a borrowed member (the derive-less
+/// equivalent of `json::field` for members that may be absent).
+trait OptionalMember: Sized {
+    fn deserialize_json_helper(v: &Value) -> Result<Self, WireError>;
+}
+
+impl<T: serde::Deserialize> OptionalMember for Option<T> {
+    fn deserialize_json_helper(v: &Value) -> Result<Self, WireError> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            Ok(Some(T::deserialize_json(v).map_err(WireError::from)?))
+        }
+    }
+}
+
+fn decode_par(v: &Value) -> Result<Option<Parallelism>, WireError> {
+    let Some(p) = v.get("par") else { return Ok(None) };
+    let n = Option::<usize>::deserialize_json_helper(p)?;
+    // threads(0) clamps to 1 by the Parallelism contract, so any wire
+    // integer maps to a valid worker count.
+    Ok(n.map(Parallelism::threads))
+}
+
+fn decode_topn(v: &Value) -> Result<TopNRequest, WireError> {
+    let candidates = match v.get("candidates") {
+        None => None,
+        Some(c) => Option::<Vec<u32>>::deserialize_json_helper(c)?,
+    };
+    let exclude = match v.get("exclude") {
+        None => Vec::new(),
+        Some(e) => Vec::<u32>::deserialize_json(e).map_err(WireError::from)?,
+    };
+    let exclude_seen = match v.get("exclude_seen") {
+        None => true,
+        Some(b) => bool::deserialize_json(b).map_err(WireError::from)?,
+    };
+    Ok(TopNRequest {
+        user: json::field(v, "user")?,
+        n: json::field(v, "n")?,
+        candidates,
+        exclude,
+        exclude_seen,
+        par: decode_par(v)?,
+        strategy: decode_strategy(v)?,
+    })
+}
+
+fn decode_one(v: &Value) -> Result<Request, WireError> {
+    let op: String = json::field(v, "op")?;
+    match op.as_str() {
+        "score" => Ok(Request::Score(decode_score(v)?)),
+        "topn" => Ok(Request::TopN(decode_topn(v)?)),
+        "batch" => Err(WireError::new("batch requests cannot nest")),
+        other => Err(WireError::new(format!("unknown op '{other}'"))),
+    }
+}
+
+/// Decodes a frame payload into a request. Any malformed payload is a
+/// typed [`WireError`] — non-UTF-8 bytes, JSON syntax errors, missing
+/// fields, unknown discriminants, numbers out of range.
+pub fn decode_request(payload: &[u8]) -> Result<NetRequest, WireError> {
+    let v = parse_payload(payload)?;
+    let op: String = json::field(&v, "op")?;
+    match op.as_str() {
+        "score" => Ok(NetRequest::Score(decode_score(&v)?)),
+        "topn" => Ok(NetRequest::TopN(decode_topn(&v)?)),
+        "batch" => {
+            let members = v
+                .get("requests")
+                .and_then(Value::as_array)
+                .ok_or_else(|| WireError::new("batch without a 'requests' array"))?;
+            let requests = members.iter().map(decode_one).collect::<Result<Vec<_>, _>>()?;
+            Ok(NetRequest::Batch(BatchRequest { requests, par: decode_par(&v)? }))
+        }
+        other => Err(WireError::new(format!("unknown op '{other}'"))),
+    }
+}
+
+fn decode_reply_fields(v: &Value, allow_batch: bool) -> Result<NetReply, WireError> {
+    let kind: String = json::field(v, "kind")?;
+    match kind.as_str() {
+        "score" => Ok(NetReply::Score(json::field(v, "value")?)),
+        "topn" => Ok(NetReply::TopN(json::field(v, "items")?)),
+        "batch" if allow_batch => {
+            let members = v
+                .get("results")
+                .and_then(Value::as_array)
+                .ok_or_else(|| WireError::new("batch reply without a 'results' array"))?;
+            let slots = members
+                .iter()
+                .map(|m| {
+                    Ok(match json::field::<bool>(m, "ok")? {
+                        true => Ok(decode_reply_fields(m, false)?),
+                        false => Err(decode_error_fields(m)?),
+                    })
+                })
+                .collect::<Result<Vec<_>, WireError>>()?;
+            Ok(NetReply::Batch(slots))
+        }
+        "batch" => Err(WireError::new("batch replies cannot nest")),
+        other => Err(WireError::new(format!("unknown reply kind '{other}'"))),
+    }
+}
+
+fn decode_error_fields(v: &Value) -> Result<NetError, WireError> {
+    Ok(NetError { code: json::field(v, "code")?, message: json::field(v, "message")? })
+}
+
+/// Decodes a reply envelope: `Ok(Ok(..))` is a successful response,
+/// `Ok(Err(..))` a typed server-side error reply, `Err(..)` a payload
+/// that is not a well-formed envelope at all.
+pub fn decode_response(payload: &[u8]) -> Result<Result<NetResponse, NetError>, WireError> {
+    let v = parse_payload(payload)?;
+    match json::field::<bool>(&v, "ok")? {
+        true => {
+            let generation: u64 = json::field(&v, "generation")?;
+            Ok(Ok(NetResponse { generation, reply: decode_reply_fields(&v, true)? }))
+        }
+        false => Ok(Err(decode_error_fields(&v)?)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            NetRequest::Score(ScoreRequest::feats(vec![0u32, 7, 99])),
+            NetRequest::Score(ScoreRequest::pair(3, 14)),
+            NetRequest::Score(ScoreRequest::cold(2, &[("gender", 1), ("age", 30)])),
+            NetRequest::TopN(TopNRequest::new(5, 10)),
+            NetRequest::TopN(
+                TopNRequest::new(1, 3)
+                    .candidates(vec![9, 8, 7])
+                    .exclude(vec![8])
+                    .include_seen()
+                    .parallelism(Parallelism::threads(2))
+                    .strategy(RetrievalStrategy::Ivf { nprobe: Some(4) }),
+            ),
+            NetRequest::Batch(
+                BatchRequest::new(vec![
+                    Request::Score(ScoreRequest::pair(0, 1)),
+                    Request::TopN(TopNRequest::new(0, 2)),
+                ])
+                .parallelism(Parallelism::serial()),
+            ),
+        ];
+        for req in &reqs {
+            let text = encode_request(req);
+            let back = decode_request(text.as_bytes()).unwrap();
+            assert_eq!(&back, req, "wire text: {text}");
+        }
+    }
+
+    #[test]
+    fn instance_requests_normalise_to_feats() {
+        let req = NetRequest::Score(ScoreRequest::Instance(gmlfm_data::Instance::new(vec![1, 2], 1.0)));
+        let back = decode_request(encode_request(&req).as_bytes()).unwrap();
+        assert_eq!(back, NetRequest::Score(ScoreRequest::feats(vec![1u32, 2])));
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            NetResponse { generation: 1, reply: NetReply::Score(-2.5) },
+            NetResponse { generation: 7, reply: NetReply::TopN(vec![(3, 1.5), (1, 0.25)]) },
+            NetResponse {
+                generation: 2,
+                reply: NetReply::Batch(vec![
+                    Ok(NetReply::Score(0.5)),
+                    Err(NetError::new("unknown_user", "user 9 outside the catalog's 4 users")),
+                    Ok(NetReply::TopN(vec![])),
+                ]),
+            },
+        ];
+        for resp in &resps {
+            let text = encode_response(resp);
+            let back = decode_response(text.as_bytes()).unwrap().unwrap();
+            assert_eq!(&back, resp, "wire text: {text}");
+        }
+    }
+
+    #[test]
+    fn error_envelopes_round_trip() {
+        let text = encode_error(code::OVERLOADED, "124 connections active");
+        let err = decode_response(text.as_bytes()).unwrap().unwrap_err();
+        assert_eq!(err, NetError::new("overloaded", "124 connections active"));
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors() {
+        for bad in [
+            &b"\xff\xfe"[..],                                                        // not UTF-8
+            b"{",                                                                    // JSON syntax
+            b"[1,2,3]",                                                              // not an object
+            b"{\"op\":\"noop\"}",                                                    // unknown op
+            b"{\"op\":\"score\",\"mode\":\"x\"}",                                    // unknown mode
+            b"{\"op\":\"topn\",\"user\":1}",                                         // missing n
+            b"{\"op\":\"topn\",\"user\":-1,\"n\":1}",                                // u32 out of range
+            b"{\"op\":\"batch\",\"requests\":[{\"op\":\"batch\",\"requests\":[]}]}", // nesting
+        ] {
+            assert!(decode_request(bad).is_err(), "{:?} should fail", String::from_utf8_lossy(bad));
+        }
+        assert!(decode_response(b"{\"ok\":true}").is_err());
+        assert!(decode_response(b"{\"ok\":false}").is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! Shared fixture for the network tests: the generation-marker model
+//! from the service hot-swap suite (every score of generation `g` is
+//! exactly `g * 1000.0`, so any response whose value disagrees with
+//! `marker(response.generation)` proves a torn or cross-generation
+//! read), plus a fast-timeout server config for fault injection.
+#![allow(dead_code)]
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gmlfm_data::{FieldKind, Schema};
+use gmlfm_net::{NetServer, ServerConfig};
+use gmlfm_serve::{FrozenModel, SecondOrder};
+use gmlfm_service::{Catalog, ModelServer, ModelSnapshot};
+use gmlfm_tensor::Matrix;
+
+pub const N_USERS: usize = 8;
+pub const N_ITEMS: usize = 12;
+
+pub fn schema() -> Schema {
+    Schema::from_specs(&[("user", N_USERS, FieldKind::User), ("item", N_ITEMS, FieldKind::Item)])
+}
+
+pub fn catalog() -> Catalog {
+    Catalog::new(
+        vec![1],
+        (0..N_USERS as u32).map(|u| vec![u, N_USERS as u32]).collect(),
+        (0..N_ITEMS as u32).map(|i| vec![N_USERS as u32 + i]).collect(),
+    )
+}
+
+/// The score every request against generation `g` must return.
+pub fn marker(generation: u64) -> f64 {
+    generation as f64 * 1000.0
+}
+
+/// A snapshot whose every score is exactly `marker(generation)`.
+pub fn snapshot(generation: u64) -> ModelSnapshot {
+    let n = N_USERS + N_ITEMS;
+    let frozen =
+        FrozenModel::from_parts(marker(generation), vec![0.0; n], Matrix::zeros(n, 3), SecondOrder::Dot);
+    ModelSnapshot { schema: schema(), frozen, catalog: Some(catalog()), seen: None, index: None }
+}
+
+/// Timeouts small enough that fault-injection tests finish in seconds
+/// but large enough that a loaded CI machine does not trip them on
+/// healthy traffic.
+pub fn fast_config() -> ServerConfig {
+    ServerConfig {
+        max_connections: 16,
+        idle_timeout: Duration::from_millis(500),
+        frame_timeout: Duration::from_millis(400),
+        write_timeout: Duration::from_millis(500),
+        poll: Duration::from_millis(2),
+        ..ServerConfig::default()
+    }
+}
+
+/// A running server over the marker model at generation 1.
+pub fn start(config: ServerConfig) -> NetServer {
+    let model = Arc::new(ModelServer::new(snapshot(1)).expect("consistent snapshot"));
+    NetServer::bind(model, "127.0.0.1:0", config).expect("bind loopback")
+}

@@ -1,0 +1,190 @@
+//! End-to-end tests over loopback: every protocol shape travels the
+//! wire correctly, validation errors arrive as typed codes, generation
+//! stamps follow hot swaps, and a drained server accounts for every
+//! request it answered.
+
+mod common;
+
+use common::{fast_config, marker, start, N_USERS};
+use gmlfm_net::wire::code;
+use gmlfm_net::{ClientConfig, ClientError, NetClient, NetReply, NetRequest};
+use gmlfm_service::{BatchRequest, Request, ScoreRequest, TopNRequest};
+use std::time::Duration;
+
+fn client(server: &gmlfm_net::NetServer) -> NetClient {
+    NetClient::connect(server.local_addr()).expect("resolve loopback")
+}
+
+#[test]
+fn every_request_shape_round_trips_over_loopback() {
+    let server = start(fast_config());
+    let mut client = client(&server);
+
+    // Score, in all three wire modes.
+    let resp = client
+        .request(&NetRequest::Score(ScoreRequest::pair(2, 5)))
+        .expect("pair scores");
+    assert_eq!(resp.generation, 1);
+    assert_eq!(resp.reply, NetReply::Score(marker(1)));
+    let feats = NetRequest::Score(ScoreRequest::feats(vec![2u32, N_USERS as u32 + 5]));
+    assert_eq!(client.request(&feats).expect("feats score").reply, NetReply::Score(marker(1)));
+    let cold = NetRequest::Score(ScoreRequest::cold(3, &[("user", 1)]));
+    assert_eq!(client.request(&cold).expect("cold score").reply, NetReply::Score(marker(1)));
+
+    // Top-n: every score from the stamped generation, ties by item id.
+    let resp = client.request(&NetRequest::TopN(TopNRequest::new(0, 4))).expect("top-n");
+    match &resp.reply {
+        NetReply::TopN(items) => {
+            assert_eq!(items.len(), 4);
+            for (rank, &(item, score)) in items.iter().enumerate() {
+                assert_eq!(item, rank as u32, "equal scores must sort by item id");
+                assert_eq!(score, marker(resp.generation));
+            }
+        }
+        other => panic!("expected top-n reply, got {other:?}"),
+    }
+
+    // Batch: valid slots answered, the invalid slot a typed error.
+    let batch = NetRequest::Batch(BatchRequest::new(vec![
+        Request::Score(ScoreRequest::pair(0, 0)),
+        Request::Score(ScoreRequest::pair(99, 0)), // unknown user
+        Request::TopN(TopNRequest::new(1, 2)),
+    ]));
+    let resp = client.request(&batch).expect("batch answers");
+    match &resp.reply {
+        NetReply::Batch(slots) => {
+            assert_eq!(slots.len(), 3);
+            assert_eq!(slots[0], Ok(NetReply::Score(marker(resp.generation))));
+            let err = slots[1].as_ref().expect_err("unknown user must fail its slot");
+            assert_eq!(err.code, "unknown_user");
+            assert!(slots[2].is_ok());
+        }
+        other => panic!("expected batch reply, got {other:?}"),
+    }
+
+    let report = server.shutdown();
+    assert_eq!(report.worker_panics, 0);
+    assert_eq!(report.served, 5, "one count per answered request: {report:?}");
+}
+
+#[test]
+fn validation_errors_arrive_as_typed_codes_and_are_not_retried() {
+    let server = start(fast_config());
+    let mut client = client(&server);
+
+    let err = client
+        .request(&NetRequest::Score(ScoreRequest::pair(99, 0)))
+        .expect_err("unknown user");
+    match err {
+        ClientError::Server(e) => {
+            assert_eq!(e.code, "unknown_user");
+            assert!(e.message.contains("99"), "message names the offender: {}", e.message);
+        }
+        other => panic!("expected a typed server error, got {other:?}"),
+    }
+
+    let report = server.shutdown();
+    // A deterministic validation error must consume exactly one request
+    // on the server — retrying it would be pointless.
+    assert_eq!(report.served, 1);
+    assert_eq!(report.worker_panics, 0);
+}
+
+#[test]
+fn generation_stamps_follow_hot_swaps() {
+    let server = start(fast_config());
+    let mut client = client(&server);
+
+    let resp = client.request(&NetRequest::Score(ScoreRequest::pair(0, 0))).expect("scores");
+    assert_eq!((resp.generation, resp.reply), (1, NetReply::Score(marker(1))));
+
+    let swapped = server.model().swap(common::snapshot(2)).expect("compatible snapshot");
+    assert_eq!(swapped, 2);
+
+    let resp = client
+        .request(&NetRequest::Score(ScoreRequest::pair(0, 0)))
+        .expect("scores after swap");
+    assert_eq!((resp.generation, resp.reply), (2, NetReply::Score(marker(2))));
+    assert_eq!(server.generation(), 2);
+
+    assert_eq!(server.shutdown().worker_panics, 0);
+}
+
+#[test]
+fn connecting_to_a_dead_server_fails_typed_after_retries() {
+    // Bind-and-drop to get a port that refuses connections.
+    let port = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.local_addr().expect("addr").port()
+    };
+    let config = ClientConfig {
+        connect_timeout: Duration::from_millis(200),
+        max_attempts: 2,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(2),
+        ..ClientConfig::default()
+    };
+    let mut client = NetClient::with_config(("127.0.0.1", port), config).expect("resolve");
+    let err = client
+        .request(&NetRequest::Score(ScoreRequest::pair(0, 0)))
+        .expect_err("nothing listening");
+    assert!(matches!(err, ClientError::Connect(_)), "got {err:?}");
+    assert!(err.is_retryable());
+}
+
+#[test]
+fn overloaded_replies_are_retried_until_capacity_frees() {
+    // Budget of 1: a parked raw connection occupies the only slot, so
+    // the client's first attempt is shed with a typed `overloaded`
+    // reply; the slot frees while it backs off, and the retry lands.
+    let server = start(gmlfm_net::ServerConfig { max_connections: 1, ..fast_config() });
+    let parked = std::net::TcpStream::connect(server.local_addr()).expect("park a connection");
+    std::thread::sleep(Duration::from_millis(100)); // let its handler claim the slot
+
+    let release = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(250));
+        drop(parked);
+    });
+    let config = ClientConfig {
+        max_attempts: 8,
+        base_backoff: Duration::from_millis(80),
+        max_backoff: Duration::from_millis(200),
+        ..ClientConfig::default()
+    };
+    let mut client = NetClient::with_config(server.local_addr(), config).expect("resolve");
+    let resp = client
+        .request(&NetRequest::Score(ScoreRequest::pair(0, 0)))
+        .expect("retry succeeds");
+    assert_eq!(resp.reply, NetReply::Score(marker(1)));
+    release.join().expect("release thread");
+
+    let report = server.shutdown();
+    assert!(report.shed >= 1, "at least one attempt was shed: {report:?}");
+    assert_eq!(report.worker_panics, 0);
+}
+
+#[test]
+fn malformed_json_in_a_valid_frame_keeps_the_connection_alive() {
+    use gmlfm_net::frame::{read_frame, write_frame, DEFAULT_MAX_FRAME_BYTES};
+    let server = start(fast_config());
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+
+    // Garbage payload inside a well-formed frame: typed reply, same
+    // connection still serves the next (valid) request.
+    write_frame(&mut stream, b"{\"op\": nope", DEFAULT_MAX_FRAME_BYTES).expect("send garbage");
+    let reply = read_frame(&mut stream, DEFAULT_MAX_FRAME_BYTES).expect("typed reply");
+    let err = gmlfm_net::wire::decode_response(&reply)
+        .expect("envelope")
+        .expect_err("error envelope");
+    assert_eq!(err.code, code::BAD_REQUEST);
+
+    let valid = gmlfm_net::wire::encode_request(&NetRequest::Score(ScoreRequest::pair(0, 0)));
+    write_frame(&mut stream, valid.as_bytes(), DEFAULT_MAX_FRAME_BYTES).expect("send valid");
+    let reply = read_frame(&mut stream, DEFAULT_MAX_FRAME_BYTES).expect("reply");
+    let resp = gmlfm_net::wire::decode_response(&reply).expect("envelope").expect("success");
+    assert_eq!(resp.reply, NetReply::Score(marker(1)));
+
+    let report = server.shutdown();
+    assert_eq!(report.served, 2, "both frames were answered");
+    assert_eq!(report.worker_panics, 0);
+}

@@ -67,6 +67,25 @@ pub enum RequestError {
     },
 }
 
+impl RequestError {
+    /// A stable machine-readable code naming the variant, for wire
+    /// protocols and logs. Codes are part of the public protocol: they
+    /// never change meaning, and new variants get new codes.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RequestError::FeatureOutOfRange { .. } => "feature_out_of_range",
+            RequestError::UnknownUser { .. } => "unknown_user",
+            RequestError::UnknownItem { .. } => "unknown_item",
+            RequestError::UnknownField { .. } => "unknown_field",
+            RequestError::DuplicateField { .. } => "duplicate_field",
+            RequestError::ValueOutOfRange { .. } => "value_out_of_range",
+            RequestError::ItemSideField { .. } => "item_side_field",
+            RequestError::MissingCatalog => "missing_catalog",
+            RequestError::SchemaMismatch { .. } => "schema_mismatch",
+        }
+    }
+}
+
 impl fmt::Display for RequestError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -1,0 +1,118 @@
+//! Network serving walkthrough: the typed protocol of
+//! `examples/serve_service.rs`, but over TCP with the fault-tolerant
+//! `gmlfm-net` transport.
+//!
+//! The scenario is a network deployment's whole lifecycle:
+//!
+//! 1. train once and [`serve_net`](gml_fm::engine::Recommender::serve_net)
+//!    the recommender on an ephemeral loopback port;
+//! 2. answer score / top-n / batch requests through a [`NetClient`]
+//!    with connect/request timeouts and retry backoff;
+//! 3. watch validation failures arrive as typed, machine-readable
+//!    error codes — not dropped connections;
+//! 4. hot-swap a retrained model mid-traffic and see the generation
+//!    stamp move;
+//! 5. shut down gracefully and read the [`DrainReport`].
+//!
+//! ```sh
+//! cargo run --release --example serve_net
+//! ```
+
+use gml_fm::data::{generate, DatasetSpec};
+use gml_fm::engine::{Engine, ModelSpec, ScoreRequest, SplitPlan, TopNRequest};
+use gml_fm::net::{ClientError, NetClient, NetReply, NetRequest, ServerConfig};
+use gml_fm::train::TrainConfig;
+
+fn main() {
+    let dataset = generate(&DatasetSpec::MovieLens.config(42).scaled(0.3));
+    let train = |seed: u64| {
+        Engine::builder()
+            .dataset(dataset.clone())
+            .split(SplitPlan::topn(11))
+            .spec(ModelSpec::gml_fm(gml_fm::core::GmlFmConfig::dnn(16, 1).with_seed(seed)))
+            .train_config(TrainConfig { epochs: 8, ..TrainConfig::default() })
+            .fit()
+            .expect("pipeline")
+    };
+    let rec = train(1);
+    println!("trained {} on {}", rec.spec().display_name(), dataset.name);
+
+    // Bind on an ephemeral loopback port; the OS picks a free one.
+    let server = rec.serve_net("127.0.0.1:0", ServerConfig::default()).expect("bind loopback");
+    let addr = server.local_addr();
+    println!("serving generation {} on {addr}", server.generation());
+
+    // -- typed requests over the wire --------------------------------------
+    let mut client = NetClient::connect(addr).expect("loopback resolves");
+    let user = 3u32;
+
+    let resp = client.request(&NetRequest::Score(ScoreRequest::pair(user, 5))).expect("served");
+    if let NetReply::Score(score) = resp.reply {
+        println!("\nscore(user {user}, item 5) = {score:.4}   [generation {}]", resp.generation);
+    }
+
+    let resp = client.request(&NetRequest::TopN(TopNRequest::new(user, 5))).expect("served");
+    if let NetReply::TopN(ranked) = &resp.reply {
+        println!("top-5 for user {user} over the wire:");
+        for (rank, (item, score)) in ranked.iter().enumerate() {
+            println!("  #{:<2} item {:<5} score {score:.4}", rank + 1, item);
+        }
+    }
+
+    // Validation failures are typed replies with stable codes — the
+    // connection stays open and the client does not retry them.
+    let err = client
+        .request(&NetRequest::Score(ScoreRequest::pair(user, 999_999)))
+        .unwrap_err();
+    match err {
+        ClientError::Server(e) => println!("\nout-of-catalog request rejected: [{}] {}", e.code, e.message),
+        other => panic!("expected a typed server error, got {other}"),
+    }
+
+    // -- batch: a cold-start slate in one round trip -----------------------
+    let profile: &[(&str, usize)] = &[("gender", 1), ("age", 3), ("occupation", 7)];
+    let slate: Vec<u32> = (0..20).collect();
+    let batch = gml_fm::engine::BatchRequest::new(
+        slate
+            .iter()
+            .map(|&item| gml_fm::engine::Request::Score(ScoreRequest::cold(item, profile)))
+            .collect(),
+    );
+    let resp = client.request(&NetRequest::Batch(batch)).expect("served");
+    if let NetReply::Batch(slots) = &resp.reply {
+        let mut scored: Vec<(u32, f64)> = slate
+            .iter()
+            .zip(slots)
+            .filter_map(|(&item, slot)| match slot {
+                Ok(NetReply::Score(score)) => Some((item, *score)),
+                _ => None,
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+        println!("\ncold-start slate for an unseen user {profile:?} [generation {}]:", resp.generation);
+        for (item, score) in scored.iter().take(5) {
+            println!("  item {item:<5} score {score:.4}");
+        }
+    }
+
+    // -- hot swap mid-traffic ----------------------------------------------
+    let retrained = train(2);
+    let snapshot = retrained.artifact().expect("freezable").into_snapshot().expect("decodes");
+    let generation = server.model().swap(snapshot).expect("schema-identical retrain");
+    let resp = client.request(&NetRequest::Score(ScoreRequest::pair(user, 5))).expect("served");
+    println!("\nhot-swapped retrained model: generation {generation}");
+    if let NetReply::Score(score) = resp.reply {
+        println!("score(user {user}, item 5) = {score:.4}   [generation {}]", resp.generation);
+    }
+    assert_eq!(resp.generation, generation, "replies after the swap carry the new generation");
+
+    // -- graceful drain ----------------------------------------------------
+    let report = server.shutdown();
+    println!("\ndrained: {report:?}");
+    assert_eq!(report.worker_panics, 0, "no handler thread may die to a panic");
+
+    // The port is released: a fresh request now fails typed, after the
+    // client's retry budget, instead of hanging.
+    let err = client.request(&NetRequest::Score(ScoreRequest::pair(user, 5))).unwrap_err();
+    println!("post-shutdown request fails typed: {err}");
+}
