@@ -12,9 +12,10 @@
 //!   audit table ([`inventory`]).
 //! * **L2 panic-freedom** — no `unwrap`/`expect`/`panic!`-family in the
 //!   serving hot paths (`gmlfm-service`, `gmlfm-serve`'s scoring/
-//!   retrieval files, and `gmlfm-net`'s frame/wire codecs and
-//!   connection loops): a malformed request — or a hostile byte
-//!   stream — must surface as a typed error, never tear down a worker.
+//!   retrieval files, `gmlfm-net`'s frame/wire codecs and connection
+//!   loops, and `gmlfm-online`'s ingest + trainer loop): a malformed
+//!   request — or a hostile byte stream, or a degenerate event batch —
+//!   must surface as a typed error, never tear down a worker.
 //! * **L3 determinism** — no `HashMap`/`HashSet` where iteration order
 //!   reaches deterministic outputs; `available_parallelism()` only
 //!   inside the one cached accessor, so shard boundaries can't move
@@ -97,6 +98,13 @@ const SERVE_HOT_PATH: [&str; 5] = [
 const NET_HOT_PATH: [&str; 3] =
     ["crates/net/src/frame.rs", "crates/net/src/wire.rs", "crates/net/src/server.rs"];
 
+/// `gmlfm-online` files on the serving hot path: the ingest endpoint
+/// (validation + overlay fold + bounded log) runs inside the request
+/// path, and the trainer loop must survive any event stream — a panic
+/// there silently kills the retrain thread and the loop goes stale.
+const ONLINE_HOT_PATH: [&str; 3] =
+    ["crates/online/src/handle.rs", "crates/online/src/log.rs", "crates/online/src/trainer.rs"];
+
 /// The one accessor allowed to call `available_parallelism()` (it
 /// caches), and the benchmark report that prints machine facts.
 const AVAILABLE_PARALLELISM_ALLOWLIST: [&str; 2] =
@@ -108,8 +116,10 @@ pub fn scope_for(rel: &str) -> LintScope {
     LintScope {
         panic_freedom: rel.starts_with("crates/service/src/")
             || SERVE_HOT_PATH.contains(&rel)
-            || NET_HOT_PATH.contains(&rel),
+            || NET_HOT_PATH.contains(&rel)
+            || ONLINE_HOT_PATH.contains(&rel),
         no_hash_collections: rel.starts_with("crates/serve/src/")
+            || rel.starts_with("crates/online/src/")
             || rel == "crates/par/src/lib.rs"
             || rel == "crates/service/src/exec.rs",
         no_available_parallelism: !AVAILABLE_PARALLELISM_ALLOWLIST.contains(&rel),
@@ -117,7 +127,8 @@ pub fn scope_for(rel: &str) -> LintScope {
             || rel == "crates/par/src/hogwild.rs"
             || rel == "crates/service/src/server.rs"
             || rel == "crates/net/src/server.rs"
-            || rel == "crates/net/src/frame.rs",
+            || rel == "crates/net/src/frame.rs"
+            || rel == "crates/online/src/trainer.rs",
     }
 }
 
@@ -249,6 +260,17 @@ mod tests {
         assert!(scope_for("crates/net/src/server.rs").ordering_justification);
         assert!(scope_for("crates/net/src/frame.rs").ordering_justification);
         assert!(!scope_for("crates/net/src/wire.rs").ordering_justification);
+        // The online loop's hot path: ingest + trainer are panic-free,
+        // the whole crate is hash-free (BTreeSet for the dedup ids),
+        // and the trainer justifies every atomic ordering.
+        assert!(scope_for("crates/online/src/handle.rs").panic_freedom);
+        assert!(scope_for("crates/online/src/log.rs").panic_freedom);
+        assert!(scope_for("crates/online/src/trainer.rs").panic_freedom);
+        assert!(!scope_for("crates/online/src/gate.rs").panic_freedom);
+        assert!(scope_for("crates/online/src/trainer.rs").no_hash_collections);
+        assert!(scope_for("crates/online/src/log.rs").no_hash_collections);
+        assert!(scope_for("crates/online/src/trainer.rs").ordering_justification);
+        assert!(!scope_for("crates/online/src/handle.rs").ordering_justification);
     }
 
     #[test]

@@ -42,6 +42,15 @@
 //! count (`BENCH_net.json`; run length per thread count via
 //! `GMLFM_BENCH_NET_SECS`, default 2 s).
 //!
+//! A sixth section drives the **online learning loop** end to end: a
+//! live `OnlineServing` stack (ingest handle + background warm-start
+//! trainer + eval gate) over a FactorizationMachine fixture, recording
+//! ingest **freshness lag** (feed call → exclusion verified absent from
+//! a ranking request) at p50/p99, serving RPS while retrain rounds are
+//! continuously publishing vs a retrain-idle baseline, and the achieved
+//! gated swap cadence (`BENCH_online.json`; window length via
+//! `GMLFM_BENCH_ONLINE_SECS`, default 2 s).
+//!
 //! Every synthetic fixture — catalogues, instances, models, splits —
 //! derives from one base seed, so runs are reproducible: set
 //! `GMLFM_BENCH_SEED` (default 2024) to shift the whole report. The
@@ -55,20 +64,24 @@
 
 use gmlfm_core::{GmlFm, GmlFmConfig};
 use gmlfm_data::{
-    generate, generate_scale, loo_split, DatasetSpec, FieldKind, FieldMask, Instance, ScaleConfig, Schema,
+    generate, generate_scale, loo_split, DatasetSpec, FieldKind, FieldMask, Instance, LooTestCase,
+    ScaleConfig, Schema,
 };
 use gmlfm_eval::evaluate_topn_frozen_with;
+use gmlfm_models::fm::FmConfig;
+use gmlfm_models::FactorizationMachine;
 use gmlfm_net::{run_closed_loop, ClientConfig, NetRequest, NetServer, ServerConfig as NetServerConfig};
+use gmlfm_online::{OnlineConfig, OnlineServing};
 use gmlfm_par::Parallelism;
 use gmlfm_serve::{rank_cmp, score_chunked_par, Freeze, FrozenModel, IvfBuildOptions, IvfIndex};
 use gmlfm_service::{
-    BatchRequest, Catalog, IndexedModel, ModelServer, ModelSnapshot, Request, ScoreRequest, ScoringBackend,
-    TopNRequest,
+    BatchRequest, Catalog, IndexedModel, Interaction, ModelServer, ModelSnapshot, Request, ScoreRequest,
+    ScoringBackend, SeenItems, TopNRequest,
 };
 use gmlfm_tensor::seeded_rng;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Thread counts the report compares.
 const THREADS: [usize; 3] = [1, 2, 4];
@@ -548,6 +561,176 @@ fn main() {
     let net_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_net.json");
     std::fs::write(net_path, &net_json).expect("write BENCH_net.json");
     println!("\nwrote {net_path}:\n{net_json}");
+
+    // -- 9. online loop: ingest freshness + serving through retrains ---
+    // A live OnlineServing stack over an FM fixture: 64 users, 1000
+    // items, three base interactions per user. One window measures
+    // serving RPS with the trainer idle; a second feeds a continuous
+    // interaction stream (retrain rounds publishing through the gate
+    // the whole time) while measuring the same request mix, per-event
+    // freshness lag (feed call returns → the item verified absent from
+    // an exclude-seen ranking request), and the achieved swap cadence.
+    let online_secs: f64 = std::env::var("GMLFM_BENCH_ONLINE_SECS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|s: &f64| *s > 0.0)
+        .unwrap_or(2.0);
+    const ON_USERS: usize = 64;
+    const ON_ITEMS: usize = 1000;
+    let on_schema =
+        Schema::from_specs(&[("user", ON_USERS, FieldKind::User), ("item", ON_ITEMS, FieldKind::Item)]);
+    let on_catalog = Catalog::new(
+        vec![1],
+        (0..ON_USERS as u32).map(|u| vec![u, ON_USERS as u32]).collect(),
+        (0..ON_ITEMS as u32).map(|i| vec![ON_USERS as u32 + i]).collect(),
+    );
+    let mut on_base = Vec::new();
+    let mut on_seen: Vec<Vec<u32>> = vec![Vec::new(); ON_USERS];
+    for (u, seen_row) in on_seen.iter_mut().enumerate() {
+        for j in 0..3 {
+            let item = ((u * 7 + j * 13) % ON_ITEMS) as u32;
+            on_base.push(Instance::new(vec![u as u32, (ON_USERS + item as usize) as u32], 1.0));
+            seen_row.push(item);
+        }
+    }
+    let mut on_fm = FactorizationMachine::new(
+        ON_USERS + ON_ITEMS,
+        FmConfig { k: 8, lr: 0.05, reg: 0.01, epochs: 2, seed: seed.wrapping_add(8) },
+    );
+    on_fm.fit_hogwild(&on_base, 1);
+    let on_server = ModelServer::new(ModelSnapshot {
+        schema: on_schema,
+        frozen: Freeze::freeze(&on_fm),
+        catalog: Some(on_catalog),
+        seen: Some(SeenItems::new(on_seen)),
+        index: None,
+    })
+    .expect("consistent snapshot");
+    let on_holdout: Vec<LooTestCase> = (0..ON_USERS as u32)
+        .map(|u| LooTestCase {
+            user: u,
+            pos_item: (u * 11 + 101) % ON_ITEMS as u32,
+            negatives: (1..21).map(|j| (u * 11 + 101 + j * 37) % ON_ITEMS as u32).collect(),
+        })
+        .collect();
+    let on_serving = OnlineServing::launch(
+        on_server.clone(),
+        Box::new(on_fm),
+        on_base,
+        on_holdout,
+        OnlineConfig {
+            min_events: 64,
+            cadence: Duration::from_millis(30),
+            poll: Duration::from_millis(2),
+            // The bench measures loop mechanics, not model quality: the
+            // permissive gate keeps every round publishing so "RPS
+            // during retrain" really is during retrains.
+            gate_tolerance: 1.0,
+            negatives_per_event: 1,
+            ..OnlineConfig::default()
+        },
+    )
+    .expect("launch validates");
+    let serve_mix = |window: f64| -> f64 {
+        let start = Instant::now();
+        let mut count = 0u64;
+        while start.elapsed().as_secs_f64() < window {
+            let user = (count % ON_USERS as u64) as u32;
+            on_server.top_n(&TopNRequest::new(user, 10)).expect("ranking serves");
+            on_server
+                .score(&ScoreRequest::pair(user, (count % ON_ITEMS as u64) as u32))
+                .expect("serves");
+            count += 2;
+        }
+        count as f64 / start.elapsed().as_secs_f64()
+    };
+    let idle_rps = serve_mix((online_secs / 2.0).max(0.25));
+    println!("online_idle     {idle_rps:>12.1} req/s (trainer launched, no events pending)");
+
+    let (retrain_rps, freshness_us, feeds) = std::thread::scope(|s| {
+        let feeder = {
+            let handle = on_serving.handle().clone();
+            let server = on_server.clone();
+            s.spawn(move || {
+                let mut lags_us: Vec<f64> = Vec::new();
+                let start = Instant::now();
+                let mut step = 0u64;
+                while start.elapsed().as_secs_f64() < online_secs {
+                    let user = (step % ON_USERS as u64) as u32;
+                    let item = ((step * 17 + 5) % ON_ITEMS as u64) as u32;
+                    let t = Instant::now();
+                    handle.feed(&Interaction::new(user, item).id(step)).expect("feed validates");
+                    // Freshness is verified, not assumed: an exclude-seen
+                    // ranking request restricted to the fed item must come
+                    // back empty.
+                    let check = server
+                        .top_n(&TopNRequest::new(user, 1).candidates(vec![item]))
+                        .expect("ranking serves");
+                    assert!(check.value.is_empty(), "fed item still recommendable");
+                    lags_us.push(t.elapsed().as_secs_f64() * 1e6);
+                    step += 1;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                lags_us
+            })
+        };
+        let rps = serve_mix(online_secs);
+        let lags = feeder.join().expect("feeder ok");
+        let n = lags.len();
+        (rps, lags, n)
+    });
+    let percentile = |sorted: &[f64], p: f64| -> f64 {
+        if sorted.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[idx]
+    };
+    let mut sorted_lags = freshness_us.clone();
+    sorted_lags.sort_by(|a, b| a.total_cmp(b));
+    let fresh_p50 = percentile(&sorted_lags, 0.50);
+    let fresh_p99 = percentile(&sorted_lags, 0.99);
+    let fresh_max = sorted_lags.last().copied().unwrap_or(f64::NAN);
+    let status = on_serving.trainer().status();
+    let swap_cadence = status.published as f64 / online_secs;
+    assert!(status.published >= 1, "the window must see at least one gated publish: {status:?}");
+    println!(
+        "online_retrain  {retrain_rps:>12.1} req/s during continuous retrains \
+         ({:.2}x of idle); {} publishes in {online_secs}s ({swap_cadence:.1} swaps/s)",
+        retrain_rps / idle_rps,
+        status.published,
+    );
+    println!(
+        "online_fresh    p50 {fresh_p50:>8.1} us, p99 {fresh_p99:>8.1} us, max {fresh_max:>8.1} us \
+         feed->exclusion-verified over {feeds} events"
+    );
+    let final_status = on_serving.shutdown();
+    let online_json = format!(
+        "{{\n  \"available_parallelism\": {cores},\n  \"seed\": {seed},\n  \
+         \"note\": \"live OnlineServing stack over an FM fixture ({ON_USERS} users x {ON_ITEMS} items): \
+         freshness lag is feed() returning plus an exclude-seen ranking request verifying the fed item \
+         absent; retrain RPS is the top-n+score mix measured while the background trainer continuously \
+         drains, warm-fits and publishes through the gate; gate tolerance is permissive so every round \
+         publishes ({env_var} overrides the window)\",\n  \
+         \"duration_s\": {online_secs},\n  \
+         \"serving\": {{\"unit\": \"req/s\", \"idle\": {idle_rps:.1}, \"during_retrain\": {retrain_rps:.1}, \
+         \"retrain_ratio\": {ratio:.3}}},\n  \
+         \"freshness\": {{\"unit\": \"us\", \"events\": {feeds}, \"p50\": {fresh_p50:.1}, \
+         \"p99\": {fresh_p99:.1}, \"max\": {fresh_max:.1}}},\n  \
+         \"loop\": {{\"rounds\": {rounds}, \"published\": {published}, \"rejected\": {rejected}, \
+         \"skipped_events\": {skipped}, \"swaps_per_s\": {swap_cadence:.2}, \
+         \"pending_at_shutdown\": {pending}}}\n}}\n",
+        env_var = "GMLFM_BENCH_ONLINE_SECS",
+        ratio = retrain_rps / idle_rps,
+        rounds = final_status.rounds,
+        published = final_status.published,
+        rejected = final_status.rejected,
+        skipped = final_status.skipped_events,
+        pending = final_status.pending,
+    );
+    let online_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_online.json");
+    std::fs::write(online_path, &online_json).expect("write BENCH_online.json");
+    println!("\nwrote {online_path}:\n{online_json}");
 
     // -- report -------------------------------------------------------
     let json = format!(

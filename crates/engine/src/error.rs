@@ -62,6 +62,17 @@ pub enum EngineError {
     /// user/item/field ids, ...) — the typed validation error of the
     /// request path every `score*`/`top_n` call routes through.
     Request(RequestError),
+    /// [`crate::Recommender::serve_online`] on a recommender that cannot
+    /// start the online loop: not built with
+    /// [`crate::EngineBuilder::online`], no top-n holdout to gate on, or
+    /// the loop was already launched.
+    OnlineUnavailable {
+        /// What is missing.
+        reason: &'static str,
+    },
+    /// A failure inside the online learning loop
+    /// ([`gmlfm_online::OnlineError`]).
+    Online(gmlfm_online::OnlineError),
 }
 
 impl fmt::Display for EngineError {
@@ -93,6 +104,10 @@ impl fmt::Display for EngineError {
                 write!(f, "Engine::builder(): missing required component '{field}'")
             }
             EngineError::Request(e) => write!(f, "invalid request: {e}"),
+            EngineError::OnlineUnavailable { reason } => {
+                write!(f, "online loop unavailable: {reason}")
+            }
+            EngineError::Online(e) => write!(f, "online loop failed: {e}"),
         }
     }
 }
@@ -114,5 +129,11 @@ impl From<serde_json::Error> for EngineError {
 impl From<RequestError> for EngineError {
     fn from(e: RequestError) -> Self {
         EngineError::Request(e)
+    }
+}
+
+impl From<gmlfm_online::OnlineError> for EngineError {
+    fn from(e: gmlfm_online::OnlineError) -> Self {
+        EngineError::Online(e)
     }
 }

@@ -55,6 +55,13 @@ pub use spec::ModelSpec;
 // The serving protocol the `Recommender` wrappers route through, so
 // engine users build requests without a separate `gmlfm_service` import.
 pub use gmlfm_service::{
-    BatchRequest, ModelServer, ModelSnapshot, Reply, Request, RequestError, Response, ScoreRequest,
-    SeenItems, TopNRequest,
+    BatchRequest, FeedAck, FeedSink, Interaction, ModelServer, ModelSnapshot, Reply, Request, RequestError,
+    Response, ScoreRequest, SeenItems, TopNRequest,
+};
+
+// The online loop `Recommender::serve_online` launches, so engine users
+// configure and drive it without a separate `gmlfm_online` import.
+pub use gmlfm_online::{
+    EvalGate, GateMetrics, GateReport, OnlineConfig, OnlineError, OnlineHandle, OnlineServing, OnlineStatus,
+    OnlineTrainer, RoundOutcome,
 };

@@ -29,6 +29,7 @@ use crate::spec::ModelSpec;
 use gmlfm_data::{loo_split, rating_split, Dataset, FieldKind, FieldMask, Instance, LooTestCase, Schema};
 use gmlfm_eval::{evaluate_rating, evaluate_topn_backend, RatingMetrics, TopnMetrics};
 use gmlfm_net::{NetServer, ServerConfig as NetServerConfig};
+use gmlfm_online::{OnlineConfig, OnlineError, OnlineModel, OnlineServing};
 use gmlfm_par::Parallelism;
 use gmlfm_serve::{FrozenModel, IvfBuildOptions, IvfIndex, RetrievalStrategy};
 use gmlfm_service::{
@@ -98,6 +99,7 @@ impl Engine {
             train: TrainConfig::default(),
             par: Parallelism::auto(),
             retrieval: RetrievalStrategy::Exact,
+            online: false,
         }
     }
 
@@ -122,6 +124,7 @@ pub struct EngineBuilder {
     train: TrainConfig,
     par: Parallelism,
     retrieval: RetrievalStrategy,
+    online: bool,
 }
 
 impl EngineBuilder {
@@ -183,6 +186,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Opts the fitted [`Recommender`] into online learning: the trained
+    /// estimator and the base training instances are retained so
+    /// [`Recommender::serve_online`] can warm-start retraining rounds
+    /// from the published weights. Off by default — retention costs one
+    /// copy of the training set.
+    pub fn online(mut self, online: bool) -> Self {
+        self.online = online;
+        self
+    }
+
     /// Runs the pipeline: split, construct, train, freeze (when
     /// supported), and wrap into a [`Recommender`] with its serving
     /// catalog, seen sets and evaluation holdout.
@@ -191,7 +204,7 @@ impl EngineBuilder {
         let spec = self.spec.ok_or(EngineError::BuilderIncomplete { field: "spec" })?;
         let mask = self.mask.unwrap_or_else(|| FieldMask::all(&dataset.schema));
         let mut estimator = spec.build(&dataset.schema, &mask);
-        let (report, holdout, seen) = match self.split {
+        let (report, holdout, seen, base) = match self.split {
             SplitPlan::Rating { neg_per_pos, seed } => {
                 if !spec.supports_rating() {
                     return Err(EngineError::UnsupportedTask {
@@ -202,7 +215,8 @@ impl EngineBuilder {
                 let split = rating_split(&dataset, &mask, neg_per_pos, seed);
                 let report = estimator.fit(&FitData::rating(&split), &self.train)?;
                 let seen = rating_seen(&dataset.schema, &mask, &split.train, dataset.n_users);
-                (report, Holdout::Rating(split.test), seen)
+                let base = self.online.then_some(split.train);
+                (report, Holdout::Rating(split.test), seen, base)
             }
             SplitPlan::TopN { neg_per_pos, n_candidates, seed } => {
                 if !spec.supports_topn() {
@@ -216,12 +230,13 @@ impl EngineBuilder {
                 let seen = SeenItems::new(
                     split.train_user_items.iter().map(|s| s.iter().copied().collect()).collect(),
                 );
-                (report, Holdout::TopN(split.test), Some(seen))
+                let base = self.online.then_some(split.train);
+                (report, Holdout::TopN(split.test), Some(seen), base)
             }
         };
         let catalog = Catalog::from_dataset(&dataset, &mask);
         let schema = dataset.schema;
-        let serving = match estimator.freeze_if_supported() {
+        let (serving, online) = match estimator.freeze_if_supported() {
             Some(frozen) => {
                 let index = match self.retrieval {
                     RetrievalStrategy::Exact => None,
@@ -230,17 +245,30 @@ impl EngineBuilder {
                         IvfIndex::build(&frozen, &catalog, &opts, self.par)
                     }
                 };
-                Serving::Service(ModelServer::new(ModelSnapshot {
+                let server = ModelServer::new(ModelSnapshot {
                     schema: schema.clone(),
                     frozen,
                     catalog: Some(catalog),
                     seen,
                     index,
-                })?)
+                })?;
+                // Online retraining needs the estimator's still-trainable
+                // parameters (the warm-start state); without the opt-in
+                // the estimator drops here as before.
+                let online = base.map(|base| OnlineSeed { est: estimator, base });
+                (Serving::Service(server), online)
             }
-            None => Serving::Live { est: estimator, catalog: Some(catalog), seen },
+            None => (Serving::Live { est: estimator, catalog: Some(catalog), seen }, None),
         };
-        Ok(Recommender { spec, schema, serving, holdout: Some(holdout), report: Some(report), par: self.par })
+        Ok(Recommender {
+            spec,
+            schema,
+            serving,
+            holdout: Some(holdout),
+            report: Some(report),
+            par: self.par,
+            online,
+        })
     }
 }
 
@@ -265,6 +293,39 @@ enum Serving {
 enum Holdout {
     Rating(Vec<Instance>),
     TopN(Vec<LooTestCase>),
+}
+
+/// What [`EngineBuilder::online`] retains for warm-start retraining: the
+/// trained estimator (its parameters *are* the published weights) and
+/// the base training instances new interactions accumulate onto.
+struct OnlineSeed {
+    est: Box<dyn Estimator>,
+    base: Vec<Instance>,
+}
+
+/// Adapts a trained [`Estimator`] onto the online loop's
+/// [`OnlineModel`]: warm-starting is just calling `fit` again — every
+/// estimator trains in place from its current parameters.
+struct EstimatorModel {
+    est: Box<dyn Estimator>,
+}
+
+impl OnlineModel for EstimatorModel {
+    fn warm_fit(&mut self, train: &[Instance], cfg: &TrainConfig) -> Result<(), OnlineError> {
+        if train.is_empty() {
+            return Err(OnlineError::Train("empty training set".into()));
+        }
+        self.est
+            .fit(&FitData::instances(train), cfg)
+            .map(drop)
+            .map_err(|e| OnlineError::Train(e.to_string()))
+    }
+
+    fn freeze(&self) -> Result<FrozenModel, OnlineError> {
+        self.est
+            .freeze_if_supported()
+            .ok_or_else(|| OnlineError::Train("model has no frozen serving form".into()))
+    }
 }
 
 /// A [`ScoringBackend`] over a live estimator, so non-freezable models
@@ -305,6 +366,9 @@ pub struct Recommender {
     report: Option<TrainReport>,
     /// Worker count for batch scoring, `top_n` and holdout evaluation.
     par: Parallelism,
+    /// Warm-start state retained by [`EngineBuilder::online`]; taken by
+    /// [`Recommender::serve_online`].
+    online: Option<OnlineSeed>,
 }
 
 impl Recommender {
@@ -319,6 +383,7 @@ impl Recommender {
             holdout: None,
             report: None,
             par: Parallelism::auto(),
+            online: None,
         })
     }
 
@@ -418,6 +483,37 @@ impl Recommender {
     ) -> Result<NetServer, EngineError> {
         let server = std::sync::Arc::new(self.serve()?);
         NetServer::bind(server, addr, config).map_err(EngineError::Io)
+    }
+
+    /// Starts the online learning loop over this recommender's serving
+    /// handle: streamed interactions (fed through the returned
+    /// [`OnlineServing::handle`]) fold into the live seen overlay
+    /// immediately, a background thread warm-starts retraining from the
+    /// published weights on the configured cadence, and candidates
+    /// publish through an [`gmlfm_online::EvalGate`] pinned to this
+    /// recommender's top-n holdout — so the in-process `score*`/`top_n`
+    /// wrappers, [`Recommender::serve`] clones and
+    /// [`Recommender::serve_net`] transports all hot-reload together.
+    ///
+    /// Requires a freezable model fit with
+    /// [`EngineBuilder::online`]`(true)` and a top-n holdout
+    /// ([`SplitPlan::topn`]). Consumes the retained warm-start state:
+    /// a second call is [`EngineError::OnlineUnavailable`].
+    pub fn serve_online(&mut self, cfg: OnlineConfig) -> Result<OnlineServing, EngineError> {
+        let server = self.serve()?;
+        let holdout = match &self.holdout {
+            Some(Holdout::TopN(cases)) => cases.clone(),
+            _ => {
+                return Err(EngineError::OnlineUnavailable {
+                    reason: "no top-n holdout to gate on (fit with SplitPlan::topn)",
+                })
+            }
+        };
+        let seed = self.online.take().ok_or(EngineError::OnlineUnavailable {
+            reason: "warm-start state not retained (build with .online(true)) or already launched",
+        })?;
+        let model = Box::new(EstimatorModel { est: seed.est });
+        Ok(OnlineServing::launch(server, model, seed.base, holdout, cfg)?)
     }
 
     /// Answers a typed [`ScoreRequest`] (the path every `score*`
@@ -561,19 +657,31 @@ impl Recommender {
     }
 
     /// Captures the current frozen state as a versioned [`Artifact`]
-    /// (after a hot swap, that is the *swapped-in* snapshot). Fails with
-    /// [`EngineError::NotFreezable`] for models without a frozen serving
-    /// form.
+    /// (after a hot swap, that is the *swapped-in* snapshot — online
+    /// retrains publish straight into what `save` persists). Seen sets
+    /// are the snapshot's folded with the server's live overlay, so
+    /// interactions fed since the last retrain survive a save → load
+    /// round trip instead of silently reappearing in top-n results.
+    /// Fails with [`EngineError::NotFreezable`] for models without a
+    /// frozen serving form.
     pub fn artifact(&self) -> Result<Artifact, EngineError> {
         match &self.serving {
             Serving::Service(server) => {
                 let (_, snap) = server.snapshot();
+                let overlay = server.overlay_seen();
+                let seen = if overlay.total() == 0 {
+                    snap.seen.clone()
+                } else {
+                    let mut merged = snap.seen.clone().unwrap_or_else(|| SeenItems::new(Vec::new()));
+                    merged.merge(&overlay);
+                    Some(merged)
+                };
                 Ok(Artifact::new(
                     self.spec.clone(),
                     &snap.schema,
                     &snap.frozen,
                     snap.catalog.clone(),
-                    snap.seen.clone(),
+                    seen,
                     snap.index.as_ref(),
                 ))
             }

@@ -87,13 +87,18 @@ impl std::error::Error for ClientError {}
 
 impl ClientError {
     /// Whether retrying could help: transport-level failures and the
-    /// server's transient codes. Validation errors are deterministic
-    /// and final.
+    /// server's transient codes — `overloaded`, `shutting_down`, and the
+    /// online loop's `backpressure` (the interaction log drains at the
+    /// next retrain; retried feeds carrying an id are deduplicated
+    /// server-side, so the retry is safe even after an ambiguous
+    /// failure). Validation errors are deterministic and final.
     pub fn is_retryable(&self) -> bool {
         match self {
             ClientError::Connect(_) | ClientError::Transport(_) => true,
             ClientError::Protocol(_) => false,
-            ClientError::Server(e) => e.code == code::OVERLOADED || e.code == code::SHUTTING_DOWN,
+            ClientError::Server(e) => {
+                e.code == code::OVERLOADED || e.code == code::SHUTTING_DOWN || e.code == "backpressure"
+            }
         }
     }
 }
@@ -241,6 +246,11 @@ mod tests {
         assert!(ClientError::Transport(FrameError::Closed).is_retryable());
         assert!(ClientError::Server(NetError::new(code::OVERLOADED, "")).is_retryable());
         assert!(ClientError::Server(NetError::new(code::SHUTTING_DOWN, "")).is_retryable());
+        // The online loop's backpressure is transient: the log drains at
+        // the next retrain, and id-carrying feeds deduplicate on retry.
+        assert!(ClientError::Server(NetError::new("backpressure", "")).is_retryable());
+        // A server without a feed sink will never grow one mid-flight.
+        assert!(!ClientError::Server(NetError::new(code::FEED_UNAVAILABLE, "")).is_retryable());
         assert!(!ClientError::Server(NetError::new("unknown_user", "")).is_retryable());
         assert!(!ClientError::Protocol(wire::WireError { message: "x".into() }).is_retryable());
     }

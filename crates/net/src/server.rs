@@ -34,7 +34,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use gmlfm_service::ModelServer;
+use gmlfm_service::{FeedSink, ModelServer};
 
 use crate::frame::{
     read_frame_deadline, write_frame_deadline, Deadlines, FrameError, DEFAULT_MAX_FRAME_BYTES,
@@ -98,6 +98,9 @@ pub struct DrainReport {
 
 struct Inner {
     model: Arc<ModelServer>,
+    /// Ingest endpoint for `feed` requests; servers bound without one
+    /// answer them with the typed `feed_unavailable` code.
+    feed: Option<Arc<dyn FeedSink>>,
     config: ServerConfig,
     shutdown: AtomicBool,
     active: AtomicUsize,
@@ -130,12 +133,38 @@ pub struct NetServer {
 
 impl NetServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// accepting connections served against `model`.
+    /// accepting connections served against `model`. `feed` requests
+    /// receive the typed `feed_unavailable` reply; use
+    /// [`NetServer::bind_with_feed`] to serve an online ingest loop.
     pub fn bind(model: Arc<ModelServer>, addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Self> {
+        Self::bind_inner(model, None, addr, config)
+    }
+
+    /// [`NetServer::bind`] plus an ingest sink answering wire `feed`
+    /// requests — the transport half of the online learning loop. The
+    /// sink validates, folds exclusions and enqueues; its typed errors
+    /// (including the retryable `backpressure`) travel as ordinary
+    /// error envelopes.
+    pub fn bind_with_feed(
+        model: Arc<ModelServer>,
+        feed: Arc<dyn FeedSink>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        Self::bind_inner(model, Some(feed), addr, config)
+    }
+
+    fn bind_inner(
+        model: Arc<ModelServer>,
+        feed: Option<Arc<dyn FeedSink>>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let inner = Arc::new(Inner {
             model,
+            feed,
             config,
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
@@ -298,7 +327,7 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream) {
             // still frame-synchronised, so answer typed and keep the
             // connection.
             Err(e) => wire::encode_error(code::BAD_REQUEST, &e.message),
-            Ok(req) => answer(&inner.model, &req),
+            Ok(req) => answer(&inner.model, inner.feed.as_deref(), &req),
         };
         // ORDERING: Relaxed — statistics counter only; final values
         // are read after the drain joins this thread.
@@ -322,8 +351,9 @@ fn reply(inner: &Inner, stream: &mut TcpStream, payload: &str) -> Result<(), Fra
 /// Answers one decoded request against the shared model. Each arm makes
 /// exactly one `ModelServer` call, which pins exactly one snapshot —
 /// the generation stamped on the reply is the generation every number
-/// in it was computed from.
-fn answer(model: &ModelServer, req: &NetRequest) -> String {
+/// in it was computed from. `feed` requests route to the bound sink
+/// instead (which validates against the same server's current snapshot).
+fn answer(model: &ModelServer, feed: Option<&dyn FeedSink>, req: &NetRequest) -> String {
     match req {
         NetRequest::Score(score) => match model.score(score) {
             Ok(resp) => wire::encode_response(&NetResponse {
@@ -351,5 +381,17 @@ fn answer(model: &ModelServer, req: &NetRequest) -> String {
                 .collect();
             wire::encode_response(&NetResponse { generation: resp.generation, reply: NetReply::Batch(slots) })
         }
+        NetRequest::Feed(event) => match feed {
+            None => {
+                wire::encode_error(code::FEED_UNAVAILABLE, "this server has no online ingest loop behind it")
+            }
+            Some(sink) => match sink.feed(event) {
+                Ok(resp) => wire::encode_response(&NetResponse {
+                    generation: resp.generation,
+                    reply: NetReply::Feed(resp.value),
+                }),
+                Err(e) => wire::encode_error(e.code(), &e.to_string()),
+            },
+        },
     }
 }

@@ -21,7 +21,9 @@
 
 use gmlfm_par::Parallelism;
 use gmlfm_serve::RetrievalStrategy;
-use gmlfm_service::{BatchRequest, Reply, Request, RequestError, ScoreRequest, TopNRequest};
+use gmlfm_service::{
+    BatchRequest, FeedAck, Interaction, Reply, Request, RequestError, ScoreRequest, TopNRequest,
+};
 use serde::json::{self, Value};
 use serde::{Deserialize, Serialize};
 
@@ -36,6 +38,9 @@ pub mod code {
     pub const OVERLOADED: &str = "overloaded";
     /// The server is draining; retry against another instance.
     pub const SHUTTING_DOWN: &str = "shutting_down";
+    /// A `feed` request reached a server bound without a feed sink
+    /// (no online loop behind it). Not retryable against this instance.
+    pub const FEED_UNAVAILABLE: &str = "feed_unavailable";
 }
 
 /// A payload that could not be decoded into a protocol value.
@@ -104,6 +109,9 @@ pub enum NetRequest {
     TopN(TopNRequest),
     /// Many requests answered against one snapshot.
     Batch(BatchRequest),
+    /// One streamed interaction for the server's online loop. Carrying
+    /// an [`Interaction::id`] makes client retries idempotent.
+    Feed(Interaction),
 }
 
 /// The successful payload of a [`NetResponse`].
@@ -116,6 +124,8 @@ pub enum NetReply {
     /// Payload of a batch: one slot per sub-request, each independently
     /// a reply or a typed error (slots are never `Batch` themselves).
     Batch(Vec<Result<NetReply, NetError>>),
+    /// Acknowledgement of a feed request.
+    Feed(FeedAck),
 }
 
 impl NetReply {
@@ -240,6 +250,19 @@ pub fn encode_request(req: &NetRequest) -> String {
             }
             out.push_str("]}");
         }
+        NetRequest::Feed(event) => {
+            out.push_str("{\"op\":\"feed\",\"user\":");
+            event.user.serialize_json(&mut out);
+            out.push_str(",\"item\":");
+            event.item.serialize_json(&mut out);
+            out.push_str(",\"rating\":");
+            event.rating.serialize_json(&mut out);
+            out.push_str(",\"fields\":");
+            event.fields.serialize_json(&mut out);
+            out.push_str(",\"id\":");
+            event.id.serialize_json(&mut out);
+            out.push('}');
+        }
     }
     out
 }
@@ -270,6 +293,12 @@ fn push_reply_fields(reply: &NetReply, out: &mut String) {
                 }
             }
             out.push(']');
+        }
+        NetReply::Feed(ack) => {
+            out.push_str("\"kind\":\"feed\",\"accepted\":");
+            ack.accepted.serialize_json(out);
+            out.push_str(",\"pending\":");
+            ack.pending.serialize_json(out);
         }
     }
 }
@@ -386,12 +415,29 @@ fn decode_topn(v: &Value) -> Result<TopNRequest, WireError> {
     })
 }
 
+fn decode_feed(v: &Value) -> Result<Interaction, WireError> {
+    let rating = match v.get("rating") {
+        None => None,
+        Some(r) => Option::<f64>::deserialize_json_helper(r)?,
+    };
+    let fields = match v.get("fields") {
+        None => Vec::new(),
+        Some(fs) => Vec::<(String, usize)>::deserialize_json(fs).map_err(WireError::from)?,
+    };
+    let id = match v.get("id") {
+        None => None,
+        Some(i) => Option::<u64>::deserialize_json_helper(i)?,
+    };
+    Ok(Interaction { user: json::field(v, "user")?, item: json::field(v, "item")?, rating, fields, id })
+}
+
 fn decode_one(v: &Value) -> Result<Request, WireError> {
     let op: String = json::field(v, "op")?;
     match op.as_str() {
         "score" => Ok(Request::Score(decode_score(v)?)),
         "topn" => Ok(Request::TopN(decode_topn(v)?)),
         "batch" => Err(WireError::new("batch requests cannot nest")),
+        "feed" => Err(WireError::new("feed requests cannot ride in a batch")),
         other => Err(WireError::new(format!("unknown op '{other}'"))),
     }
 }
@@ -413,6 +459,7 @@ pub fn decode_request(payload: &[u8]) -> Result<NetRequest, WireError> {
             let requests = members.iter().map(decode_one).collect::<Result<Vec<_>, _>>()?;
             Ok(NetRequest::Batch(BatchRequest { requests, par: decode_par(&v)? }))
         }
+        "feed" => Ok(NetRequest::Feed(decode_feed(&v)?)),
         other => Err(WireError::new(format!("unknown op '{other}'"))),
     }
 }
@@ -439,6 +486,10 @@ fn decode_reply_fields(v: &Value, allow_batch: bool) -> Result<NetReply, WireErr
             Ok(NetReply::Batch(slots))
         }
         "batch" => Err(WireError::new("batch replies cannot nest")),
+        "feed" => Ok(NetReply::Feed(FeedAck {
+            accepted: json::field(v, "accepted")?,
+            pending: json::field(v, "pending")?,
+        })),
         other => Err(WireError::new(format!("unknown reply kind '{other}'"))),
     }
 }
@@ -496,6 +547,27 @@ mod tests {
     }
 
     #[test]
+    fn feed_requests_and_acks_round_trip() {
+        let reqs = [
+            NetRequest::Feed(Interaction::new(3, 14)),
+            NetRequest::Feed(Interaction::new(0, 1).rating(-1.0).fields(&[("age", 2)]).id(42)),
+        ];
+        for req in &reqs {
+            let text = encode_request(req);
+            let back = decode_request(text.as_bytes()).unwrap();
+            assert_eq!(&back, req, "wire text: {text}");
+        }
+        let resp =
+            NetResponse { generation: 4, reply: NetReply::Feed(FeedAck { accepted: true, pending: 9 }) };
+        let text = encode_response(&resp);
+        assert_eq!(decode_response(text.as_bytes()).unwrap().unwrap(), resp, "wire text: {text}");
+        // A duplicate ack is accepted:false, still an ok envelope.
+        let dup =
+            NetResponse { generation: 4, reply: NetReply::Feed(FeedAck { accepted: false, pending: 0 }) };
+        assert_eq!(decode_response(encode_response(&dup).as_bytes()).unwrap().unwrap(), dup);
+    }
+
+    #[test]
     fn instance_requests_normalise_to_feats() {
         let req = NetRequest::Score(ScoreRequest::Instance(gmlfm_data::Instance::new(vec![1, 2], 1.0)));
         let back = decode_request(encode_request(&req).as_bytes()).unwrap();
@@ -533,14 +605,17 @@ mod tests {
     #[test]
     fn malformed_payloads_are_typed_errors() {
         for bad in [
-            &b"\xff\xfe"[..],                                                        // not UTF-8
-            b"{",                                                                    // JSON syntax
-            b"[1,2,3]",                                                              // not an object
-            b"{\"op\":\"noop\"}",                                                    // unknown op
-            b"{\"op\":\"score\",\"mode\":\"x\"}",                                    // unknown mode
-            b"{\"op\":\"topn\",\"user\":1}",                                         // missing n
-            b"{\"op\":\"topn\",\"user\":-1,\"n\":1}",                                // u32 out of range
-            b"{\"op\":\"batch\",\"requests\":[{\"op\":\"batch\",\"requests\":[]}]}", // nesting
+            &b"\xff\xfe"[..],                                                             // not UTF-8
+            b"{",                                                                         // JSON syntax
+            b"[1,2,3]",                                                                   // not an object
+            b"{\"op\":\"noop\"}",                                                         // unknown op
+            b"{\"op\":\"score\",\"mode\":\"x\"}",                                         // unknown mode
+            b"{\"op\":\"topn\",\"user\":1}",                                              // missing n
+            b"{\"op\":\"topn\",\"user\":-1,\"n\":1}",                                     // u32 out of range
+            b"{\"op\":\"batch\",\"requests\":[{\"op\":\"batch\",\"requests\":[]}]}",      // nesting
+            b"{\"op\":\"feed\",\"user\":1}",                                              // missing item
+            b"{\"op\":\"feed\",\"user\":1,\"item\":2,\"rating\":\"five\"}",               // bad rating
+            b"{\"op\":\"batch\",\"requests\":[{\"op\":\"feed\",\"user\":1,\"item\":2}]}", // feed in batch
         ] {
             assert!(decode_request(bad).is_err(), "{:?} should fail", String::from_utf8_lossy(bad));
         }

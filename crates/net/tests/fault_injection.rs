@@ -236,9 +236,11 @@ fn hot_swaps_racing_requests_never_mix_generations_on_the_wire() {
                                             }
                                         }
                                         NetReply::Batch(_) => unreachable!("batches cannot nest"),
+                                        NetReply::Feed(_) => unreachable!("no feed in this batch"),
                                     }
                                 }
                             }
+                            NetReply::Feed(_) => unreachable!("no feed requests sent"),
                         }
                         checked += 1;
                     }

@@ -7,8 +7,13 @@ mod common;
 
 use common::{fast_config, marker, start, N_USERS};
 use gmlfm_net::wire::code;
-use gmlfm_net::{ClientConfig, ClientError, NetClient, NetReply, NetRequest};
-use gmlfm_service::{BatchRequest, Request, ScoreRequest, TopNRequest};
+use gmlfm_net::{ClientConfig, ClientError, NetClient, NetReply, NetRequest, NetServer};
+use gmlfm_service::{
+    BatchRequest, FeedAck, FeedSink, Interaction, ModelServer, Request, RequestError, Response, ScoreRequest,
+    TopNRequest,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn client(server: &gmlfm_net::NetServer) -> NetClient {
@@ -65,6 +70,78 @@ fn every_request_shape_round_trips_over_loopback() {
     let report = server.shutdown();
     assert_eq!(report.worker_panics, 0);
     assert_eq!(report.served, 5, "one count per answered request: {report:?}");
+}
+
+/// A minimal ingest sink: validates through the shared server's live
+/// seen overlay and counts accepted events — the transport-level half
+/// of what `gmlfm-online`'s handle does in production.
+struct OverlaySink {
+    server: Arc<ModelServer>,
+    accepted: AtomicUsize,
+}
+
+impl FeedSink for OverlaySink {
+    fn feed(&self, event: &Interaction) -> Result<Response<FeedAck>, RequestError> {
+        let resp = self.server.record_seen(event.user, event.item)?;
+        // ORDERING: Relaxed — test statistics counter only.
+        let pending = self.accepted.fetch_add(1, Ordering::Relaxed) + 1;
+        Ok(Response { generation: resp.generation, value: FeedAck { accepted: resp.value, pending } })
+    }
+}
+
+#[test]
+fn feed_requests_fold_exclusions_before_any_retrain() {
+    let model = Arc::new(ModelServer::new(common::snapshot(1)).expect("consistent snapshot"));
+    let sink = Arc::new(OverlaySink { server: Arc::clone(&model), accepted: AtomicUsize::new(0) });
+    let server = NetServer::bind_with_feed(model, sink, "127.0.0.1:0", fast_config()).expect("bind loopback");
+    let mut client = NetClient::connect(server.local_addr()).expect("resolve loopback");
+
+    // Before the feed: item 2 ranks for user 0 (nothing is seen).
+    let topn = NetRequest::TopN(TopNRequest::new(0, common::N_ITEMS));
+    let before = client.request(&topn).expect("top-n");
+    let items = |reply: &NetReply| match reply {
+        NetReply::TopN(items) => items.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+        other => panic!("expected top-n reply, got {other:?}"),
+    };
+    assert!(items(&before.reply).contains(&2), "item 2 starts recommendable");
+
+    // Feed (user 0, item 2): acknowledged against the current generation.
+    let ack = client.request(&NetRequest::Feed(Interaction::new(0, 2))).expect("feed");
+    assert_eq!(ack.reply, NetReply::Feed(FeedAck { accepted: true, pending: 1 }));
+
+    // The very next ranking request excludes it — freshness does not
+    // wait for a retrain.
+    let after = client.request(&topn).expect("top-n after feed");
+    assert!(!items(&after.reply).contains(&2), "fed item must leave the top-n immediately");
+    assert_eq!(after.generation, 1, "no retrain happened; same generation");
+
+    // Validation still runs before anything is recorded.
+    let err = client
+        .request(&NetRequest::Feed(Interaction::new(0, 10_000)))
+        .expect_err("unknown item");
+    match err {
+        ClientError::Server(e) => assert_eq!(e.code, "unknown_item"),
+        other => panic!("expected a typed server error, got {other:?}"),
+    }
+
+    assert_eq!(server.shutdown().worker_panics, 0);
+}
+
+#[test]
+fn feed_without_a_sink_is_a_typed_final_error() {
+    let server = start(fast_config());
+    let mut client = client(&server);
+    let err = client
+        .request(&NetRequest::Feed(Interaction::new(0, 0)))
+        .expect_err("no sink bound");
+    match err {
+        ClientError::Server(e) => {
+            assert_eq!(e.code, code::FEED_UNAVAILABLE);
+            assert!(!ClientError::Server(e).is_retryable(), "a sink never appears mid-flight");
+        }
+        other => panic!("expected a typed server error, got {other:?}"),
+    }
+    assert_eq!(server.shutdown().worker_panics, 0);
 }
 
 #[test]

@@ -1,0 +1,37 @@
+//! Typed failures of the online learning loop.
+
+use gmlfm_service::RequestError;
+use std::fmt;
+
+/// Why an online-loop operation failed. Construction-time misuse and
+/// per-round training failures are separated from request validation
+/// ([`RequestError`]) so callers can tell a misconfigured loop from a
+/// malformed event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OnlineError {
+    /// An event or snapshot failed request-level validation.
+    Request(RequestError),
+    /// The loop cannot be launched as configured (no catalog, empty
+    /// holdout, empty base training set, ...).
+    Launch(String),
+    /// A warm-start round failed inside the model's trainer.
+    Train(String),
+}
+
+impl fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnlineError::Request(e) => write!(f, "{e}"),
+            OnlineError::Launch(reason) => write!(f, "online loop cannot launch: {reason}"),
+            OnlineError::Train(reason) => write!(f, "warm-start round failed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {}
+
+impl From<RequestError> for OnlineError {
+    fn from(e: RequestError) -> Self {
+        OnlineError::Request(e)
+    }
+}

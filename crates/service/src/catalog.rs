@@ -154,7 +154,7 @@ fn item_side_slots(dataset: &Dataset, mask: &FieldMask) -> Vec<usize> {
 /// binary search. Users outside the recorded range simply have an empty
 /// seen set, so a catalog larger than the training population degrades
 /// gracefully.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SeenItems {
     /// Sorted, deduplicated seen items per user id.
     per_user: Vec<Vec<u32>>,
@@ -190,6 +190,53 @@ impl SeenItems {
     pub fn contains(&self, user: u32, item: u32) -> bool {
         self.items(user).binary_search(&item).is_ok()
     }
+
+    /// Records one `(user, item)` interaction in place, growing the
+    /// per-user table as needed and keeping the user's list sorted and
+    /// deduplicated. Returns whether the entry was newly inserted.
+    ///
+    /// Deterministic: the resulting table depends only on the *set* of
+    /// recorded entries, never on insertion order — `insert`ing
+    /// incrementally is bitwise-equal to rebuilding via
+    /// [`SeenItems::new`] from the union (proptest-pinned).
+    pub fn insert(&mut self, user: u32, item: u32) -> bool {
+        let idx = user as usize;
+        if idx >= self.per_user.len() {
+            self.per_user.resize_with(idx + 1, Vec::new);
+        }
+        let items = &mut self.per_user[idx];
+        match items.binary_search(&item) {
+            Ok(_) => false,
+            Err(pos) => {
+                items.insert(pos, item);
+                true
+            }
+        }
+    }
+
+    /// Merges `items` (any order, duplicates allowed) into one user's
+    /// seen set in place, preserving the sorted/deduplicated invariant.
+    pub fn merge_user(&mut self, user: u32, items: &[u32]) {
+        if items.is_empty() {
+            return;
+        }
+        let idx = user as usize;
+        if idx >= self.per_user.len() {
+            self.per_user.resize_with(idx + 1, Vec::new);
+        }
+        let row = &mut self.per_user[idx];
+        row.extend_from_slice(items);
+        row.sort_unstable();
+        row.dedup();
+    }
+
+    /// Merges every entry of `other` into `self` in place — the
+    /// set-union of the two tables, sorted and deduplicated per user.
+    pub fn merge(&mut self, other: &SeenItems) {
+        for (user, items) in other.per_user.iter().enumerate() {
+            self.merge_user(user as u32, items);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +255,29 @@ mod tests {
         // Out-of-range users have an empty seen set, not a panic.
         assert_eq!(seen.items(9), &[] as &[u32]);
         assert!(!seen.contains(9, 0));
+    }
+
+    #[test]
+    fn insert_and_merge_keep_the_sorted_dedup_invariant() {
+        let mut seen = SeenItems::new(vec![vec![2]]);
+        // New entry past the recorded range grows the table.
+        assert!(seen.insert(2, 7));
+        assert_eq!(seen.n_users(), 3);
+        assert_eq!(seen.items(1), &[] as &[u32]);
+        // Re-inserting is a no-op, not a duplicate.
+        assert!(!seen.insert(2, 7));
+        assert!(seen.insert(0, 1));
+        assert_eq!(seen.items(0), &[1, 2]);
+
+        let mut incremental = seen.clone();
+        incremental.merge_user(0, &[9, 1, 9, 0]);
+        assert_eq!(incremental.items(0), &[0, 1, 2, 9]);
+
+        let other = SeenItems::new(vec![vec![9, 0, 9], vec![4]]);
+        seen.merge(&other);
+        assert_eq!(seen.items(0), &[0, 1, 2, 9]);
+        assert_eq!(seen.items(1), &[4]);
+        assert_eq!(seen.items(2), &[7]);
     }
 
     #[test]

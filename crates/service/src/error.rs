@@ -65,6 +65,14 @@ pub enum RequestError {
         /// Human-readable description of the incompatibility.
         reason: String,
     },
+    /// A feed event arrived while the bounded interaction log was full.
+    /// Transient: the event's seen-set fold (if any) is retained, but
+    /// the event was not enqueued for retraining — retry after the next
+    /// retrain drains the log.
+    Backpressure {
+        /// The log's capacity in events.
+        capacity: usize,
+    },
 }
 
 impl RequestError {
@@ -82,6 +90,7 @@ impl RequestError {
             RequestError::ItemSideField { .. } => "item_side_field",
             RequestError::MissingCatalog => "missing_catalog",
             RequestError::SchemaMismatch { .. } => "schema_mismatch",
+            RequestError::Backpressure { .. } => "backpressure",
         }
     }
 }
@@ -114,6 +123,9 @@ impl fmt::Display for RequestError {
                 write!(f, "model is served without a catalog; only feature-index requests are possible")
             }
             RequestError::SchemaMismatch { reason } => write!(f, "incompatible model snapshot: {reason}"),
+            RequestError::Backpressure { capacity } => {
+                write!(f, "interaction log full ({capacity} events); retry after the next retrain")
+            }
         }
     }
 }

@@ -10,7 +10,7 @@
 
 use crate::catalog::{Catalog, SeenItems};
 use crate::error::RequestError;
-use crate::protocol::{BatchRequest, Reply, Request, ScoreRequest, TopNRequest};
+use crate::protocol::{BatchRequest, Interaction, Reply, Request, ScoreRequest, TopNRequest};
 use gmlfm_data::{FieldKind, Schema};
 use gmlfm_par::Parallelism;
 use gmlfm_serve::{sharded_top_n, FrozenModel, ItemFeatureSource, IvfIndex, RetrievalStrategy, TopNHeap};
@@ -245,28 +245,7 @@ pub fn resolve_feats<'r>(
         ScoreRequest::Cold { item, fields } => {
             let catalog = catalog.ok_or(RequestError::MissingCatalog)?;
             let mut feats: Vec<u32> = item_group(catalog, *item)?.to_vec();
-            for (i, (name, value)) in fields.iter().enumerate() {
-                if fields[..i].iter().any(|(prev, _)| prev == name) {
-                    return Err(RequestError::DuplicateField { field: name.clone() });
-                }
-                let field_idx = schema
-                    .fields()
-                    .iter()
-                    .position(|f| &f.name == name)
-                    .ok_or_else(|| RequestError::UnknownField { field: name.clone() })?;
-                let field = &schema.fields()[field_idx];
-                if !matches!(field.kind, FieldKind::User | FieldKind::UserAttr) {
-                    return Err(RequestError::ItemSideField { field: name.clone() });
-                }
-                if *value >= field.cardinality {
-                    return Err(RequestError::ValueOutOfRange {
-                        field: name.clone(),
-                        value: *value,
-                        cardinality: field.cardinality,
-                    });
-                }
-                feats.push(schema.feature_index(field_idx, *value));
-            }
+            push_user_fields(schema, fields, &mut feats)?;
             // Global indices ascend with field order, so sorting restores
             // the field order a schema-built instance would have (which
             // the order-dependent TransFM mode cares about).
@@ -274,6 +253,60 @@ pub fn resolve_feats<'r>(
             Ok(Cow::Owned(feats))
         }
     }
+}
+
+/// Validates named user-side `(field, value)` pairs against the schema
+/// and appends their global feature indices to `feats` — the shared
+/// validation of [`ScoreRequest::Cold`] requests and fed
+/// [`Interaction`]s: unknown, duplicated, item-side, and out-of-range
+/// fields are all typed errors.
+fn push_user_fields(
+    schema: &Schema,
+    fields: &[(String, usize)],
+    feats: &mut Vec<u32>,
+) -> Result<(), RequestError> {
+    for (i, (name, value)) in fields.iter().enumerate() {
+        if fields[..i].iter().any(|(prev, _)| prev == name) {
+            return Err(RequestError::DuplicateField { field: name.clone() });
+        }
+        let field_idx = schema
+            .fields()
+            .iter()
+            .position(|f| &f.name == name)
+            .ok_or_else(|| RequestError::UnknownField { field: name.clone() })?;
+        let field = &schema.fields()[field_idx];
+        if !matches!(field.kind, FieldKind::User | FieldKind::UserAttr) {
+            return Err(RequestError::ItemSideField { field: name.clone() });
+        }
+        if *value >= field.cardinality {
+            return Err(RequestError::ValueOutOfRange {
+                field: name.clone(),
+                value: *value,
+                cardinality: field.cardinality,
+            });
+        }
+        feats.push(schema.feature_index(field_idx, *value));
+    }
+    Ok(())
+}
+
+/// Validates a streamed [`Interaction`] against the snapshot's schema
+/// and catalog and resolves the full training feature vector it
+/// contributes: the catalog's `(user, item)` splice plus any validated
+/// extra user-side fields, sorted into schema field order.
+pub fn resolve_interaction(
+    schema: &Schema,
+    catalog: Option<&Catalog>,
+    event: &Interaction,
+) -> Result<Vec<u32>, RequestError> {
+    let catalog = catalog.ok_or(RequestError::MissingCatalog)?;
+    let template = user_template(catalog, event.user)?;
+    let group = item_group(catalog, event.item)?;
+    let mut feats = catalog.splice(template, group);
+    push_user_fields(schema, &event.fields, &mut feats)?;
+    feats.sort_unstable();
+    feats.dedup();
+    Ok(feats)
 }
 
 /// Validates and runs a [`ScoreRequest`] through `backend`.
@@ -307,16 +340,29 @@ fn validate_topn<'c>(catalog: &'c Catalog, req: &TopNRequest) -> Result<&'c [u32
 /// Fills `out` with the surviving candidates of a *validated* request:
 /// the requested set (or the whole catalogue) minus the explicit
 /// exclusions and — unless opted out — the user's training-time seen
-/// items. Order of the surviving candidates is preserved.
-fn fill_candidates(catalog: &Catalog, seen: Option<&SeenItems>, req: &TopNRequest, out: &mut Vec<u32>) {
+/// items plus any `live` overlay items (interactions fed since the
+/// snapshot was published; sorted ascending like a seen list). Order of
+/// the surviving candidates is preserved.
+fn fill_candidates(
+    catalog: &Catalog,
+    seen: Option<&SeenItems>,
+    live: &[u32],
+    req: &TopNRequest,
+    out: &mut Vec<u32>,
+) {
     out.clear();
     let seen_items: &[u32] = match (req.exclude_seen, seen) {
         (true, Some(seen)) => seen.items(req.user),
         _ => &[],
     };
-    // Explicit exclusion lists are tiny in practice; the seen list is
-    // sorted, so membership there is a binary search.
-    let keep = |item: u32| !req.exclude.contains(&item) && seen_items.binary_search(&item).is_err();
+    let live: &[u32] = if req.exclude_seen { live } else { &[] };
+    // Explicit exclusion lists are tiny in practice; the seen and live
+    // lists are sorted, so membership there is a binary search.
+    let keep = |item: u32| {
+        !req.exclude.contains(&item)
+            && seen_items.binary_search(&item).is_err()
+            && live.binary_search(&item).is_err()
+    };
     match &req.candidates {
         Some(candidates) => out.extend(candidates.iter().copied().filter(|&i| keep(i))),
         None => out.extend((0..catalog.n_items() as u32).filter(|&i| keep(i))),
@@ -324,15 +370,17 @@ fn fill_candidates(catalog: &Catalog, seen: Option<&SeenItems>, req: &TopNReques
 }
 
 /// Fills `out` with the sorted, deduplicated union of the request's
-/// explicit exclusions and the user's seen items — the skip set the
-/// indexed retrieval path probes against (equivalent, item for item, to
-/// the filtering of [`fill_candidates`] on a whole-catalogue request).
-fn fill_excluded(seen: Option<&SeenItems>, req: &TopNRequest, out: &mut Vec<u32>) {
+/// explicit exclusions, the user's seen items, and the `live` overlay —
+/// the skip set the indexed retrieval path probes against (equivalent,
+/// item for item, to the filtering of [`fill_candidates`] on a
+/// whole-catalogue request).
+fn fill_excluded(seen: Option<&SeenItems>, live: &[u32], req: &TopNRequest, out: &mut Vec<u32>) {
     out.clear();
     if req.exclude_seen {
         if let Some(seen) = seen {
             out.extend_from_slice(seen.items(req.user));
         }
+        out.extend_from_slice(live);
     }
     out.extend_from_slice(&req.exclude);
     out.sort_unstable();
@@ -350,7 +398,7 @@ pub fn resolve_candidates(
 ) -> Result<Vec<u32>, RequestError> {
     let _template = validate_topn(catalog, req)?;
     let mut out = Vec::new();
-    fill_candidates(catalog, seen, req, &mut out);
+    fill_candidates(catalog, seen, &[], req, &mut out);
     Ok(out)
 }
 
@@ -364,10 +412,25 @@ pub fn execute_candidate_scores<B: ScoringBackend + ?Sized>(
     req: &TopNRequest,
     default_par: Parallelism,
 ) -> Result<Vec<(u32, f64)>, RequestError> {
+    execute_candidate_scores_live(backend, catalog, seen, &[], req, default_par)
+}
+
+/// [`execute_candidate_scores`] with a live seen overlay: `live` is the
+/// user's sorted overlay items (interactions fed since the snapshot was
+/// published), excluded under the same `exclude_seen` semantics as the
+/// snapshot seen sets. The [`crate::ModelServer`] read paths route here.
+pub fn execute_candidate_scores_live<B: ScoringBackend + ?Sized>(
+    backend: &B,
+    catalog: Option<&Catalog>,
+    seen: Option<&SeenItems>,
+    live: &[u32],
+    req: &TopNRequest,
+    default_par: Parallelism,
+) -> Result<Vec<(u32, f64)>, RequestError> {
     let catalog = catalog.ok_or(RequestError::MissingCatalog)?;
     let template = validate_topn(catalog, req)?;
     let mut candidates = Vec::new();
-    fill_candidates(catalog, seen, req, &mut candidates);
+    fill_candidates(catalog, seen, live, req, &mut candidates);
     let par = req.par.unwrap_or(default_par);
     let scores = backend.candidate_scores(catalog, template, &candidates, par);
     Ok(candidates.into_iter().zip(scores).collect())
@@ -412,6 +475,23 @@ pub fn execute_topn<B: ScoringBackend + ?Sized>(
     req: &TopNRequest,
     default_par: Parallelism,
 ) -> Result<Vec<(u32, f64)>, RequestError> {
+    execute_topn_live(backend, catalog, seen, &[], req, default_par)
+}
+
+/// [`execute_topn`] with a live seen overlay: `live` is the user's
+/// sorted overlay items (interactions fed since the snapshot was
+/// published), excluded — on both the indexed and the exact path —
+/// under the same `exclude_seen` semantics as the snapshot seen sets.
+/// This is how a fed event leaves a user's recommendations *before* any
+/// retrain publishes.
+pub fn execute_topn_live<B: ScoringBackend + ?Sized>(
+    backend: &B,
+    catalog: Option<&Catalog>,
+    seen: Option<&SeenItems>,
+    live: &[u32],
+    req: &TopNRequest,
+    default_par: Parallelism,
+) -> Result<Vec<(u32, f64)>, RequestError> {
     let catalog = catalog.ok_or(RequestError::MissingCatalog)?;
     let template = validate_topn(catalog, req)?;
     let par = req.par.unwrap_or(default_par);
@@ -426,7 +506,7 @@ pub fn execute_topn<B: ScoringBackend + ?Sized>(
             Some(RetrievalStrategy::Ivf { nprobe }) => nprobe,
             _ => None,
         };
-        fill_excluded(seen, req, &mut scratch.excluded);
+        fill_excluded(seen, live, req, &mut scratch.excluded);
         backend.select_top_n_indexed(catalog, template, req.n, nprobe, &scratch.excluded, par)
     } else {
         None
@@ -434,7 +514,7 @@ pub fn execute_topn<B: ScoringBackend + ?Sized>(
     let value = match indexed {
         Some(value) => value,
         None => {
-            fill_candidates(catalog, seen, req, &mut scratch.candidates);
+            fill_candidates(catalog, seen, live, req, &mut scratch.candidates);
             backend.select_top_n(catalog, template, &scratch.candidates, req.n, par)
         }
     };
@@ -454,11 +534,26 @@ pub fn execute_batch<B: ScoringBackend + Sync + ?Sized>(
     seen: Option<&SeenItems>,
     req: &BatchRequest,
 ) -> Vec<Result<Reply, RequestError>> {
+    execute_batch_live(backend, schema, catalog, seen, None, req)
+}
+
+/// [`execute_batch`] with a live seen overlay: `live` is a point-in-time
+/// copy of the server's overlay table, consulted per sub-request user
+/// under the same `exclude_seen` semantics as the snapshot seen sets.
+pub fn execute_batch_live<B: ScoringBackend + Sync + ?Sized>(
+    backend: &B,
+    schema: &Schema,
+    catalog: Option<&Catalog>,
+    seen: Option<&SeenItems>,
+    live: Option<&SeenItems>,
+    req: &BatchRequest,
+) -> Vec<Result<Reply, RequestError>> {
     let par = req.par.unwrap_or_else(Parallelism::auto);
     gmlfm_par::par_map(par, &req.requests, |request| match request {
         Request::Score(score) => execute_score(backend, schema, catalog, score).map(Reply::Score),
         Request::TopN(topn) => {
-            execute_topn(backend, catalog, seen, topn, Parallelism::serial()).map(Reply::TopN)
+            let user_live = live.map(|l| l.items(topn.user)).unwrap_or(&[]);
+            execute_topn_live(backend, catalog, seen, user_live, topn, Parallelism::serial()).map(Reply::TopN)
         }
     })
 }

@@ -51,5 +51,7 @@ pub use catalog::{Catalog, SeenItems};
 pub use error::RequestError;
 pub use exec::{IndexedModel, ScoringBackend};
 pub use gmlfm_serve::RetrievalStrategy;
-pub use protocol::{BatchRequest, Reply, Request, Response, ScoreRequest, TopNRequest};
+pub use protocol::{
+    BatchRequest, FeedAck, FeedSink, Interaction, Reply, Request, Response, ScoreRequest, TopNRequest,
+};
 pub use server::{ModelServer, ModelSnapshot};

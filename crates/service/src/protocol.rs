@@ -12,6 +12,8 @@ use gmlfm_data::Instance;
 use gmlfm_par::Parallelism;
 use gmlfm_serve::RetrievalStrategy;
 
+use crate::error::RequestError;
+
 /// What to score, in one of four addressing modes.
 ///
 /// `Instance` and `Feats` address the model directly by one-hot feature
@@ -201,6 +203,84 @@ impl BatchRequest {
         self.par = Some(par);
         self
     }
+}
+
+/// One observed interaction streamed into the online learning loop:
+/// `user` interacted with `item`, optionally with an explicit rating and
+/// extra user-side context fields (same shape as [`ScoreRequest::Cold`]
+/// fields).
+///
+/// Interactions are validated against the *current* snapshot's schema
+/// and catalog before anything is recorded — an out-of-catalog id or a
+/// malformed field is a typed [`crate::RequestError`], never a panic.
+/// The optional `id` makes ingestion **idempotent**: a retried feed
+/// carrying the same id is acknowledged without being enqueued twice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Interaction {
+    /// Catalog user id.
+    pub user: u32,
+    /// Catalog item id.
+    pub item: u32,
+    /// Explicit rating; `None` means an implicit positive (label 1.0).
+    pub rating: Option<f64>,
+    /// Extra named user-side field values, e.g. `("age", 3)`.
+    pub fields: Vec<(String, usize)>,
+    /// Client-chosen deduplication id for idempotent retries.
+    pub id: Option<u64>,
+}
+
+impl Interaction {
+    /// An implicit-positive interaction.
+    pub fn new(user: u32, item: u32) -> Self {
+        Self { user, item, rating: None, fields: Vec::new(), id: None }
+    }
+
+    /// Attaches an explicit rating label.
+    pub fn rating(mut self, rating: f64) -> Self {
+        self.rating = Some(rating);
+        self
+    }
+
+    /// Attaches named user-side context fields.
+    pub fn fields(mut self, fields: &[(&str, usize)]) -> Self {
+        self.fields = fields.iter().map(|&(name, value)| (name.to_string(), value)).collect();
+        self
+    }
+
+    /// Attaches a deduplication id for idempotent retries.
+    pub fn id(mut self, id: u64) -> Self {
+        self.id = Some(id);
+        self
+    }
+
+    /// The training label this interaction contributes: the explicit
+    /// rating, or 1.0 for an implicit positive.
+    pub fn label(&self) -> f64 {
+        self.rating.unwrap_or(1.0)
+    }
+}
+
+/// Acknowledgement of one fed [`Interaction`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeedAck {
+    /// Whether the event was newly enqueued for retraining (`false` for
+    /// an idempotent duplicate — same `id` already logged).
+    pub accepted: bool,
+    /// Events currently pending in the interaction log after this feed.
+    pub pending: usize,
+}
+
+/// A sink for streamed interactions — the ingest half of the online
+/// learning loop, kept as a trait in `gmlfm-service` so transports
+/// (`gmlfm-net`) can forward feeds without depending on the trainer.
+///
+/// Implementations must validate, fold the event into the serving
+/// seen-sets *immediately* (freshness before any retrain), and enqueue
+/// it for the next warm-start round. The returned [`Response`] carries
+/// the generation the event was validated against.
+pub trait FeedSink: Send + Sync {
+    /// Validates and ingests one interaction.
+    fn feed(&self, event: &Interaction) -> Result<Response<FeedAck>, RequestError>;
 }
 
 /// A reply stamped with the generation of the model snapshot that

@@ -84,6 +84,16 @@ struct Slot {
     /// entries are never freed while the slot lives, which is what
     /// keeps `current`'s target valid for lock-free readers.
     states: Mutex<Vec<*mut State>>,
+    /// The **live seen overlay**: per-user sorted, deduplicated items
+    /// recorded via [`ModelServer::record_seen`] since the server was
+    /// created. Snapshots are immutable (that is what makes the
+    /// wait-free read path sound), so freshly fed interactions land
+    /// here instead; the read paths union this table with the pinned
+    /// snapshot's seen sets under the same `exclude_seen` semantics.
+    /// Lock holds are a few comparisons — never a retrain, never a
+    /// scan — so readers are delayed by at most one tiny critical
+    /// section, not blocked behind training.
+    overlay: Mutex<Vec<Vec<u32>>>,
 }
 
 impl Slot {
@@ -94,6 +104,13 @@ impl Slot {
     /// on the request path.
     fn lock_states(&self) -> std::sync::MutexGuard<'_, Vec<*mut State>> {
         self.states.lock().unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Locks the live seen overlay, recovering from poisoning for the
+    /// same reason as [`Slot::lock_states`]: every mutation is a single
+    /// sorted insert, so no invariant can be torn mid-update.
+    fn lock_overlay(&self) -> std::sync::MutexGuard<'_, Vec<Vec<u32>>> {
+        self.overlay.lock().unwrap_or_else(|poison| poison.into_inner())
     }
 }
 
@@ -139,7 +156,13 @@ impl ModelServer {
     pub fn new(snap: ModelSnapshot) -> Result<Self, RequestError> {
         check_snapshot(&snap)?;
         let ptr = Box::into_raw(Box::new(State { generation: 1, snap }));
-        Ok(Self { slot: Arc::new(Slot { current: AtomicPtr::new(ptr), states: Mutex::new(vec![ptr]) }) })
+        Ok(Self {
+            slot: Arc::new(Slot {
+                current: AtomicPtr::new(ptr),
+                states: Mutex::new(vec![ptr]),
+                overlay: Mutex::new(Vec::new()),
+            }),
+        })
     }
 
     /// The current snapshot and its generation, pinned by one atomic
@@ -178,6 +201,57 @@ impl ModelServer {
     /// successful installs, including the first).
     pub fn retained(&self) -> usize {
         self.slot.lock_states().len()
+    }
+
+    /// Records a `(user, item)` interaction in the **live seen overlay**,
+    /// so the item leaves the user's top-n recommendations *immediately*
+    /// — before any retrain folds it into a published snapshot. The ids
+    /// are validated against the current catalog (typed errors, never a
+    /// panic); returns whether the entry was newly recorded, stamped
+    /// with the generation it was validated against.
+    ///
+    /// The overlay survives swaps: a retrained snapshot is expected to
+    /// carry the folded seen sets ([`SeenItems::merge`]), and the union
+    /// applied on the read paths makes double-recording harmless.
+    pub fn record_seen(&self, user: u32, item: u32) -> Result<Response<bool>, RequestError> {
+        let state = self.state();
+        let catalog = state.snap.catalog.as_ref().ok_or(RequestError::MissingCatalog)?;
+        if user as usize >= catalog.n_users() {
+            return Err(RequestError::UnknownUser { user, n_users: catalog.n_users() });
+        }
+        if item as usize >= catalog.n_items() {
+            return Err(RequestError::UnknownItem { item, n_items: catalog.n_items() });
+        }
+        let mut overlay = self.slot.lock_overlay();
+        let idx = user as usize;
+        if idx >= overlay.len() {
+            overlay.resize_with(idx + 1, Vec::new);
+        }
+        let value = match overlay[idx].binary_search(&item) {
+            Ok(_) => false,
+            Err(pos) => {
+                overlay[idx].insert(pos, item);
+                true
+            }
+        };
+        Ok(Response { generation: state.generation, value })
+    }
+
+    /// The user's live overlay items (sorted ascending; empty when none
+    /// were recorded) — a clone, so the lock is released before scoring.
+    fn live_seen(&self, user: u32) -> Vec<u32> {
+        let overlay = self.slot.lock_overlay();
+        overlay.get(user as usize).cloned().unwrap_or_default()
+    }
+
+    /// A point-in-time copy of the whole live seen overlay as a
+    /// [`SeenItems`] table — what a retrain merges into the candidate
+    /// snapshot's seen sets, and what checkpointing persists.
+    pub fn overlay_seen(&self) -> SeenItems {
+        let rows = self.slot.lock_overlay().clone();
+        // Rows are maintained sorted/deduplicated, so this is a plain
+        // move into the table (`SeenItems::new` re-sorting is a no-op).
+        SeenItems::new(rows)
     }
 
     /// Installs a new snapshot mid-traffic and returns its generation.
@@ -222,10 +296,12 @@ impl ModelServer {
     pub fn top_n(&self, req: &TopNRequest) -> Result<Response<Vec<(u32, f64)>>, RequestError> {
         let state = self.state();
         let backend = IndexedModel { frozen: &state.snap.frozen, index: state.snap.index.as_ref() };
-        let value = exec::execute_topn(
+        let live = if req.exclude_seen { self.live_seen(req.user) } else { Vec::new() };
+        let value = exec::execute_topn_live(
             &backend,
             state.snap.catalog.as_ref(),
             state.snap.seen.as_ref(),
+            &live,
             req,
             Parallelism::auto(),
         )?;
@@ -237,10 +313,12 @@ impl ModelServer {
     /// the shape the leave-one-out evaluation protocols consume.
     pub fn candidate_scores(&self, req: &TopNRequest) -> Result<Response<Vec<(u32, f64)>>, RequestError> {
         let state = self.state();
-        let value = exec::execute_candidate_scores(
+        let live = if req.exclude_seen { self.live_seen(req.user) } else { Vec::new() };
+        let value = exec::execute_candidate_scores_live(
             &state.snap.frozen,
             state.snap.catalog.as_ref(),
             state.snap.seen.as_ref(),
+            &live,
             req,
             Parallelism::auto(),
         )?;
@@ -253,11 +331,15 @@ impl ModelServer {
     pub fn batch(&self, req: &BatchRequest) -> Response<Vec<Result<Reply, RequestError>>> {
         let state = self.state();
         let backend = IndexedModel { frozen: &state.snap.frozen, index: state.snap.index.as_ref() };
-        let value = exec::execute_batch(
+        // One point-in-time overlay copy for the whole batch, so every
+        // sub-request filters against the same live state.
+        let live = if self.slot.lock_overlay().is_empty() { None } else { Some(self.overlay_seen()) };
+        let value = exec::execute_batch_live(
             &backend,
             &state.snap.schema,
             state.snap.catalog.as_ref(),
             state.snap.seen.as_ref(),
+            live.as_ref(),
             req,
         );
         Response { generation: state.generation, value }

@@ -1,0 +1,213 @@
+//! Online learning walkthrough: the full loop from interaction stream
+//! to published model, closing what `serve_net.rs` left manual.
+//!
+//! 1. train once with [`online`](gml_fm::engine::EngineBuilder::online)
+//!    retention and start the loop with
+//!    [`serve_online`](gml_fm::engine::Recommender::serve_online);
+//! 2. expose ingest over TCP: the wire `feed` request folds the
+//!    interaction into the live seen overlay **immediately** — the very
+//!    next top-n excludes the item, before any retrain runs;
+//! 3. run a warm-start retrain round while reader threads hammer the
+//!    serving handle: the candidate publishes through the eval gate with
+//!    zero blocked readers;
+//! 4. plant a regression and watch the gate refuse it with a typed
+//!    report — the serving snapshot stays untouched.
+//!
+//! ```sh
+//! cargo run --release --example serve_online
+//! ```
+
+use gml_fm::data::{generate, DatasetSpec, FieldKind, Instance, LooTestCase, Schema};
+use gml_fm::engine::{Engine, Interaction, ModelSpec, ScoreRequest, SplitPlan, TopNRequest};
+use gml_fm::net::{NetClient, NetReply, NetRequest, NetServer, ServerConfig};
+use gml_fm::online::{OnlineConfig, OnlineError, OnlineModel, OnlineServing, RoundOutcome};
+use gml_fm::serve::{FrozenModel, SecondOrder};
+use gml_fm::service::{Catalog, ModelServer, ModelSnapshot};
+use gml_fm::tensor::Matrix;
+use gml_fm::train::TrainConfig;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn main() {
+    // -- 1. train with warm-start retention --------------------------------
+    let dataset = generate(&DatasetSpec::MovieLens.config(42).scaled(0.3));
+    let mut rec = Engine::builder()
+        .dataset(dataset.clone())
+        .split(SplitPlan::topn(11))
+        .spec(ModelSpec::gml_fm(gml_fm::core::GmlFmConfig::dnn(16, 1).with_seed(1)))
+        .train_config(TrainConfig { epochs: 8, ..TrainConfig::default() })
+        .online(true) // retain the training set + trainable weights
+        .fit()
+        .expect("pipeline");
+    println!("trained {} on {}", rec.spec().display_name(), dataset.name);
+
+    // The loop: synchronous rounds (background: false) keep this demo
+    // deterministic; a service would leave the cadence thread on. The
+    // permissive tolerance guarantees the happy-path publish below —
+    // production keeps the default 0.01 regression budget.
+    let serving = rec
+        .serve_online(OnlineConfig {
+            background: false,
+            min_events: 1,
+            gate_tolerance: 1.0,
+            train: TrainConfig { epochs: 2, ..TrainConfig::default() },
+            ..OnlineConfig::default()
+        })
+        .expect("freezable + top-n holdout");
+
+    // -- 2. ingest over the wire, exclusion before any retrain -------------
+    let net = NetServer::bind_with_feed(
+        Arc::new(serving.server().clone()),
+        Arc::new(serving.handle().clone()),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("bind loopback");
+    let mut client = NetClient::connect(net.local_addr()).expect("loopback resolves");
+    println!("serving generation {} on {}", net.generation(), net.local_addr());
+
+    let user = 3u32;
+    let topn = |client: &mut NetClient| -> Vec<u32> {
+        match client
+            .request(&NetRequest::TopN(TopNRequest::new(user, 5)))
+            .expect("served")
+            .reply
+        {
+            NetReply::TopN(ranked) => ranked.into_iter().map(|(item, _)| item).collect(),
+            other => panic!("expected a top-n reply, got {other:?}"),
+        }
+    };
+    let watched = topn(&mut client)[0];
+    println!("\nuser {user} top-5 before the feed: {:?}", topn(&mut client));
+
+    let resp = client
+        .request(&NetRequest::Feed(Interaction::new(user, watched).id(1)))
+        .expect("feed served");
+    if let NetReply::Feed(ack) = &resp.reply {
+        println!(
+            "fed (user {user}, item {watched}): accepted={} pending={}   [generation {}]",
+            ack.accepted, ack.pending, resp.generation
+        );
+    }
+    let after = topn(&mut client);
+    assert!(!after.contains(&watched), "fed item must leave top-n before any retrain");
+    println!("top-5 right after the feed (no retrain yet): {after:?}");
+
+    // -- 3. gated publish with zero blocked readers ------------------------
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..2u32)
+        .map(|r| {
+            let server = serving.server().clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut served = 0u64;
+                // ORDERING: Relaxed — a stop latch for demo threads.
+                while !stop.load(Ordering::Relaxed) {
+                    server.score(&ScoreRequest::pair(r, served as u32 % 100)).expect("serves");
+                    server.top_n(&TopNRequest::new(r, 5)).expect("serves");
+                    served += 2;
+                }
+                served
+            })
+        })
+        .collect();
+
+    let outcome = serving.trainer().run_once();
+    stop.store(true, Ordering::Relaxed);
+    let served: u64 = readers.into_iter().map(|r| r.join().expect("no reader failed")).sum();
+    match &outcome {
+        RoundOutcome::Published { generation, report } => println!(
+            "\nretrain published as generation {generation} \
+             (hr {:.3} → {:.3}, ndcg {:.3} → {:.3}); {served} reader requests served during it",
+            report.baseline.hr, report.candidate.hr, report.baseline.ndcg, report.candidate.ndcg,
+        ),
+        other => panic!("expected a published round, got {other:?}"),
+    }
+    let resp = client.request(&NetRequest::Score(ScoreRequest::pair(user, 5))).expect("served");
+    assert_eq!(resp.generation, 2, "wire replies now stamp the published generation");
+    println!("wire replies now stamp generation {}", resp.generation);
+
+    // -- 4. a planted regression is refused --------------------------------
+    planted_regression();
+
+    let report = net.shutdown();
+    println!("\nnet drained: {report:?}");
+    let status = serving.shutdown();
+    println!("online loop done: {status:?}");
+    assert_eq!(status.published, 1);
+}
+
+/// A tiny hand-built loop whose "retrain" always produces a strictly
+/// worse ranking — the gate must refuse it, deterministically.
+fn planted_regression() {
+    const N_USERS: usize = 4;
+    const N_ITEMS: usize = 8;
+    let schema =
+        Schema::from_specs(&[("user", N_USERS, FieldKind::User), ("item", N_ITEMS, FieldKind::Item)]);
+    let catalog = Catalog::new(
+        vec![1],
+        (0..N_USERS as u32).map(|u| vec![u, N_USERS as u32]).collect(),
+        (0..N_ITEMS as u32).map(|i| vec![N_USERS as u32 + i]).collect(),
+    );
+    // A linear model ranking items ascending by id; the saboteur's
+    // candidate ranks them descending — HR@1 drops from 1 to 0.
+    let linear = |weight: fn(u32) -> f64| {
+        let mut w = vec![0.0; N_USERS + N_ITEMS];
+        for i in 0..N_ITEMS as u32 {
+            w[N_USERS + i as usize] = weight(i);
+        }
+        FrozenModel::from_parts(0.0, w, Matrix::zeros(N_USERS + N_ITEMS, 2), SecondOrder::Dot)
+    };
+    struct Saboteur {
+        worse: FrozenModel,
+    }
+    impl OnlineModel for Saboteur {
+        fn warm_fit(&mut self, _: &[Instance], _: &TrainConfig) -> Result<(), OnlineError> {
+            Ok(())
+        }
+        fn freeze(&self) -> Result<FrozenModel, OnlineError> {
+            Ok(self.worse.clone())
+        }
+    }
+
+    let snapshot = ModelSnapshot {
+        schema,
+        frozen: linear(|i| f64::from(N_ITEMS as u32 - i)),
+        catalog: Some(catalog),
+        seen: None,
+        index: None,
+    };
+    let server = ModelServer::new(snapshot).expect("consistent snapshot");
+    let holdout = (0..N_USERS as u32)
+        .map(|u| LooTestCase { user: u, pos_item: 0, negatives: vec![5, 6, 7] })
+        .collect();
+    let serving = OnlineServing::launch(
+        server.clone(),
+        Box::new(Saboteur { worse: linear(f64::from) }),
+        vec![Instance::new(vec![0, N_USERS as u32], 1.0)],
+        holdout,
+        OnlineConfig {
+            background: false,
+            min_events: 1,
+            gate_k: 1,
+            gate_tolerance: 0.0,
+            negatives_per_event: 0,
+            ..OnlineConfig::default()
+        },
+    )
+    .expect("launch validates");
+
+    serving.handle().feed(&Interaction::new(0, 3)).expect("feed validates");
+    match serving.trainer().run_once() {
+        RoundOutcome::Rejected { report } => println!(
+            "\nplanted regression refused by the gate: hr {:.1} → {:.1} \
+             (tolerance {}), serving generation still {}",
+            report.baseline.hr,
+            report.candidate.hr,
+            report.tolerance,
+            server.generation(),
+        ),
+        other => panic!("the gate must refuse a regression, got {other:?}"),
+    }
+    assert_eq!(server.generation(), 1, "the regression never served");
+}

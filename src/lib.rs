@@ -19,6 +19,7 @@
 //! | [`serve`] | `gmlfm-serve` | autograd-free serving: `Freeze`, `FrozenModel`, Eq. 10/11 ranking, sharded bounded-heap top-N |
 //! | [`service`] | `gmlfm-service` | **online serving API**: typed requests/responses, hot-swappable `ModelServer` |
 //! | [`net`] | `gmlfm-net` | **fault-tolerant TCP serving**: length-prefixed JSON frames, deadlines, backpressure, graceful drain |
+//! | [`online`] | `gmlfm-online` | **online learning loop**: streaming ingest, warm-start retraining, eval-gated hot swap |
 //! | [`engine`] | `gmlfm-engine` | **unified pipeline**: `ModelSpec` → `Engine::builder()` → `Recommender` → versioned `Artifact` |
 //! | [`eval`] | `gmlfm-eval` | RMSE/HR/NDCG/MRR/AUC, protocols, significance tests |
 //! | [`tsne`] | `gmlfm-tsne` | exact t-SNE for the embedding case study |
@@ -67,6 +68,7 @@ pub use gmlfm_engine as engine;
 pub use gmlfm_eval as eval;
 pub use gmlfm_models as models;
 pub use gmlfm_net as net;
+pub use gmlfm_online as online;
 pub use gmlfm_par as par;
 pub use gmlfm_serve as serve;
 pub use gmlfm_service as service;
