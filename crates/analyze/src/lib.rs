@@ -81,12 +81,14 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
 
 /// `gmlfm-serve` files on the request scoring/retrieval hot path (its
 /// offline freezing half is allowed to be assertive about model shape).
-const SERVE_HOT_PATH: [&str; 5] = [
+const SERVE_HOT_PATH: [&str; 7] = [
     "crates/serve/src/frozen.rs",
     "crates/serve/src/rank.rs",
     "crates/serve/src/topn.rs",
     "crates/serve/src/index.rs",
     "crates/serve/src/batch.rs",
+    "crates/serve/src/kernel.rs",
+    "crates/serve/src/lowp.rs",
 ];
 
 /// `gmlfm-net` files on the serving hot path: the frame codec, the

@@ -23,7 +23,7 @@ use gmlfm_engine::{Engine, ModelSpec, SplitPlan, TopNRequest};
 use gmlfm_models::fm::FmConfig;
 use gmlfm_models::transfm::TransFmConfig;
 use gmlfm_par::Parallelism;
-use gmlfm_serve::{rank_cmp, FrozenModel, IvfBuildOptions, IvfIndex, RetrievalStrategy};
+use gmlfm_serve::{rank_cmp, FrozenModel, IvfBuildOptions, IvfIndex, Precision, RetrievalStrategy};
 use gmlfm_service::{Catalog, IndexedModel, ModelServer, ModelSnapshot, ScoringBackend};
 use gmlfm_train::TrainConfig;
 use proptest::prelude::*;
@@ -160,7 +160,7 @@ proptest! {
             let backend = IndexedModel { frozen: &v.frozen, index: None };
             let template = f.catalog.template(0).expect("fixture has user 0");
             prop_assert!(backend
-                .select_top_n_indexed(&f.catalog, template, 10, None, &[], Parallelism::serial())
+                .select_top_n_indexed(&f.catalog, template, 10, None, &[], Precision::F64, Parallelism::serial())
                 .is_none());
             return Ok(());
         };
@@ -177,6 +177,7 @@ proptest! {
                     n,
                     Some(index.n_clusters()),
                     &[],
+                    Precision::F64,
                     Parallelism::threads(threads),
                 )
                 .expect("eligible whole-catalogue request takes the indexed path");
@@ -252,7 +253,7 @@ fn default_nprobe_recall_at_10_is_at_least_095_on_10k_items() {
 /// cluster mean, radius, assignment and knob bit-preserved, and the
 /// reloaded index searches identically.
 #[test]
-fn index_round_trips_through_v3_artifacts() {
+fn index_round_trips_through_current_artifacts() {
     let dataset = generate(&DatasetSpec::AmazonAuto.config(91).scaled(0.15));
     let rec = Engine::builder()
         .dataset(dataset)
@@ -265,8 +266,8 @@ fn index_round_trips_through_v3_artifacts() {
     let index = rec.index().expect("metric specs build an index through the pipeline");
 
     let json = rec.artifact().expect("freezable").to_json();
-    assert!(json.contains("\"format_version\":3"), "this build writes v3");
-    assert!(json.contains("\"index\":{"), "the index travels in v3 artifacts");
+    assert!(json.contains("\"format_version\":4"), "this build writes v4");
+    assert!(json.contains("\"index\":{"), "the index travels in v3+ artifacts");
 
     let reloaded = Engine::load_json(&json).expect("round trip");
     let loaded = reloaded.index().expect("the index survives the round trip");
@@ -320,9 +321,10 @@ fn v2_artifacts_without_an_index_field_still_load() {
     let json = rec.artifact().expect("freezable").to_json();
     assert!(json.contains(",\"index\":null"), "Exact pipelines persist no index");
 
-    let v2 =
-        json.replacen("\"format_version\":3", "\"format_version\":2", 1)
-            .replacen(",\"index\":null", "", 1);
+    let v2 = json
+        .replacen("\"format_version\":4", "\"format_version\":2", 1)
+        .replacen(",\"index\":null", "", 1)
+        .replacen(",\"precision\":null", "", 1);
     assert!(!v2.contains("\"index\""), "index field must be gone from the v2 fixture");
     let legacy = Engine::load_json(&v2).expect("v2 artifacts still load");
     assert!(legacy.index().is_none(), "v2 artifacts carry no index");

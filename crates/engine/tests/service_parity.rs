@@ -206,7 +206,7 @@ fn seen_sets_persist_in_current_artifacts_and_v1_artifacts_still_load() {
         .fit()
         .expect("pipeline");
     let json = rec.artifact().expect("freezable").to_json();
-    assert!(json.contains("\"format_version\":3"), "this build writes v3");
+    assert!(json.contains("\"format_version\":4"), "this build writes v4");
 
     // v2 round trip: the seen sets travel with the artifact.
     let reloaded = Engine::load_json(&json).expect("round trip");
@@ -224,8 +224,9 @@ fn seen_sets_persist_in_current_artifacts_and_v1_artifacts_still_load() {
         out
     };
     let v1 = json
-        .replacen("\"format_version\":3", "\"format_version\":1", 1)
-        .replacen(&seen_json, "", 1);
+        .replacen("\"format_version\":4", "\"format_version\":1", 1)
+        .replacen(&seen_json, "", 1)
+        .replacen(",\"precision\":null", "", 1);
     assert!(!v1.contains("\"seen\""), "seen field must be gone from the v1 fixture");
     let legacy = Engine::load_json(&v1).expect("v1 artifacts still load");
     assert!(legacy.seen().is_none());

@@ -20,7 +20,7 @@
 //! hot swap, so the bound is unreachable in any real deployment.
 
 use gmlfm_par::Parallelism;
-use gmlfm_serve::RetrievalStrategy;
+use gmlfm_serve::{Precision, RetrievalStrategy};
 use gmlfm_service::{
     BatchRequest, FeedAck, Interaction, Reply, Request, RequestError, ScoreRequest, TopNRequest,
 };
@@ -207,6 +207,16 @@ fn push_topn_fields(req: &TopNRequest, out: &mut String) {
     req.par.map(|p| p.get()).serialize_json(out);
     out.push_str(",\"strategy\":");
     push_strategy(&req.strategy, out);
+    out.push_str(",\"precision\":");
+    match req.precision {
+        None => out.push_str("null"),
+        // Precision names contain no JSON-escapable characters.
+        Some(p) => {
+            out.push('"');
+            out.push_str(p.name());
+            out.push('"');
+        }
+    }
 }
 
 fn push_request(req: &Request, out: &mut String) {
@@ -367,6 +377,17 @@ fn decode_strategy(v: &Value) -> Result<Option<RetrievalStrategy>, WireError> {
     }
 }
 
+fn decode_precision(v: &Value) -> Result<Option<Precision>, WireError> {
+    let Some(p) = v.get("precision") else { return Ok(None) };
+    if p.is_null() {
+        return Ok(None);
+    }
+    let name = String::deserialize_json(p).map_err(WireError::from)?;
+    Precision::from_name(&name)
+        .map(Some)
+        .ok_or_else(|| WireError::new(format!("unknown precision '{name}'")))
+}
+
 /// `Option<T>` deserialisation on a borrowed member (the derive-less
 /// equivalent of `json::field` for members that may be absent).
 trait OptionalMember: Sized {
@@ -412,6 +433,7 @@ fn decode_topn(v: &Value) -> Result<TopNRequest, WireError> {
         exclude_seen,
         par: decode_par(v)?,
         strategy: decode_strategy(v)?,
+        precision: decode_precision(v)?,
     })
 }
 
@@ -531,6 +553,8 @@ mod tests {
                     .parallelism(Parallelism::threads(2))
                     .strategy(RetrievalStrategy::Ivf { nprobe: Some(4) }),
             ),
+            NetRequest::TopN(TopNRequest::new(2, 5).precision(Precision::I8)),
+            NetRequest::TopN(TopNRequest::new(2, 5).precision(Precision::F32)),
             NetRequest::Batch(
                 BatchRequest::new(vec![
                     Request::Score(ScoreRequest::pair(0, 1)),
@@ -544,6 +568,17 @@ mod tests {
             let back = decode_request(text.as_bytes()).unwrap();
             assert_eq!(&back, req, "wire text: {text}");
         }
+    }
+
+    #[test]
+    fn unknown_precision_is_a_typed_error() {
+        let err = decode_request(br#"{"op":"topn","user":1,"n":2,"precision":"f16"}"#)
+            .expect_err("unknown precision name must not decode");
+        assert!(err.message.contains("precision"), "message: {}", err.message);
+        // Absent and null both mean "snapshot default".
+        let absent = decode_request(br#"{"op":"topn","user":1,"n":2}"#).unwrap();
+        let null = decode_request(br#"{"op":"topn","user":1,"n":2,"precision":null}"#).unwrap();
+        assert_eq!(absent, null);
     }
 
     #[test]

@@ -31,6 +31,8 @@ use gmlfm_data::Instance;
 use gmlfm_tensor::Matrix;
 use gmlfm_train::Scorer;
 
+use crate::kernel;
+use crate::lowp::{LowPrec, Precision};
 use crate::rank::TopNRanker;
 
 /// The packed `V̂`/`q` table: row `i` holds the transformed embedding
@@ -161,6 +163,11 @@ pub struct FrozenModel {
     pub(crate) v: Matrix,
     /// Second-order evaluation strategy.
     pub(crate) second: SecondOrder,
+    /// Low-precision candidate tables (f32 + i8), built on demand by
+    /// [`FrozenModel::with_precision`] and shared across clones.
+    pub(crate) lowp: Option<std::sync::Arc<LowPrec>>,
+    /// Default scan precision for top-N retrieval from this model.
+    pub(crate) precision: Precision,
 }
 
 impl FrozenModel {
@@ -180,7 +187,45 @@ impl FrozenModel {
             }
             SecondOrder::Dot => {}
         }
-        Self { w0, w, v, second }
+        Self { w0, w, v, second, lowp: None, precision: Precision::F64 }
+    }
+
+    /// Sets the default top-N scan [`Precision`], building the
+    /// low-precision candidate tables when `precision` needs them.
+    ///
+    /// Tables only exist for the decoupled squared-Euclidean metric
+    /// form; for every other second-order strategy (plain dot FMs,
+    /// pairwise-only distances, TransFM) the requested precision is
+    /// remembered but scans silently stay exact f64. Once built, the
+    /// tables ride along behind an `Arc`, so a model frozen with
+    /// `Precision::F64` can still serve per-request `f32`/`i8`
+    /// overrides cheaply after one `with_precision` call.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        if precision != Precision::F64 && self.lowp.is_none() {
+            self.lowp = LowPrec::build(&self.v, &self.second);
+        }
+        self.precision = precision;
+        self
+    }
+
+    /// The default top-N scan precision (see [`FrozenModel::with_precision`]).
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// The low-precision table set, when built and supported.
+    pub(crate) fn lowp_tables(&self) -> Option<&LowPrec> {
+        self.lowp.as_deref()
+    }
+
+    /// The f32 packed scoring table, when built (bench/test introspection).
+    pub fn hat_q32(&self) -> Option<&crate::lowp::HatQ32> {
+        self.lowp.as_deref().map(|lp| &lp.hat32)
+    }
+
+    /// The i8-quantized scoring table, when built (bench/test introspection).
+    pub fn quant_hat(&self) -> Option<&crate::lowp::QuantHatQ> {
+        self.lowp.as_deref().map(|lp| &lp.qhat)
     }
 
     /// Number of one-hot features `n`.
@@ -483,12 +528,16 @@ impl Scorer for FrozenModel {
     }
 }
 
+/// Workspace-wide dot product for the serving paths: the chunked
+/// [`kernel::dot`]. Every scoring route (decoupled sums, cross deltas,
+/// probe geometry, stored `q` norms) shares this one definition, so
+/// precomputed norms and live scans always agree bit-for-bit.
 pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    kernel::dot(a, b)
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use gmlfm_tensor::init::normal;
     use gmlfm_tensor::seeded_rng;
@@ -527,7 +576,7 @@ mod tests {
         assert_eq!(hat.v_hat_matrix(), v_hat);
         assert_eq!(hat.q_vec(), q);
         // And the norm-computing constructor agrees bit-for-bit with the
-        // serial dot product.
+        // shared scoring kernel's dot product.
         assert_eq!(HatQ::from_v_hat(v_hat.clone()).q_vec(), q);
     }
 

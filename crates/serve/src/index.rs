@@ -54,6 +54,8 @@
 //! them and callers fall back to the exact sharded-heap path.
 
 use crate::frozen::{dot, FrozenModel, HatQ, SecondOrder};
+use crate::lowp::Precision;
+use crate::rank::rerank_pool;
 #[allow(unused_imports)] // rustdoc links
 use crate::rank::TopNRanker;
 use crate::topn::{merge_sharded, TopNHeap};
@@ -109,6 +111,33 @@ pub trait ItemFeatureSource: Sync {
     /// # Panics
     /// May panic when `item >= item_count()`.
     fn features_of(&self, item: u32) -> &[u32];
+
+    /// Per-slot `(min, max)` feature id over the whole catalogue, or
+    /// `None` when unknown (empty catalogue, ragged groups). The block
+    /// scan uses this to decide which slots are compact attribute
+    /// fields worth materialising dense delta tables for
+    /// ([`TopNRanker::score_block`]); `None` only costs that
+    /// optimisation. The default implementation scans every group —
+    /// `O(items · slots)` — so sources that are asked repeatedly
+    /// should cache (as `gmlfm_service::Catalog` does).
+    fn slot_ranges(&self) -> Option<Vec<(u32, u32)>> {
+        let n = self.item_count();
+        if n == 0 {
+            return None;
+        }
+        let mut ranges: Vec<(u32, u32)> = self.features_of(0).iter().map(|&f| (f, f)).collect();
+        for item in 1..n as u32 {
+            let feats = self.features_of(item);
+            if feats.len() != ranges.len() {
+                return None;
+            }
+            for (r, &f) in ranges.iter_mut().zip(feats) {
+                r.0 = r.0.min(f);
+                r.1 = r.1.max(f);
+            }
+        }
+        Some(ranges)
+    }
 }
 
 impl ItemFeatureSource for Vec<Vec<u32>> {
@@ -615,6 +644,37 @@ impl IvfIndex {
         par: Parallelism,
         skip: &(impl Fn(u32) -> bool + Sync),
     ) -> Vec<(u32, f64)> {
+        self.search_prec(model, items, template, item_slots, n, nprobe, par, skip, Precision::F64)
+    }
+
+    /// [`IvfIndex::search`] with an explicit probe-scan [`Precision`].
+    ///
+    /// With `Precision::F32`/`Precision::I8` (and a model carrying the
+    /// low-precision tables), the member delta scan runs over the
+    /// narrowed tables into a [`rerank_pool`]-sized pool per shard, and
+    /// the pooled survivors are re-scored by the exact f64 ranker — so
+    /// returned scores are *always* bitwise the model's, whatever the
+    /// probe precision; only which items survive the probe is
+    /// approximate (measured as recall in `BENCH_kernel.json`). The
+    /// Cauchy–Schwarz bounds stay exact f64; they are compared against
+    /// the approximate pool threshold, which the [`rerank_pool`] margin
+    /// cushions (quantization bias in the threshold can still prune a
+    /// borderline true member — the residual recall gap vs the f64
+    /// probe). When the model has no tables for the requested
+    /// precision the scan silently runs exact.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_prec<S: ItemFeatureSource + ?Sized>(
+        &self,
+        model: &FrozenModel,
+        items: &S,
+        template: &[u32],
+        item_slots: &[usize],
+        n: usize,
+        nprobe: usize,
+        par: Parallelism,
+        skip: &(impl Fn(u32) -> bool + Sync),
+        precision: Precision,
+    ) -> Vec<(u32, f64)> {
         debug_assert!(self.compatible_with(model, items.item_count()).is_ok());
         if n == 0 || self.members.is_empty() {
             return Vec::new();
@@ -631,6 +691,42 @@ impl IvfIndex {
 
         let shards = par.get().clamp(1, probe.clusters.len().max(1));
         let ranges = gmlfm_par::block_ranges(probe.clusters.len(), shards);
+
+        let low_probe =
+            precision != Precision::F64 && model.low_ranker(template, item_slots, precision).is_some();
+        if low_probe {
+            let pool_n = rerank_pool(n);
+            let shard_tops = gmlfm_par::par_map(par, &ranges, |range| {
+                // Constructible by the `low_probe` check above.
+                let Some(mut low) = model.low_ranker(template, item_slots, precision) else {
+                    return Vec::new();
+                };
+                let mut heap = TopNHeap::new(pool_n);
+                for &(c, mean_score, ub) in &probe.clusters[range.clone()] {
+                    if let Some((_, threshold)) = heap.threshold() {
+                        if ctx_score + ub + bound_slack(ctx_score, ub) < threshold {
+                            continue;
+                        }
+                    }
+                    for (&item, &norm) in self.members[c].iter().zip(&self.member_norms[c]) {
+                        if skip(item) {
+                            continue;
+                        }
+                        if let Some((_, threshold)) = heap.threshold() {
+                            let item_ub = mean_score + probe.norm_g * norm;
+                            if ctx_score + item_ub + bound_slack(ctx_score, item_ub) < threshold {
+                                continue;
+                            }
+                        }
+                        heap.push(item, low.approx_score(items.features_of(item)));
+                    }
+                }
+                heap.into_sorted()
+            });
+            let pool = merge_sharded(pool_n, shard_tops);
+            return crate::topn::exact_rerank(model, items, pool, template, item_slots, n);
+        }
+
         let shard_tops = gmlfm_par::par_map(par, &ranges, |range| {
             let mut ranker = model.ranker(template, item_slots);
             let mut heap = TopNHeap::new(n);
@@ -711,6 +807,16 @@ struct ProbeList {
 /// margin must not prune. `1e-9` relative is orders of magnitude above
 /// the re-association error of these sums and orders of magnitude below
 /// any score gap that matters.
+///
+/// Sign-soundness: the slack is built from *absolute values*, so it is
+/// strictly positive whatever the signs of `ctx_score` and `ub` — and
+/// it is always *added to the prune side* of the strict `<` test
+/// (`bound + slack < threshold` prunes). Adding a positive quantity to
+/// the candidate's upper bound can only make pruning rarer, never
+/// admit a wrong prune; in particular an all-negative score landscape
+/// (`ctx_score`, `ub`, and `threshold` all `< 0`) widens the bound
+/// toward zero exactly as the all-positive case widens it away from
+/// it. Pinned by `all_negative_scores_probe_matches_exhaustive_scan`.
 fn bound_slack(ctx_score: f64, ub: f64) -> f64 {
     1e-9 * (1.0 + ctx_score.abs() + ub.abs())
 }
@@ -815,19 +921,11 @@ fn query_vector(model: &FrozenModel, tables: &MetricTables<'_>, ctx: &[u32]) -> 
 }
 
 fn sqdist(a: &[f64], b: &[f64]) -> f64 {
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| {
-            let d = x - y;
-            d * d
-        })
-        .sum()
+    crate::kernel::sq_dist(a, b)
 }
 
 fn axpy_row(acc: &mut [f64], row: &[f64]) {
-    for (slot, &v) in acc.iter_mut().zip(row) {
-        *slot += v;
-    }
+    crate::kernel::axpy(1.0, row, acc);
 }
 
 /// Nearest centroid among `candidates` by squared distance; ties keep
@@ -1019,6 +1117,55 @@ mod tests {
                         assert_eq!(g.0, w.0, "weighted={weighted} n={n}");
                         assert_eq!(g.1.to_bits(), w.1.to_bits(), "weighted={weighted} n={n}");
                     }
+                }
+            }
+        }
+    }
+
+    /// The [`bound_slack`] soundness fixture its doc comment names:
+    /// with a large negative bias every context score, member upper
+    /// bound and heap threshold is `< 0`, so a slack built from (or
+    /// scaled by) *signed* values would shrink instead of widen and
+    /// silently prune true members. The slack is built from absolute
+    /// values and always **added** to the prune side of a strict `<`,
+    /// so a full probe must still reproduce the exhaustive scan
+    /// bitwise.
+    #[test]
+    fn all_negative_scores_probe_matches_exhaustive_scan() {
+        for weighted in [true, false] {
+            let base = fixture(300, 11, weighted, 21);
+            let model = FrozenModel::from_parts(
+                base.model.bias() - 1000.0,
+                base.model.linear_weights().to_vec(),
+                base.model.factors().clone(),
+                base.model.second_order_kind().clone(),
+            );
+            let fx = Fixture { model, ..base };
+            let mut ranker = fx.model.ranker(&fx.template, &fx.item_slots);
+            assert!(
+                (0..fx.items.len()).all(|i| ranker.score(&fx.items[i]) < 0.0),
+                "fixture must put every candidate score below zero"
+            );
+            let opts = IvfBuildOptions { clusters: Some(12), ..IvfBuildOptions::default() };
+            let index =
+                IvfIndex::build(&fx.model, &fx.items, &opts, Parallelism::serial()).expect("metric model");
+            for n in [1usize, 10, 50] {
+                let got = index.search(
+                    &fx.model,
+                    &fx.items,
+                    &fx.template,
+                    &fx.item_slots,
+                    n,
+                    index.n_clusters(),
+                    Parallelism::serial(),
+                    &|_| false,
+                );
+                let want = reference_top_n(&fx, n, |_| false);
+                assert_eq!(got.len(), want.len(), "weighted={weighted} n={n}");
+                for (g, w) in got.iter().zip(&want) {
+                    assert!(g.1 < 0.0, "weighted={weighted} n={n}: fixture scores stay negative");
+                    assert_eq!(g.0, w.0, "weighted={weighted} n={n}");
+                    assert_eq!(g.1.to_bits(), w.1.to_bits(), "weighted={weighted} n={n}");
                 }
             }
         }

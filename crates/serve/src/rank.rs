@@ -24,6 +24,9 @@
 //! user × item ones.
 
 use crate::frozen::{dot, FrozenModel, HatQ, SecondOrder};
+use crate::index::ItemFeatureSource;
+use crate::kernel;
+use crate::lowp::{LowPrec, Precision};
 use gmlfm_core::Distance;
 use gmlfm_tensor::Matrix;
 
@@ -53,11 +56,28 @@ enum Cross<'m> {
     /// Weighted metric with a narrow context: cross pairs iterated
     /// directly over the context features — `O(|ctx|·k)` per candidate
     /// feature, allocation-free, cheaper than the `O(k²)` partials when
-    /// `|ctx| < k`.
-    MetricWeightedDirect { hat: &'m HatQ, h: &'m [f64] },
+    /// `|ctx| < k`. The context side is staged once as flat SoA rows —
+    /// `hw` holds `h ⊙ vᵢ`, `vh` the `v̂ᵢ` rows, `q` the norms — so the
+    /// per-candidate loop is contiguous kernel dots with no per-pair
+    /// `h` re-multiplication or row gather.
+    MetricWeightedDirect { hat: &'m HatQ, h: &'m [f64], hw: Vec<f64>, vh: Vec<f64>, q: Vec<f64> },
     /// Unweighted metric: `s = Σ v̂_f`, `u = Σ q_f` — `O(k)` per
-    /// candidate feature.
+    /// candidate feature. Built only for wide contexts (`|ctx| > k`),
+    /// where the decoupled form's speedup outweighs its cancellation
+    /// (see [`Cross::MetricUnweightedDirect`]).
     MetricUnweighted { s: Vec<f64>, u: f64, hat: &'m HatQ },
+    /// Unweighted metric with a narrow context (`|ctx| <= k`): each
+    /// cross pair evaluated as a direct difference-form squared
+    /// distance — `O(|ctx|·k)` per candidate feature. The expanded
+    /// `u + m·qⱼ − 2⟨s, v̂ⱼ⟩` form suffers catastrophic cancellation on
+    /// near-duplicate embeddings (the true distance is `O(δ²)` but the
+    /// expansion rounds at `O(ε·‖v̂‖²)`, wiping out the ranking between
+    /// near-identical items); [`kernel::sq_dist`] subtracts before
+    /// squaring, so those items keep their true order. Mirrors the
+    /// weighted `|ctx| <= k` crossover. The context `v̂ᵢ` rows are
+    /// staged once as flat SoA rows in `vh`, so the per-candidate loop
+    /// runs [`kernel::sq_dist`] over contiguous memory.
+    MetricUnweightedDirect { hat: &'m HatQ, vh: Vec<f64> },
     /// Metric distances without a decoupled form (Manhattan, Chebyshev,
     /// cosine): cross pairs evaluated directly against the fixed context
     /// — `O(|ctx|·k)` per candidate feature, allocation-free.
@@ -78,6 +98,155 @@ pub struct TopNRanker<'m> {
     /// `w₀ + Σ_ctx w[f] + second-order(ctx)`.
     ctx_score: f64,
     state: State<'m>,
+    /// `item_slots.len() × k` staging rows for the candidate group's
+    /// `h ⊙ v_a` vectors (see [`group_pairs`]).
+    scratch: Vec<f64>,
+    /// Dense per-request delta tables for the block scan, built on its
+    /// first [`TopNRanker::score_block`] call (`None` until then and
+    /// for non-decoupled modes).
+    tables: Option<ScanTables>,
+}
+
+/// Widest slot range materialised as a dense cross-delta table.
+const DENSE_SLOT_CAP: u32 = 512;
+
+/// Largest `width_a × width_b` product materialised as a dense
+/// within-group pair table.
+const DENSE_PAIR_CAP: u64 = 4096;
+
+/// A slot (or slot pair) must repeat at least this many times on
+/// average across the catalogue before its table pays for itself —
+/// below that, eager materialisation does more delta evaluations than
+/// the scan it serves.
+const DENSE_MIN_REPEAT: u64 = 4;
+
+/// Dense per-request scoring tables for the block scan, materialised
+/// from the item source's [`ItemFeatureSource::slot_ranges`].
+///
+/// Candidate *attribute* features (category, condition, …) draw from a
+/// few dozen ids repeated across the whole catalogue, so their
+/// context × candidate cross deltas — and the attribute × attribute
+/// within-group pair terms — are request constants. Materialising them
+/// once turns the per-candidate cost into one array read per attribute
+/// slot plus the item-id work that is genuinely unique per candidate.
+/// High-cardinality slots (the item id) and out-of-range lookups fall
+/// back to direct evaluation, so a table is never required for
+/// correctness. Every table entry holds the exact bits the direct
+/// evaluation produces, so the block scan stays bitwise identical to
+/// [`TopNRanker::score`].
+struct ScanTables {
+    /// One [`SlotTable`] per item slot, in slot order.
+    slots: Vec<SlotTable>,
+    /// One [`PairTable`] per slot pair, in the `(0,1), (0,2), …, (1,2),
+    /// …` pair-loop order of [`group_pairs`].
+    pairs: Vec<PairTable>,
+}
+
+/// Cross deltas for one item slot.
+enum SlotTable {
+    /// `vals[f - lo] = cross_delta(f)` for the slot's whole id range.
+    Dense { lo: u32, vals: Vec<f64> },
+    /// Slot too wide (or ranges unknown): evaluate per candidate.
+    Direct,
+}
+
+/// Within-group pair terms `w_ab · D(v̂_a, v̂_b)` for one slot pair.
+enum PairTable {
+    /// `vals[(fa - lo_a) · wb + (fb - lo_b)]` over both id ranges.
+    Dense { lo_a: u32, lo_b: u32, wb: u32, vals: Vec<f64> },
+    /// Pair product too wide (or no decoupled pair form): evaluate per
+    /// candidate.
+    Direct,
+}
+
+impl ScanTables {
+    /// Materialises the tables for one ranking request. `scratch` is
+    /// the ranker's `h ⊙ v` staging row (clobbered).
+    fn build<S: ItemFeatureSource + ?Sized>(
+        model: &FrozenModel,
+        ctx: &[u32],
+        cross: &Cross<'_>,
+        scratch: &mut [f64],
+        n_slots: usize,
+        items: &S,
+    ) -> ScanTables {
+        let n_pairs = n_slots * n_slots.saturating_sub(1) / 2;
+        let direct = || ScanTables {
+            slots: (0..n_slots).map(|_| SlotTable::Direct).collect(),
+            pairs: (0..n_pairs).map(|_| PairTable::Direct).collect(),
+        };
+        let Some(ranges) = items.slot_ranges() else { return direct() };
+        if ranges.len() != n_slots {
+            return direct();
+        }
+        let n_items = items.item_count() as u64;
+        let dim = model.w.len() as u32;
+        let width =
+            |&(lo, hi): &(u32, u32)| -> Option<u64> { (lo <= hi && hi < dim).then(|| (hi - lo) as u64 + 1) };
+        let slots = ranges
+            .iter()
+            .map(|r| match width(r) {
+                Some(w) if w <= DENSE_SLOT_CAP as u64 && w * DENSE_MIN_REPEAT <= n_items => {
+                    let vals = (r.0..=r.1).map(|f| cross_delta(model, ctx, cross, f)).collect();
+                    SlotTable::Dense { lo: r.0, vals }
+                }
+                _ => SlotTable::Direct,
+            })
+            .collect();
+        // Pair tables exist only for the decoupled squared-Euclidean
+        // group form the kernel path evaluates; everything else scores
+        // pairs per candidate.
+        let pair_form = match model.second_order_kind() {
+            SecondOrder::Metric { distance: Distance::SquaredEuclidean, hat, h } if n_slots <= model.k() => {
+                Some((hat, h))
+            }
+            _ => None,
+        };
+        let k = model.k();
+        let mut pairs = Vec::with_capacity(n_pairs);
+        for a in 0..n_slots {
+            for b in a + 1..n_slots {
+                let table = match (pair_form, width(&ranges[a]), width(&ranges[b])) {
+                    (Some((hat, h)), Some(wa), Some(wb))
+                        if wa * wb <= DENSE_PAIR_CAP && wa * wb * DENSE_MIN_REPEAT <= n_items =>
+                    {
+                        let (lo_a, hi_a) = ranges[a];
+                        let (lo_b, hi_b) = ranges[b];
+                        let mut vals = Vec::with_capacity((wa * wb) as usize);
+                        for fa in lo_a..=hi_a {
+                            if let Some(h) = h {
+                                stage_hv(&mut scratch[..k], h, model.v.row(fa as usize));
+                            }
+                            for fb in lo_b..=hi_b {
+                                vals.push(match h {
+                                    Some(_) => {
+                                        let w_ab = kernel::dot(&scratch[..k], model.v.row(fb as usize));
+                                        let d =
+                                            kernel::sq_dist(hat.v_hat(fa as usize), hat.v_hat(fb as usize));
+                                        w_ab * d
+                                    }
+                                    None => kernel::sq_dist(hat.v_hat(fa as usize), hat.v_hat(fb as usize)),
+                                });
+                            }
+                        }
+                        PairTable::Dense { lo_a, lo_b, wb: wb as u32, vals }
+                    }
+                    _ => PairTable::Direct,
+                };
+                pairs.push(table);
+            }
+        }
+        ScanTables { slots, pairs }
+    }
+}
+
+/// Writes `h ⊙ v` into `row` — the staging step shared by the group
+/// pair paths, kept as one function so every path produces the same
+/// bits.
+fn stage_hv(row: &mut [f64], h: &[f64], v: &[f64]) {
+    for ((o, &hx), &vx) in row.iter_mut().zip(h).zip(v) {
+        *o = hx * vx;
+    }
 }
 
 impl<'m> TopNRanker<'m> {
@@ -101,7 +270,8 @@ impl<'m> TopNRanker<'m> {
         }
         ctx_score += model.second_order(&ctx);
         let state = Self::build_state(model, &ctx);
-        Self { model, item_slots: item_slots.to_vec(), ctx, ctx_pos, ctx_score, state }
+        let scratch = vec![0.0; item_slots.len() * model.k()];
+        Self { model, item_slots: item_slots.to_vec(), ctx, ctx_pos, ctx_score, state, scratch, tables: None }
     }
 
     fn build_state(model: &'m FrozenModel, ctx: &[u32]) -> State<'m> {
@@ -119,11 +289,28 @@ impl<'m> TopNRanker<'m> {
             SecondOrder::Metric { distance: Distance::SquaredEuclidean, hat, h } => {
                 if let Some(h) = h.as_deref() {
                     if ctx.len() <= k {
-                        return State::Decoupled(Cross::MetricWeightedDirect { hat, h });
+                        let mut hw = Vec::with_capacity(ctx.len() * k);
+                        let mut vh = Vec::with_capacity(ctx.len() * k);
+                        let mut q = Vec::with_capacity(ctx.len());
+                        for &i in ctx {
+                            let vi = model.v.row(i as usize);
+                            hw.extend(h.iter().zip(vi).map(|(&hx, &vx)| hx * vx));
+                            let (vhi, qi) = hat.row(i as usize);
+                            vh.extend_from_slice(vhi);
+                            q.push(qi);
+                        }
+                        return State::Decoupled(Cross::MetricWeightedDirect { hat, h, hw, vh, q });
                     }
                     let (a, b, c) = model.metric_partials(ctx, hat);
                     State::Decoupled(Cross::MetricWeighted { a, b, c, hat, h })
                 } else {
+                    if ctx.len() <= k {
+                        let mut vh = Vec::with_capacity(ctx.len() * k);
+                        for &i in ctx {
+                            vh.extend_from_slice(hat.v_hat(i as usize));
+                        }
+                        return State::Decoupled(Cross::MetricUnweightedDirect { hat, vh });
+                    }
                     let mut s = vec![0.0; k];
                     let mut u = 0.0;
                     for &f in ctx {
@@ -193,7 +380,7 @@ impl<'m> TopNRanker<'m> {
                 }
                 // Pairs within the candidate group (item id × its
                 // attributes).
-                out + model.second_order(item_feats)
+                out + group_pairs(model, &mut self.scratch, item_feats)
             }
         }
     }
@@ -202,50 +389,7 @@ impl<'m> TopNRanker<'m> {
     /// from the context partial sums (or, in the pairwise modes, the
     /// context features directly).
     fn cross_delta(&self, cross: &Cross<'m>, j: u32) -> f64 {
-        let model = self.model;
-        let k = model.k();
-        let vj = model.v.row(j as usize);
-        match cross {
-            Cross::Dot { a } => dot(a, vj),
-            Cross::MetricWeighted { a, b, c, hat, h } => {
-                let (vhj, qj) = hat.row(j as usize);
-                let mut first = 0.0; // (h⊙vⱼ)·b + qⱼ (h⊙vⱼ)·a
-                let mut cross = 0.0; // (h⊙vⱼ)ᵀ C v̂ⱼ
-                for r in 0..k {
-                    let hv = h[r] * vj[r];
-                    if hv == 0.0 {
-                        continue;
-                    }
-                    first += hv * (b[r] + qj * a[r]);
-                    cross += hv * dot(c.row(r), vhj);
-                }
-                first - 2.0 * cross
-            }
-            Cross::MetricUnweighted { s, u, hat } => {
-                let (vhj, qj) = hat.row(j as usize);
-                u + self.ctx.len() as f64 * qj - 2.0 * dot(s, vhj)
-            }
-            Cross::MetricWeightedDirect { hat, h } => {
-                let (vhj, qj) = hat.row(j as usize);
-                let mut out = 0.0;
-                for &i in &self.ctx {
-                    let w_ij = model.pair_weight(Some(h), i, j);
-                    let (vhi, qi) = hat.row(i as usize);
-                    let d = qi + qj - 2.0 * dot(vhi, vhj);
-                    out += w_ij * d;
-                }
-                out
-            }
-            Cross::MetricPairwise { hat, h, distance } => {
-                let vhj = hat.v_hat(j as usize);
-                let mut out = 0.0;
-                for &i in &self.ctx {
-                    let w_ij = model.pair_weight(*h, i, j);
-                    out += w_ij * distance.eval(hat.v_hat(i as usize), vhj);
-                }
-                out
-            }
-        }
+        cross_delta(self.model, &self.ctx, cross, j)
     }
 
     /// TransFM cross pairs for one candidate feature `j` sitting at
@@ -281,6 +425,510 @@ impl<'m> TopNRanker<'m> {
             }
         }
         out
+    }
+
+    /// Scores a block of candidate items, appending one score per id to
+    /// `out` — bitwise identical to calling [`TopNRanker::score`] on
+    /// each id in order. This is the batched entry the sharded scan
+    /// loops drive in [`kernel::CAND_BLOCK`]-sized runs: the state
+    /// dispatch is hoisted out of the per-candidate loop, and the
+    /// decoupled modes read repeated attribute-feature deltas from the
+    /// dense `ScanTables` materialised on the first block (table
+    /// entries hold the bits the direct evaluation produces, so the
+    /// tables cannot change a score).
+    pub fn score_block<S: ItemFeatureSource + ?Sized>(&mut self, items: &S, ids: &[u32], out: &mut Vec<f64>) {
+        out.reserve(ids.len());
+        if !matches!(self.state, State::Decoupled(_)) {
+            for &id in ids {
+                let score = self.score(items.features_of(id));
+                out.push(score);
+            }
+            return;
+        }
+        let Self { model, item_slots, ctx, ctx_score, state, scratch, tables, .. } = self;
+        let model = *model;
+        if let State::Decoupled(cross) = state {
+            let tables = tables.get_or_insert_with(|| {
+                ScanTables::build(model, ctx, cross, scratch, item_slots.len(), items)
+            });
+            for &id in ids {
+                let feats = items.features_of(id);
+                assert_eq!(
+                    feats.len(),
+                    item_slots.len(),
+                    "TopNRanker::score_block: candidate has {} features, template has {} item slots",
+                    feats.len(),
+                    item_slots.len()
+                );
+                let mut s = *ctx_score;
+                for &f in feats {
+                    s += model.w[f as usize];
+                }
+                for (table, &f) in tables.slots.iter().zip(feats) {
+                    s += match table {
+                        SlotTable::Dense { lo, vals } => match vals.get(f.wrapping_sub(*lo) as usize) {
+                            Some(&v) => v,
+                            None => cross_delta(model, ctx, cross, f),
+                        },
+                        SlotTable::Direct => cross_delta(model, ctx, cross, f),
+                    };
+                }
+                s += group_pairs_tabled(model, scratch, &tables.pairs, feats);
+                out.push(s);
+            }
+        }
+    }
+
+    /// [`TopNRanker::score`] computed with the single-accumulator
+    /// reference kernels ([`kernel::naive_dot`] and friends) instead of
+    /// the chunked ones. This is the honest "old path" baseline the
+    /// kernel section of `bench_report` measures against; it is not a
+    /// serving entry point.
+    #[doc(hidden)]
+    pub fn score_scalar(&mut self, item_feats: &[u32]) -> f64 {
+        assert_eq!(
+            item_feats.len(),
+            self.item_slots.len(),
+            "TopNRanker::score_scalar: candidate has {} features, template has {} item slots",
+            item_feats.len(),
+            self.item_slots.len()
+        );
+        let model = self.model;
+        let mut out = self.ctx_score;
+        for &f in item_feats {
+            out += model.w[f as usize];
+        }
+        match &self.state {
+            State::Translated { v_trans } => {
+                for (&slot, &f) in self.item_slots.iter().zip(item_feats) {
+                    out += self.translated_cross_delta(v_trans, slot, f);
+                }
+                out + self.translated_candidate_pairs(v_trans, item_feats)
+            }
+            State::Decoupled(cross) => {
+                for &f in item_feats {
+                    out += self.cross_delta_scalar(cross, f);
+                }
+                out + model.second_order(item_feats)
+            }
+        }
+    }
+
+    /// [`TopNRanker::cross_delta`] with naive single-accumulator loops:
+    /// the same formulas evaluated the way the pre-kernel code did.
+    fn cross_delta_scalar(&self, cross: &Cross<'m>, j: u32) -> f64 {
+        let model = self.model;
+        let k = model.k();
+        let vj = model.v.row(j as usize);
+        match cross {
+            Cross::Dot { a } => kernel::naive_dot(a, vj),
+            Cross::MetricWeighted { a, b, c, hat, h } => {
+                let (vhj, qj) = hat.row(j as usize);
+                let mut first = 0.0;
+                let mut cross = 0.0;
+                for r in 0..k {
+                    let hv = h[r] * vj[r];
+                    if hv == 0.0 {
+                        continue;
+                    }
+                    first += hv * (b[r] + qj * a[r]);
+                    cross += hv * kernel::naive_dot(c.row(r), vhj);
+                }
+                first - 2.0 * cross
+            }
+            Cross::MetricUnweighted { s, u, hat } => {
+                let (vhj, qj) = hat.row(j as usize);
+                u + self.ctx.len() as f64 * qj - 2.0 * kernel::naive_dot(s, vhj)
+            }
+            Cross::MetricUnweightedDirect { hat, .. } => {
+                let vhj = hat.v_hat(j as usize);
+                let mut out = 0.0;
+                for &i in &self.ctx {
+                    out += kernel::naive_sq_dist(hat.v_hat(i as usize), vhj);
+                }
+                out
+            }
+            Cross::MetricWeightedDirect { hat, h, .. } => {
+                let (vhj, qj) = hat.row(j as usize);
+                let mut out = 0.0;
+                for &i in &self.ctx {
+                    let w_ij = model.pair_weight(Some(h), i, j);
+                    let (vhi, qi) = hat.row(i as usize);
+                    let d = qi + qj - 2.0 * kernel::naive_dot(vhi, vhj);
+                    out += w_ij * d;
+                }
+                out
+            }
+            Cross::MetricPairwise { hat, h, distance } => {
+                let vhj = hat.v_hat(j as usize);
+                let mut out = 0.0;
+                for &i in &self.ctx {
+                    let w_ij = model.pair_weight(*h, i, j);
+                    out += w_ij * distance.eval(hat.v_hat(i as usize), vhj);
+                }
+                out
+            }
+        }
+    }
+}
+
+/// `Σ_{i ∈ ctx} w_ij · D(v̂ᵢ, v̂ⱼ)` for one candidate feature `j` — the
+/// body of [`TopNRanker::cross_delta`], free-standing so the block scan
+/// can call it while holding the slot memos mutably.
+fn cross_delta(model: &FrozenModel, ctx: &[u32], cross: &Cross<'_>, j: u32) -> f64 {
+    let k = model.k();
+    let vj = model.v.row(j as usize);
+    match cross {
+        Cross::Dot { a } => dot(a, vj),
+        Cross::MetricWeighted { a, b, c, hat, h } => {
+            let (vhj, qj) = hat.row(j as usize);
+            let mut first = 0.0; // (h⊙vⱼ)·b + qⱼ (h⊙vⱼ)·a
+            let mut cross = 0.0; // (h⊙vⱼ)ᵀ C v̂ⱼ
+            for r in 0..k {
+                let hv = h[r] * vj[r];
+                if hv == 0.0 {
+                    continue;
+                }
+                first += hv * (b[r] + qj * a[r]);
+                cross += hv * dot(c.row(r), vhj);
+            }
+            first - 2.0 * cross
+        }
+        Cross::MetricUnweighted { s, u, hat } => {
+            let (vhj, qj) = hat.row(j as usize);
+            u + ctx.len() as f64 * qj - 2.0 * dot(s, vhj)
+        }
+        Cross::MetricUnweightedDirect { hat, vh } => {
+            let vhj = hat.v_hat(j as usize);
+            let mut out = 0.0;
+            for row in vh.chunks_exact(k) {
+                out += kernel::sq_dist(row, vhj);
+            }
+            out
+        }
+        Cross::MetricWeightedDirect { hat, hw, vh, q, .. } => {
+            let (vhj, qj) = hat.row(j as usize);
+            let mut out = 0.0;
+            for (i, &qi) in q.iter().enumerate() {
+                let w_ij = kernel::dot(&hw[i * k..(i + 1) * k], vj);
+                let d = qi + qj - 2.0 * kernel::dot(&vh[i * k..(i + 1) * k], vhj);
+                out += w_ij * d;
+            }
+            out
+        }
+        Cross::MetricPairwise { hat, h, distance } => {
+            let vhj = hat.v_hat(j as usize);
+            let mut out = 0.0;
+            for &i in ctx {
+                let w_ij = model.pair_weight(*h, i, j);
+                out += w_ij * distance.eval(hat.v_hat(i as usize), vhj);
+            }
+            out
+        }
+    }
+}
+
+/// Pairs within the candidate group (`Σ_{a<b} w_ab · D(v̂_a, v̂_b)`),
+/// evaluated with the chunked kernels for the squared-Euclidean forms:
+/// the group's `h ⊙ v_a` rows are staged once in `scratch`, so each
+/// pair costs two contiguous kernel calls ([`kernel::dot`] for the
+/// weight, [`kernel::sq_dist`] for the distance) instead of a three-way
+/// serial fold. The difference-form distance also keeps near-duplicate
+/// group members cancellation-free, matching the cross-delta paths.
+/// Other second-order modes fall back to the model's own evaluation.
+/// Agrees with [`FrozenModel::second_order`] within reassociation
+/// rounding (≤ 1e-12 relative).
+fn group_pairs(model: &FrozenModel, scratch: &mut [f64], feats: &[u32]) -> f64 {
+    let k = model.k();
+    match model.second_order_kind() {
+        SecondOrder::Metric { distance: Distance::SquaredEuclidean, hat, h } if feats.len() <= k => {
+            let mut out = 0.0;
+            match h {
+                Some(h) => {
+                    for (a, &fa) in feats.iter().enumerate() {
+                        stage_hv(&mut scratch[a * k..(a + 1) * k], h, model.v.row(fa as usize));
+                    }
+                    for (a, &fa) in feats.iter().enumerate() {
+                        for &fb in &feats[a + 1..] {
+                            let w_ab = kernel::dot(&scratch[a * k..(a + 1) * k], model.v.row(fb as usize));
+                            let d = kernel::sq_dist(hat.v_hat(fa as usize), hat.v_hat(fb as usize));
+                            out += w_ab * d;
+                        }
+                    }
+                }
+                None => {
+                    for (a, &fa) in feats.iter().enumerate() {
+                        for &fb in &feats[a + 1..] {
+                            out += kernel::sq_dist(hat.v_hat(fa as usize), hat.v_hat(fb as usize));
+                        }
+                    }
+                }
+            }
+            out
+        }
+        _ => model.second_order(feats),
+    }
+}
+
+/// [`group_pairs`] reading dense [`PairTable`]s where they exist: a
+/// tabled pair term was computed with the identical kernel calls at
+/// materialisation, so the sum accumulates the same values in the same
+/// order — bitwise equal to [`group_pairs`]. `pairs` holds
+/// `len(feats)·(len(feats)−1)/2` entries in the pair-loop order
+/// `(0,1), (0,2), …, (1,2), …`; [`PairTable::Direct`] entries (and
+/// out-of-range lookups) evaluate in place, staging each `h ⊙ v_a` row
+/// at most once per candidate.
+fn group_pairs_tabled(model: &FrozenModel, scratch: &mut [f64], pairs: &[PairTable], feats: &[u32]) -> f64 {
+    let k = model.k();
+    match model.second_order_kind() {
+        SecondOrder::Metric { distance: Distance::SquaredEuclidean, hat, h } if feats.len() <= k => {
+            let mut out = 0.0;
+            let mut p = 0;
+            // Which `h ⊙ v_a` rows are staged for this candidate (slots
+            // past the mask width restage every pair — idempotent, just
+            // slower).
+            let mut staged = 0u64;
+            for (a, &fa) in feats.iter().enumerate() {
+                for &fb in &feats[a + 1..] {
+                    let table = &pairs[p];
+                    p += 1;
+                    if let PairTable::Dense { lo_a, lo_b, wb, vals } = table {
+                        let ib = fb.wrapping_sub(*lo_b) as u64;
+                        let idx = fa.wrapping_sub(*lo_a) as u64 * *wb as u64 + ib;
+                        if ib < *wb as u64 {
+                            if let Some(&v) = vals.get(idx as usize) {
+                                out += v;
+                                continue;
+                            }
+                        }
+                    }
+                    out += match h {
+                        Some(h) => {
+                            if a >= 64 || staged & (1 << a) == 0 {
+                                if a < 64 {
+                                    staged |= 1 << a;
+                                }
+                                stage_hv(&mut scratch[a * k..(a + 1) * k], h, model.v.row(fa as usize));
+                            }
+                            let w_ab = kernel::dot(&scratch[a * k..(a + 1) * k], model.v.row(fb as usize));
+                            let d = kernel::sq_dist(hat.v_hat(fa as usize), hat.v_hat(fb as usize));
+                            w_ab * d
+                        }
+                        None => kernel::sq_dist(hat.v_hat(fa as usize), hat.v_hat(fb as usize)),
+                    };
+                }
+            }
+            out
+        }
+        _ => model.second_order(feats),
+    }
+}
+
+/// Context-side partial sums for the low-precision scan, all narrowed
+/// to f32 once at construction.
+enum LowCross {
+    /// Unweighted decoupled form: `u + m·qⱼ − 2⟨s, v̂ⱼ⟩` in f32.
+    Unweighted { s: Vec<f32>, u: f32, m: f32 },
+    /// Weighted narrow-context form: per context feature `i`, the
+    /// precomputed `h ⊙ vᵢ` row, the `v̂ᵢ` row, and `qᵢ` — flattened
+    /// `|ctx| × k` row-major.
+    WeightedDirect { hv: Vec<f32>, vh: Vec<f32>, q: Vec<f32>, k: usize },
+    /// Weighted wide-context partials `a`, `b`, `C` (row-major `k × k`)
+    /// and the narrowed transformation weights.
+    Weighted { a: Vec<f32>, b: Vec<f32>, c: Vec<f32>, h: Vec<f32>, k: usize },
+}
+
+/// Where the candidate-side f32 rows come from.
+enum LowRows<'m> {
+    /// Straight reads from the f32 tables.
+    F32 { lp: &'m LowPrec },
+    /// Per-candidate dequantization of the i8 table into one scratch
+    /// row (`[v̂ⱼ | vⱼ]` when the table is paired).
+    I8 { lp: &'m LowPrec, scratch: Vec<f32> },
+}
+
+/// Low-precision candidate scanner: [`TopNRanker`] context state plus
+/// f32 (or dequantized-i8) candidate deltas.
+///
+/// `approx_score` keeps the context score, first-order weights, and
+/// within-group second-order term in f64 — only the context × candidate
+/// cross delta (the part that streams the big tables) is low precision.
+/// Build one with [`FrozenModel::low_ranker`]; construction fails
+/// (returns `None`) when the model carries no low-precision tables or
+/// its second-order form has no decoupled squared-Euclidean delta, in
+/// which case callers fall back to the exact f64 scan.
+pub struct LowRanker<'m> {
+    base: TopNRanker<'m>,
+    cross: LowCross,
+    rows: LowRows<'m>,
+}
+
+impl<'m> LowRanker<'m> {
+    fn new(base: TopNRanker<'m>, lp: &'m LowPrec, precision: Precision) -> Option<Self> {
+        let model = base.model;
+        let k = model.k();
+        let cross = match &model.second {
+            SecondOrder::Metric { distance: Distance::SquaredEuclidean, hat, h } => {
+                if let Some(h) = h.as_deref() {
+                    if base.ctx.len() <= k {
+                        let mut hv = Vec::with_capacity(base.ctx.len() * k);
+                        let mut vh = Vec::with_capacity(base.ctx.len() * k);
+                        let mut q = Vec::with_capacity(base.ctx.len());
+                        for &i in &base.ctx {
+                            let vi = model.v.row(i as usize);
+                            hv.extend(h.iter().zip(vi).map(|(&hr, &vr)| (hr * vr) as f32));
+                            let (vhi, qi) = hat.row(i as usize);
+                            vh.extend(vhi.iter().map(|&x| x as f32));
+                            q.push(qi as f32);
+                        }
+                        LowCross::WeightedDirect { hv, vh, q, k }
+                    } else {
+                        let (a, b, c) = model.metric_partials(&base.ctx, hat);
+                        LowCross::Weighted {
+                            a: a.iter().map(|&x| x as f32).collect(),
+                            b: b.iter().map(|&x| x as f32).collect(),
+                            c: c.as_slice().iter().map(|&x| x as f32).collect(),
+                            h: lp.h32.clone().unwrap_or_else(|| h.iter().map(|&x| x as f32).collect()),
+                            k,
+                        }
+                    }
+                } else {
+                    let mut s = vec![0.0f64; k];
+                    let mut u = 0.0f64;
+                    for &i in &base.ctx {
+                        let (vhi, qi) = hat.row(i as usize);
+                        u += qi;
+                        for (slot, &x) in s.iter_mut().zip(vhi) {
+                            *slot += x;
+                        }
+                    }
+                    LowCross::Unweighted {
+                        s: s.iter().map(|&x| x as f32).collect(),
+                        u: u as f32,
+                        m: base.ctx.len() as f32,
+                    }
+                }
+            }
+            _ => return None,
+        };
+        let rows = match precision {
+            Precision::F64 => return None,
+            Precision::F32 => LowRows::F32 { lp },
+            Precision::I8 => LowRows::I8 { lp, scratch: vec![0.0f32; lp.qhat.row_width()] },
+        };
+        Some(Self { base, cross, rows })
+    }
+
+    /// Approximate score of one candidate: f64 context score and
+    /// first-order terms, f32 cross delta per item feature, exact f64
+    /// within-group second-order term.
+    pub fn approx_score(&mut self, item_feats: &[u32]) -> f64 {
+        assert_eq!(
+            item_feats.len(),
+            self.base.item_slots.len(),
+            "LowRanker::approx_score: candidate has {} features, template has {} item slots",
+            item_feats.len(),
+            self.base.item_slots.len()
+        );
+        let model = self.base.model;
+        let mut out = self.base.ctx_score;
+        for &f in item_feats {
+            out += model.w[f as usize];
+        }
+        for &f in item_feats {
+            out += self.cross_delta32(f) as f64;
+        }
+        out + model.second_order(item_feats)
+    }
+
+    /// Block twin of [`LowRanker::approx_score`], mirroring
+    /// [`TopNRanker::score_block`].
+    pub fn approx_score_block<S: ItemFeatureSource + ?Sized>(
+        &mut self,
+        items: &S,
+        ids: &[u32],
+        out: &mut Vec<f64>,
+    ) {
+        out.reserve(ids.len());
+        for &id in ids {
+            let score = self.approx_score(items.features_of(id));
+            out.push(score);
+        }
+    }
+
+    /// The f32 cross delta for one candidate feature `j`.
+    fn cross_delta32(&mut self, j: u32) -> f32 {
+        let j = j as usize;
+        let (vhj, qj, vj): (&[f32], f32, Option<&[f32]>) = match &mut self.rows {
+            LowRows::F32 { lp } => {
+                let (vh, q) = lp.hat32.row(j);
+                (vh, q, lp.v32_row(j))
+            }
+            LowRows::I8 { lp, scratch } => {
+                lp.qhat.dequant_into(j, scratch);
+                let k = lp.qhat.k();
+                let (vh, v) = scratch.split_at(k);
+                (vh, lp.qhat.q(j), lp.qhat.paired().then_some(v))
+            }
+        };
+        match &self.cross {
+            LowCross::Unweighted { s, u, m } => u + m * qj - 2.0 * kernel::dot_f32(s, vhj),
+            LowCross::WeightedDirect { hv, vh, q, k } => {
+                // `vj` is always present here: the weighted cross is only
+                // built when `LowPrec` carries the narrowed `V` tables.
+                let Some(vj) = vj else { return 0.0 };
+                let mut out = 0.0f32;
+                for ((hvi, vhi), &qi) in hv.chunks_exact(*k).zip(vh.chunks_exact(*k)).zip(q) {
+                    let w_ij = kernel::dot_f32(hvi, vj);
+                    let d = qi + qj - 2.0 * kernel::dot_f32(vhi, vhj);
+                    out += w_ij * d;
+                }
+                out
+            }
+            LowCross::Weighted { a, b, c, h, k } => {
+                let Some(vj) = vj else { return 0.0 };
+                let mut first = 0.0f32;
+                let mut cross = 0.0f32;
+                for r in 0..*k {
+                    let hv = h[r] * vj[r];
+                    if hv == 0.0 {
+                        continue;
+                    }
+                    first += hv * (b[r] + qj * a[r]);
+                    cross += hv * kernel::dot_f32(&c[r * k..(r + 1) * k], vhj);
+                }
+                first - 2.0 * cross
+            }
+        }
+    }
+}
+
+/// How many candidates the i8 probe keeps for the exact f64 re-rank: an
+/// 8x (and at least `n + 64`) pool absorbs quantization-induced
+/// reordering near the cutoff — including the compounding with IVF
+/// pruning, whose skip threshold tracks the approximate probe heap —
+/// so recall stays at the exact scan's level while returned scores stay
+/// bitwise the model's. The re-rank itself is a few dozen exact scores
+/// per request, noise next to the catalogue scan.
+pub fn rerank_pool(n: usize) -> usize {
+    (8 * n).max(n + 64)
+}
+
+impl FrozenModel {
+    /// Builds a low-precision candidate scanner over the same template
+    /// contract as [`FrozenModel::ranker`]. Returns `None` — callers
+    /// fall back to the exact f64 scan — when `precision` is
+    /// [`Precision::F64`], when no low-precision tables were built
+    /// ([`FrozenModel::with_precision`]), or when the model's
+    /// second-order form has no decoupled squared-Euclidean delta.
+    pub fn low_ranker<'m>(
+        &'m self,
+        template: &[u32],
+        item_slots: &[usize],
+        precision: Precision,
+    ) -> Option<LowRanker<'m>> {
+        let lp = self.lowp_tables()?;
+        LowRanker::new(self.ranker(template, item_slots), lp, precision)
     }
 }
 
@@ -402,6 +1050,57 @@ mod tests {
             let want = model.predict(&Instance::new(vec![3, cand, 25], 1.0));
             assert!((got - want).abs() <= 1e-9 * want.abs().max(1.0), "{got} vs {want}");
         }
+    }
+
+    /// Regression (catastrophic cancellation): two items whose V̂ rows
+    /// differ in ONE low-order mantissa bit must keep their true order.
+    /// The expanded `u + m·q_j − 2⟨s, v̂_j⟩` form loses the distinction
+    /// — its three O(‖v̂‖²) terms round independently, burying a
+    /// one-ulp item difference under rounding noise — so narrow
+    /// contexts take the direct `Σᵢ ‖v̂ᵢ − v̂ⱼ‖²` path, which subtracts
+    /// before squaring: the duplicate's distance is exactly 0 and the
+    /// perturbed item's exactly δ², matching the pairwise reference
+    /// bitwise.
+    #[test]
+    fn near_duplicate_items_keep_their_true_order() {
+        let n = 8;
+        let k = 4;
+        let mut rng = seeded_rng(11);
+        let v = normal(&mut rng, n, k, 0.0, 0.5);
+        let mut v_hat = normal(&mut rng, n, k, 0.0, 0.5);
+        // Item 2 duplicates the single context row 0 exactly; item 3
+        // additionally flips the lowest mantissa bit of coordinate 0.
+        for c in 0..k {
+            let x = v_hat.row(0)[c];
+            v_hat.row_mut(2)[c] = x;
+            v_hat.row_mut(3)[c] = x;
+        }
+        let perturbed = f64::from_bits(v_hat.row(3)[0].to_bits() + 1);
+        v_hat.row_mut(3)[0] = perturbed;
+        let delta = v_hat.row(0)[0] - perturbed;
+        let q: Vec<f64> = (0..n).map(|r| dot(v_hat.row(r), v_hat.row(r))).collect();
+        // Zero bias and linear weights: with a single-member context the
+        // whole score is the one cross distance, so nothing can absorb
+        // the δ² the fix is meant to preserve.
+        let model = FrozenModel::from_parts(
+            0.0,
+            vec![0.0; n],
+            v,
+            SecondOrder::metric(v_hat, q, None, Distance::SquaredEuclidean),
+        );
+        let template = vec![0u32, 2];
+        let mut ranker = model.ranker(&template, &[1]);
+        let dup = ranker.score(&[2]);
+        let near = ranker.score(&[3]);
+        assert_ne!(dup.to_bits(), near.to_bits(), "a one-ulp V-hat difference must survive the delta scan");
+        // Subtract-before-square is exact here, not merely close: the
+        // duplicate's distance is 0 and the perturbed item's exactly δ².
+        assert_eq!(dup, 0.0, "exact duplicate of the context row scores a zero distance");
+        assert_eq!(
+            near.to_bits(),
+            (delta * delta).to_bits(),
+            "the perturbed item's distance is exactly δ²: {near}"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! behind default seen-item exclusion in top-n requests.
 
 use gmlfm_data::{Dataset, FieldKind, FieldMask};
-use serde::{Deserialize, Serialize};
+use serde::{json, Deserialize, Serialize};
 
 /// The item/user feature tables a ranking request needs: per-user context
 /// templates and per-item candidate feature groups, mask-resolved into
@@ -14,15 +14,26 @@ use serde::{Deserialize, Serialize};
 /// item attributes) and splice it into the user's template — exactly the
 /// [`gmlfm_serve::TopNRanker`] workflow — without the training-side
 /// [`Dataset`] in memory.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// The item table is stored as one flat row-major `u32` array
+/// (`n_items × item_slots.len()`): the block scan reads one item group
+/// per candidate, and a flat table makes that a sequential slice read
+/// instead of a pointer chase through a `Vec<Vec<u32>>`. The JSON wire
+/// format keeps the original array-of-arrays shape (hand-written impls
+/// below), so artifacts are unaffected by the layout.
+#[derive(Debug, Clone)]
 pub struct Catalog {
     /// Template positions that carry item-side values.
     item_slots: Vec<usize>,
     /// Per-user full feature template (item slots hold item 0's values
     /// until spliced).
     user_templates: Vec<Vec<u32>>,
-    /// Per-item values for the item slots, in `item_slots` order.
-    item_feats: Vec<Vec<u32>>,
+    /// Per-item values for the item slots, in `item_slots` order; flat
+    /// row-major, `item_slots.len()` values per item.
+    item_feats: Vec<u32>,
+    /// Item count — not derivable from `item_feats` when there are no
+    /// item slots (rows are zero-width).
+    n_items: usize,
 }
 
 impl Catalog {
@@ -46,7 +57,9 @@ impl Catalog {
             item_feats.iter().all(|g| g.len() == item_slots.len()),
             "Catalog: item group width != item slot count"
         );
-        Self { item_slots, user_templates, item_feats }
+        let n_items = item_feats.len();
+        let item_feats = item_feats.into_iter().flatten().collect();
+        Self { item_slots, user_templates, item_feats, n_items }
     }
 
     /// Extracts the serving catalog from a dataset under an attribute
@@ -55,13 +68,12 @@ impl Catalog {
         let item_slots = item_side_slots(dataset, mask);
         let user_templates: Vec<Vec<u32>> =
             (0..dataset.n_users).map(|u| dataset.feats(u as u32, 0, mask)).collect();
-        let item_feats: Vec<Vec<u32>> = (0..dataset.n_items)
-            .map(|i| {
-                let full = dataset.feats(0, i as u32, mask);
-                item_slots.iter().map(|&s| full[s]).collect()
-            })
-            .collect();
-        Self { item_slots, user_templates, item_feats }
+        let mut item_feats = Vec::with_capacity(dataset.n_items * item_slots.len());
+        for i in 0..dataset.n_items {
+            let full = dataset.feats(0, i as u32, mask);
+            item_feats.extend(item_slots.iter().map(|&s| full[s]));
+        }
+        Self { item_slots, user_templates, item_feats, n_items: dataset.n_items }
     }
 
     /// Number of users in the catalog.
@@ -71,7 +83,7 @@ impl Catalog {
 
     /// Number of items in the catalog.
     pub fn n_items(&self) -> usize {
-        self.item_feats.len()
+        self.n_items
     }
 
     /// Template positions that vary per candidate item.
@@ -86,7 +98,8 @@ impl Catalog {
 
     /// The item's feature-group values, in [`Catalog::item_slots`] order.
     pub fn item_features(&self, item: u32) -> Option<&[u32]> {
-        self.item_feats.get(item as usize).map(Vec::as_slice)
+        let (i, w) = (item as usize, self.item_slots.len());
+        (i < self.n_items).then(|| &self.item_feats[i * w..(i + 1) * w])
     }
 
     /// The full feature vector for a `(user, item)` pair — the user's
@@ -113,8 +126,9 @@ impl Catalog {
     pub fn max_feature(&self) -> Option<u32> {
         self.user_templates
             .iter()
+            .flat_map(|row| row.iter())
             .chain(&self.item_feats)
-            .flat_map(|row| row.iter().copied())
+            .copied()
             .max()
     }
 }
@@ -127,7 +141,78 @@ impl gmlfm_serve::ItemFeatureSource for Catalog {
     }
 
     fn features_of(&self, item: u32) -> &[u32] {
-        &self.item_feats[item as usize]
+        let (i, w) = (item as usize, self.item_slots.len());
+        &self.item_feats[i * w..(i + 1) * w]
+    }
+
+    /// One pass over the flat item table (rectangular by construction,
+    /// so no ragged check is needed). Called once per ranking request
+    /// when the block scan materialises its dense delta tables — a read
+    /// per item-group value, amortised over the scan it accelerates.
+    fn slot_ranges(&self) -> Option<Vec<(u32, u32)>> {
+        let w = self.item_slots.len();
+        if self.n_items == 0 {
+            return None;
+        }
+        if w == 0 {
+            return Some(Vec::new());
+        }
+        let mut groups = self.item_feats.chunks_exact(w);
+        let mut ranges: Vec<(u32, u32)> = groups.next()?.iter().map(|&f| (f, f)).collect();
+        for group in groups {
+            for (r, &f) in ranges.iter_mut().zip(group) {
+                r.0 = r.0.min(f);
+                r.1 = r.1.max(f);
+            }
+        }
+        Some(ranges)
+    }
+}
+
+/// Wire-compatible with the former derived impl over nested
+/// `Vec<Vec<u32>>` item groups: the flat table is re-chunked into an
+/// array of per-item arrays, so artifacts written before and after the
+/// flat-layout change are byte-identical.
+impl Serialize for Catalog {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("{\"item_slots\":");
+        self.item_slots.serialize_json(out);
+        out.push_str(",\"user_templates\":");
+        self.user_templates.serialize_json(out);
+        out.push_str(",\"item_feats\":[");
+        let w = self.item_slots.len();
+        for i in 0..self.n_items {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, f) in self.item_feats[i * w..(i + 1) * w].iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                f.serialize_json(out);
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
+    }
+}
+
+impl Deserialize for Catalog {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        let item_slots: Vec<usize> = json::field(v, "item_slots")?;
+        let user_templates: Vec<Vec<u32>> = json::field(v, "user_templates")?;
+        let groups: Vec<Vec<u32>> = json::field(v, "item_feats")?;
+        let w = item_slots.len();
+        if let Some(bad) = groups.iter().find(|g| g.len() != w) {
+            return Err(json::Error::new(format!(
+                "catalog item group has {} values, expected {w} (one per item slot)",
+                bad.len()
+            )));
+        }
+        let n_items = groups.len();
+        let item_feats = groups.into_iter().flatten().collect();
+        Ok(Self { item_slots, user_templates, item_feats, n_items })
     }
 }
 
